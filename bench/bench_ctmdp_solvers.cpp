@@ -1,0 +1,92 @@
+// A1 — CTMDP solver cross-validation and scaling: the Feinberg LP,
+// relative value iteration and policy iteration must agree on the optimal
+// average cost; their runtimes scale very differently with the state
+// space, which is why the sizing engine picks per model size.
+#include "arch/presets.hpp"
+#include "core/allocation.hpp"
+#include "core/subsystem_model.hpp"
+#include "ctmdp/lp_solver.hpp"
+#include "ctmdp/policy_iteration.hpp"
+#include "ctmdp/value_iteration.hpp"
+#include "split/splitter.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+namespace {
+
+/// A bus-b style subsystem model at a given per-flow cap.
+socbuf::core::SubsystemCtmdp make_model(long cap) {
+    static const auto sys = socbuf::arch::figure1_system();
+    static const auto split = socbuf::split::split_architecture(sys);
+    const socbuf::split::Subsystem* bus_b = nullptr;
+    for (const auto& sub : split.subsystems)
+        if (sub.bus_name == "b") bus_b = &sub;
+    std::vector<long> caps(bus_b->flows.size(), cap);
+    std::vector<double> rates;
+    for (const auto& f : bus_b->flows) rates.push_back(f.arrival_rate);
+    return socbuf::core::SubsystemCtmdp(*bus_b, caps, rates);
+}
+
+void print_agreement() {
+    std::printf("\n=== A1: LP vs value iteration vs policy iteration ===\n");
+    socbuf::util::Table t({"cap", "states", "pairs", "LP gain", "VI gain",
+                           "PI gain", "LP pivots"});
+    for (const long cap : {1L, 2L, 3L, 4L}) {
+        const auto model = make_model(cap);
+        const auto lp = socbuf::ctmdp::solve_average_cost_lp(model.model());
+        const auto vi =
+            socbuf::ctmdp::relative_value_iteration(model.model());
+        const auto pi = socbuf::ctmdp::policy_iteration(model.model());
+        t.add_row({std::to_string(cap),
+                   std::to_string(model.model().state_count()),
+                   std::to_string(model.model().pair_count()),
+                   socbuf::util::format_fixed(lp.average_cost, 6),
+                   socbuf::util::format_fixed(vi.gain, 6),
+                   socbuf::util::format_fixed(pi.gain, 6),
+                   std::to_string(lp.simplex_iterations)});
+    }
+    std::printf("%s", t.to_string().c_str());
+}
+
+void BM_LpSolver(benchmark::State& state) {
+    const auto model = make_model(state.range(0));
+    for (auto _ : state) {
+        auto r = socbuf::ctmdp::solve_average_cost_lp(model.model());
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_LpSolver)->Arg(1)->Arg(2)->Arg(3)->Unit(
+    benchmark::kMillisecond);
+
+void BM_ValueIteration(benchmark::State& state) {
+    const auto model = make_model(state.range(0));
+    for (auto _ : state) {
+        auto r = socbuf::ctmdp::relative_value_iteration(model.model());
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_ValueIteration)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(6)->Unit(
+    benchmark::kMillisecond);
+
+void BM_PolicyIteration(benchmark::State& state) {
+    const auto model = make_model(state.range(0));
+    for (auto _ : state) {
+        auto r = socbuf::ctmdp::policy_iteration(model.model());
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_PolicyIteration)->Arg(1)->Arg(2)->Arg(3)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_agreement();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

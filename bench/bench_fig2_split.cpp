@@ -1,0 +1,69 @@
+// E2 — Figure 2: splitting a bridged architecture into linear subsystems.
+// Prints the subsystem decomposition of the paper's Figure 1 sample (four
+// subsystems, four inserted bridge buffers) and of the network-processor
+// testbench, then times the splitter.
+#include "arch/presets.hpp"
+#include "nonlinear/coupled_model.hpp"
+#include "split/splitter.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+namespace {
+
+void print_split(const socbuf::arch::TestSystem& system) {
+    const auto split = socbuf::split::split_architecture(system);
+    socbuf::split::verify_linearity(system, split);
+    std::printf("\n=== Figure 2 split of '%s' ===\n", system.name.c_str());
+    std::printf("subsystems: %zu, inserted bridge buffers: %zu\n",
+                split.subsystems.size(), split.inserted_buffer_count);
+    socbuf::util::Table t({"subsystem(bus)", "mu", "flows", "inserted",
+                           "offered", "utilization"});
+    for (const auto& sub : split.subsystems) {
+        std::size_t inserted = 0;
+        for (const auto& f : sub.flows)
+            if (f.inserted) ++inserted;
+        t.add_row({sub.bus_name, socbuf::util::format_fixed(sub.service_rate, 1),
+                   std::to_string(sub.flows.size()), std::to_string(inserted),
+                   socbuf::util::format_fixed(sub.offered_rate(), 2),
+                   socbuf::util::format_fixed(sub.utilization(), 2)});
+    }
+    std::printf("%s", t.to_string().c_str());
+
+    const socbuf::nonlinear::CoupledBusModel monolithic(system, split);
+    std::printf(
+        "monolithic (unsplit) model: %zu unknowns, %zu bilinear terms — "
+        "the quadratic coupling the split removes\n",
+        monolithic.unknown_count(), monolithic.bilinear_term_count());
+}
+
+void BM_SplitFigure1(benchmark::State& state) {
+    const auto sys = socbuf::arch::figure1_system();
+    for (auto _ : state) {
+        auto split = socbuf::split::split_architecture(sys);
+        benchmark::DoNotOptimize(split);
+    }
+}
+BENCHMARK(BM_SplitFigure1);
+
+void BM_SplitNetworkProcessor(benchmark::State& state) {
+    const auto sys = socbuf::arch::network_processor_system();
+    for (auto _ : state) {
+        auto split = socbuf::split::split_architecture(sys);
+        benchmark::DoNotOptimize(split);
+    }
+}
+BENCHMARK(BM_SplitNetworkProcessor);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_split(socbuf::arch::figure1_system());
+    print_split(socbuf::arch::network_processor_system());
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,83 @@
+// A3 — "solved in one go": the explicit joint LP over all subsystems with
+// the shared occupancy-budget row, versus the Lagrangian price
+// decomposition that solves per-subsystem LPs inside a bisection. They
+// must agree on the optimal loss; their runtime scaling differs.
+#include "arch/presets.hpp"
+#include "core/allocation.hpp"
+#include "core/joint.hpp"
+#include "core/subsystem_model.hpp"
+#include "split/splitter.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+namespace {
+
+std::vector<socbuf::core::SubsystemCtmdp> make_models(long cap) {
+    static const auto sys = socbuf::arch::figure1_system();
+    static const auto split = socbuf::split::split_architecture(sys);
+    const auto alloc = socbuf::core::uniform_allocation(split, 9 * cap);
+    return socbuf::core::build_subsystem_models(split, alloc, cap);
+}
+
+void print_agreement() {
+    std::printf("\n=== A3: joint LP vs price decomposition ===\n");
+    socbuf::util::Table t({"cap", "budget", "joint loss", "decomposed loss",
+                           "joint occ", "decomposed occ", "price"});
+    for (const long cap : {2L, 3L}) {
+        const auto models = make_models(cap);
+        const auto free_run = socbuf::core::solve_unconstrained(models);
+        const auto squeezed = socbuf::core::solve_price_decomposed(
+            models, 1e-6, 64.0, 0);
+        const double budget = 0.5 * (squeezed.total_expected_occupancy +
+                                     free_run.total_expected_occupancy);
+        const auto joint = socbuf::core::solve_joint_lp(models, budget);
+        const auto priced =
+            socbuf::core::solve_price_decomposed(models, budget);
+        t.add_row({std::to_string(cap),
+                   socbuf::util::format_fixed(budget, 3),
+                   socbuf::util::format_fixed(joint.total_loss_rate, 5),
+                   socbuf::util::format_fixed(priced.total_loss_rate, 5),
+                   socbuf::util::format_fixed(
+                       joint.total_expected_occupancy, 3),
+                   socbuf::util::format_fixed(
+                       priced.total_expected_occupancy, 3),
+                   socbuf::util::format_fixed(priced.occupancy_price, 3)});
+    }
+    std::printf("%s", t.to_string().c_str());
+}
+
+void BM_JointLp(benchmark::State& state) {
+    const auto models = make_models(state.range(0));
+    const auto free_run = socbuf::core::solve_unconstrained(models);
+    const double budget = 0.85 * free_run.total_expected_occupancy;
+    for (auto _ : state) {
+        auto r = socbuf::core::solve_joint_lp(models, budget);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_JointLp)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void BM_PriceDecomposed(benchmark::State& state) {
+    const auto models = make_models(state.range(0));
+    const auto free_run = socbuf::core::solve_unconstrained(models);
+    const double budget = 0.85 * free_run.total_expected_occupancy;
+    for (auto _ : state) {
+        auto r = socbuf::core::solve_price_decomposed(models, budget);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_PriceDecomposed)->Arg(2)->Arg(3)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_agreement();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

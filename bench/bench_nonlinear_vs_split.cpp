@@ -1,0 +1,100 @@
+// E5 — the Section 2 motivation: the monolithic model of a bridged
+// architecture is quadratic; the paper could not solve it with a generic
+// nonlinear solver and proposes the split. We report, honestly:
+//   * the size and bilinear-term count of the monolithic system,
+//   * the success rate of plain and damped Newton over random starts,
+//   * wall-clock of monolithic Newton vs the split fixed point,
+//   * agreement of the two solutions where both converge.
+// (In our reconstruction Newton is more robust than the paper's Matlab 6.1
+// experience — see EXPERIMENTS.md for the discussion.)
+#include "arch/presets.hpp"
+#include "nonlinear/coupled_model.hpp"
+#include "nonlinear/newton.hpp"
+#include "split/splitter.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+namespace {
+
+const socbuf::arch::TestSystem& figure1() {
+    static const auto sys = socbuf::arch::figure1_system();
+    return sys;
+}
+
+const socbuf::split::SplitResult& figure1_split() {
+    static const auto split = socbuf::split::split_architecture(figure1());
+    return split;
+}
+
+void print_robustness() {
+    std::printf("\n=== E5: monolithic quadratic system vs split ===\n");
+    socbuf::util::Table t({"site cap", "unknowns", "bilinear terms",
+                           "newton(full) ok/20", "newton(damped) ok/20",
+                           "fixed point", "loss (split)"});
+    for (const long cap : {2L, 3L, 4L}) {
+        socbuf::nonlinear::CoupledModelOptions mo;
+        mo.site_cap = cap;
+        const socbuf::nonlinear::CoupledBusModel model(figure1(),
+                                                       figure1_split(), mo);
+        socbuf::rng::RandomEngine eng(17);
+        int full_ok = 0;
+        int damped_ok = 0;
+        for (int trial = 0; trial < 20; ++trial) {
+            const auto x0 = model.initial_random(eng);
+            socbuf::nonlinear::NewtonOptions plain;
+            plain.line_search = false;
+            if (socbuf::nonlinear::solve_newton(model, x0, plain).usable())
+                ++full_ok;
+            if (socbuf::nonlinear::solve_newton(model, x0).usable())
+                ++damped_ok;
+        }
+        const auto fp = model.solve_fixed_point();
+        t.add_row({std::to_string(cap), std::to_string(model.unknown_count()),
+                   std::to_string(model.bilinear_term_count()),
+                   std::to_string(full_ok), std::to_string(damped_ok),
+                   fp.converged ? "converged" : "FAILED",
+                   socbuf::util::format_fixed(fp.solution.total_loss_rate,
+                                              4)});
+    }
+    std::printf("%s", t.to_string().c_str());
+}
+
+void BM_MonolithicNewton(benchmark::State& state) {
+    socbuf::nonlinear::CoupledModelOptions mo;
+    mo.site_cap = state.range(0);
+    const socbuf::nonlinear::CoupledBusModel model(figure1(),
+                                                   figure1_split(), mo);
+    for (auto _ : state) {
+        auto r = socbuf::nonlinear::solve_newton(model,
+                                                 model.initial_uniform());
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_MonolithicNewton)->Arg(2)->Arg(3)->Arg(4)->Unit(
+    benchmark::kMillisecond);
+
+void BM_SplitFixedPoint(benchmark::State& state) {
+    socbuf::nonlinear::CoupledModelOptions mo;
+    mo.site_cap = state.range(0);
+    const socbuf::nonlinear::CoupledBusModel model(figure1(),
+                                                   figure1_split(), mo);
+    for (auto _ : state) {
+        auto r = model.solve_fixed_point();
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_SplitFixedPoint)->Arg(2)->Arg(3)->Arg(4)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_robustness();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

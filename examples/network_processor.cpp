@@ -1,0 +1,52 @@
+// The network-processor testbench behind Figure 3 and Table 1, walked
+// through step by step: topology, subsystems, sizing, and the paper's
+// before/after/timeout comparison at a chosen budget.
+//
+//   $ ./network_processor [budget]        (default budget: 320)
+#include "arch/presets.hpp"
+#include "core/experiments.hpp"
+#include "split/splitter.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+int main(int argc, char** argv) {
+    using namespace socbuf;
+    const long budget = argc > 1 ? std::atol(argv[1]) : 320;
+
+    const auto system = arch::network_processor_system();
+    std::printf("network processor: %zu processors on %zu buses, %zu "
+                "bridges\n",
+                system.architecture.processor_count(),
+                system.architecture.bus_count(),
+                system.architecture.bridge_count());
+    const auto split = split::split_architecture(system);
+    for (const auto& sub : split.subsystems)
+        std::printf("  bus %-9s rho=%.2f (%zu queues)\n",
+                    sub.bus_name.c_str(), sub.utilization(),
+                    sub.flows.size());
+
+    core::Figure3Params params;
+    params.total_budget = budget;
+    params.replications = 5;
+    const auto r = core::run_figure3(params);
+
+    std::printf("\nper-processor loss at budget %ld "
+                "(constant | resized | timeout):\n",
+                budget);
+    for (std::size_t p = 0; p < r.constant_loss.size(); ++p) {
+        std::printf("  proc %2zu: %7.1f | %7.1f | %7.1f", p + 1,
+                    r.constant_loss[p], r.resized_loss[p],
+                    r.timeout_loss[p]);
+        if (r.resized_loss[p] > r.constant_loss[p] + 0.5)
+            std::printf("   <- worse after resizing (tight budget)");
+        std::printf("\n");
+    }
+    std::printf("totals: %.0f | %.0f | %.0f\n", r.constant_total,
+                r.resized_total, r.timeout_total);
+    std::printf("resizing vs constant: %.1f%% less loss\n",
+                100.0 * r.gain_vs_constant());
+    std::printf("resizing vs timeout:  %.1f%% less loss\n",
+                100.0 * r.gain_vs_timeout());
+    return 0;
+}

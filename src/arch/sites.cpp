@@ -1,0 +1,65 @@
+#include "arch/sites.hpp"
+
+#include "util/contracts.hpp"
+
+namespace socbuf::arch {
+
+std::vector<BufferSite> enumerate_buffer_sites(const Architecture& arch) {
+    std::vector<BufferSite> sites;
+    sites.reserve(arch.processor_count() + 2 * arch.bridge_count());
+    for (ProcessorId p = 0; p < arch.processor_count(); ++p) {
+        BufferSite s;
+        s.kind = SiteKind::kProcessor;
+        s.owner = p;
+        s.bus = arch.processor(p).bus;
+        s.name = arch.processor(p).name;
+        sites.push_back(std::move(s));
+    }
+    for (BridgeId b = 0; b < arch.bridge_count(); ++b) {
+        const Bridge& br = arch.bridge(b);
+        // Direction bus_a -> bus_b: the queue sits at the bus_b side and
+        // contends on bus_b.
+        BufferSite ab;
+        ab.kind = SiteKind::kBridge;
+        ab.owner = b;
+        ab.bus = br.bus_b;
+        ab.from_bus = br.bus_a;
+        ab.name = br.name + ":" + arch.bus(br.bus_a).name + ">" +
+                  arch.bus(br.bus_b).name;
+        sites.push_back(std::move(ab));
+        BufferSite ba;
+        ba.kind = SiteKind::kBridge;
+        ba.owner = b;
+        ba.bus = br.bus_a;
+        ba.from_bus = br.bus_b;
+        ba.name = br.name + ":" + arch.bus(br.bus_b).name + ">" +
+                  arch.bus(br.bus_a).name;
+        sites.push_back(std::move(ba));
+    }
+    return sites;
+}
+
+SiteId processor_site(const Architecture& arch, ProcessorId processor) {
+    SOCBUF_REQUIRE_MSG(processor < arch.processor_count(),
+                       "unknown processor");
+    return processor;
+}
+
+SiteId bridge_site(const Architecture& arch, BridgeId bridge, BusId from_bus) {
+    SOCBUF_REQUIRE_MSG(bridge < arch.bridge_count(), "unknown bridge");
+    const Bridge& br = arch.bridge(bridge);
+    SOCBUF_REQUIRE_MSG(br.bus_a == from_bus || br.bus_b == from_bus,
+                       "from_bus is not an endpoint of the bridge");
+    const std::size_t base = arch.processor_count() + 2 * bridge;
+    return br.bus_a == from_bus ? base : base + 1;
+}
+
+std::vector<SiteId> sites_on_bus(const std::vector<BufferSite>& sites,
+                                 BusId bus) {
+    std::vector<SiteId> out;
+    for (SiteId i = 0; i < sites.size(); ++i)
+        if (sites[i].bus == bus) out.push_back(i);
+    return out;
+}
+
+}  // namespace socbuf::arch

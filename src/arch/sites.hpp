@@ -1,0 +1,49 @@
+// Buffer sites: the places in an architecture where buffer space can be
+// allotted. Each processor owns one site (its outbound queue onto its bus)
+// and each bridge owns two (one per forwarding direction). The paper's
+// total buffer budget is distributed over exactly these sites.
+#pragma once
+
+#include "arch/architecture.hpp"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace socbuf::arch {
+
+enum class SiteKind { kProcessor, kBridge };
+
+using SiteId = std::size_t;
+
+struct BufferSite {
+    SiteKind kind = SiteKind::kProcessor;
+    /// ProcessorId for processor sites, BridgeId for bridge sites.
+    std::size_t owner = 0;
+    /// The bus this site's queue contends on.
+    BusId bus = 0;
+    /// For bridge sites: the bus traffic arrives *from*; unused otherwise.
+    BusId from_bus = 0;
+    std::string name;
+};
+
+/// Enumerate all buffer sites of `arch` in a deterministic order:
+/// processors first (by id), then bridges (by id, a->b direction before
+/// b->a). Site ids index into this vector everywhere in socbuf.
+[[nodiscard]] std::vector<BufferSite> enumerate_buffer_sites(
+    const Architecture& arch);
+
+/// Index of a processor's site within enumerate_buffer_sites' order.
+[[nodiscard]] SiteId processor_site(const Architecture& arch,
+                                    ProcessorId processor);
+
+/// Index of a bridge's directional site (traffic flowing out of `from_bus`
+/// through `bridge` onto the peer bus).
+[[nodiscard]] SiteId bridge_site(const Architecture& arch, BridgeId bridge,
+                                 BusId from_bus);
+
+/// All sites whose queue contends on `bus`.
+[[nodiscard]] std::vector<SiteId> sites_on_bus(
+    const std::vector<BufferSite>& sites, BusId bus);
+
+}  // namespace socbuf::arch

@@ -1,0 +1,86 @@
+#include "core/allocation.hpp"
+
+#include "queueing/mm1k.hpp"
+#include "util/contracts.hpp"
+#include "util/numeric.hpp"
+
+#include <algorithm>
+
+namespace socbuf::core {
+
+namespace {
+
+/// Scatter per-active-site shares back into a full site-indexed vector.
+Allocation scatter(const split::SplitResult& split,
+                   const std::vector<arch::SiteId>& active,
+                   const std::vector<long>& shares) {
+    Allocation alloc(split.sites.size(), 0);
+    for (std::size_t i = 0; i < active.size(); ++i)
+        alloc[active[i]] = shares[i];
+    return alloc;
+}
+
+std::vector<arch::SiteId> active_sites(const split::SplitResult& split) {
+    std::vector<arch::SiteId> out;
+    for (const auto& sub : split.subsystems)
+        for (const auto& f : sub.flows) out.push_back(f.site);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+}  // namespace
+
+long allocation_total(const Allocation& alloc) {
+    long total = 0;
+    for (long a : alloc) total += a;
+    return total;
+}
+
+Allocation uniform_allocation(const split::SplitResult& split,
+                              long total_budget) {
+    const auto active = active_sites(split);
+    SOCBUF_REQUIRE_MSG(!active.empty(), "no traffic-carrying sites");
+    const std::vector<double> weights(active.size(), 1.0);
+    return scatter(split, active,
+                   util::apportion_largest_remainder(total_budget, weights,
+                                                     /*floor=*/1));
+}
+
+Allocation proportional_allocation(const split::SplitResult& split,
+                                   long total_budget) {
+    const auto active = active_sites(split);
+    SOCBUF_REQUIRE_MSG(!active.empty(), "no traffic-carrying sites");
+    std::vector<double> rate_of_site(split.sites.size(), 0.0);
+    for (const auto& sub : split.subsystems)
+        for (const auto& f : sub.flows) rate_of_site[f.site] = f.arrival_rate;
+    std::vector<double> weights;
+    weights.reserve(active.size());
+    for (const auto s : active) weights.push_back(rate_of_site[s]);
+    return scatter(split, active,
+                   util::apportion_largest_remainder(total_budget, weights,
+                                                     /*floor=*/1));
+}
+
+Allocation demand_allocation(const split::SplitResult& split,
+                             long total_budget, double target_blocking) {
+    const auto active = active_sites(split);
+    SOCBUF_REQUIRE_MSG(!active.empty(), "no traffic-carrying sites");
+    std::vector<double> demand_of_site(split.sites.size(), 1.0);
+    for (const auto& sub : split.subsystems) {
+        const double mu_share =
+            sub.service_rate / static_cast<double>(sub.flows.size());
+        for (const auto& f : sub.flows)
+            demand_of_site[f.site] =
+                static_cast<double>(queueing::min_capacity_for_blocking(
+                    f.arrival_rate, std::max(mu_share, 1e-12),
+                    target_blocking, 512));
+    }
+    std::vector<double> weights;
+    weights.reserve(active.size());
+    for (const auto s : active) weights.push_back(demand_of_site[s]);
+    return scatter(split, active,
+                   util::apportion_largest_remainder(total_budget, weights,
+                                                     /*floor=*/1));
+}
+
+}  // namespace socbuf::core

@@ -1,0 +1,37 @@
+// Buffer allocations and the baseline sizing policies the paper compares
+// against: constant (uniform) sizing and traffic-ratio (proportional)
+// sizing, plus a demand-based refinement. All allocations are per buffer
+// site (arch::enumerate_buffer_sites order) and exactly exhaust the budget
+// over the traffic-carrying sites.
+#pragma once
+
+#include "split/splitter.hpp"
+
+#include <vector>
+
+namespace socbuf::core {
+
+using Allocation = std::vector<long>;
+
+/// Sum of all entries.
+[[nodiscard]] long allocation_total(const Allocation& alloc);
+
+/// The paper's "constant buffer sizing" baseline: the budget is spread
+/// evenly over all traffic-carrying sites (inactive sites get nothing).
+[[nodiscard]] Allocation uniform_allocation(const split::SplitResult& split,
+                                            long total_budget);
+
+/// The "division of the space depending on traffic ratios" strawman from
+/// the paper's introduction: shares proportional to each site's offered
+/// rate.
+[[nodiscard]] Allocation proportional_allocation(
+    const split::SplitResult& split, long total_budget);
+
+/// Analytic demand-based allocation: each site's share is the M/M/1/K
+/// capacity it would need under an equal service share to keep blocking
+/// below `target_blocking`.
+[[nodiscard]] Allocation demand_allocation(const split::SplitResult& split,
+                                           long total_budget,
+                                           double target_blocking = 0.02);
+
+}  // namespace socbuf::core

@@ -1,0 +1,214 @@
+#include "core/engine.hpp"
+
+#include "core/modulated_model.hpp"
+#include "core/subsystem_model.hpp"
+#include "ctmdp/lp_solver.hpp"
+#include "ctmdp/occupation.hpp"
+#include "ctmdp/value_iteration.hpp"
+#include "util/contracts.hpp"
+#include "util/log.hpp"
+#include "util/numeric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace socbuf::core {
+
+double SizingReport::improvement() const {
+    const double pre = static_cast<double>(before.total_lost());
+    if (pre <= 0.0) return 0.0;
+    return 1.0 - static_cast<double>(after.total_lost()) / pre;
+}
+
+BufferSizingEngine::BufferSizingEngine(SizingOptions options)
+    : options_(std::move(options)) {
+    SOCBUF_REQUIRE_MSG(options_.total_budget >= 1, "budget must be >= 1");
+    SOCBUF_REQUIRE_MSG(options_.iterations >= 1, "need >= 1 iteration");
+    SOCBUF_REQUIRE_MSG(options_.model_cap >= 1, "model cap must be >= 1");
+    SOCBUF_REQUIRE_MSG(
+        options_.tail_mass > 0.0 && options_.tail_mass < 1.0,
+        "tail mass must be in (0,1)");
+}
+
+namespace {
+
+/// The solution pieces the translation needs, solver-agnostic.
+struct SubsystemSolution {
+    linalg::Vector stationary;       // pi(s)
+    std::vector<double> occupation;  // x(s,a)
+    std::size_t switching_states = 0;
+    bool from_lp = false;
+};
+
+SubsystemSolution solve_subsystem(const ctmdp::CtmdpModel& model,
+                                  const SizingOptions& options) {
+    const bool use_lp =
+        options.solver == SolverChoice::kLp ||
+        (options.solver == SolverChoice::kAuto &&
+         model.pair_count() <= options.lp_pair_limit);
+    SubsystemSolution out;
+    if (use_lp) {
+        const auto r = ctmdp::solve_average_cost_lp(model);
+        if (r.status == lp::SolveStatus::kOptimal) {
+            out.stationary.assign(r.state_probability.begin(),
+                                  r.state_probability.end());
+            out.occupation = r.occupation;
+            out.switching_states = r.policy.switching_state_count(1e-9);
+            out.from_lp = true;
+            return out;
+        }
+        if (options.solver == SolverChoice::kLp)
+            throw util::NumericalError(
+                "subsystem LP did not reach optimality: " +
+                std::string(lp::to_string(r.status)));
+        util::log(util::LogLevel::kWarn, "subsystem LP returned ",
+                  lp::to_string(r.status),
+                  "; falling back to value iteration");
+    }
+    ctmdp::ViOptions vi_opts;
+    vi_opts.tolerance = 1e-7;  // scores need far less precision than this
+    vi_opts.max_iterations = 50000;
+    const auto vi = ctmdp::relative_value_iteration(model, vi_opts);
+    if (!vi.converged)
+        util::log(util::LogLevel::kWarn,
+                  "value iteration hit the iteration limit (span ",
+                  vi.span_residual, "); using the last policy");
+    const auto policy =
+        ctmdp::RandomizedPolicy::from_deterministic(vi.policy, model);
+    out.occupation = ctmdp::occupation_of_policy(model, policy);
+    out.stationary.assign(model.state_count(), 0.0);
+    for (std::size_t p = 0; p < out.occupation.size(); ++p)
+        out.stationary[model.pair_state(p)] += out.occupation[p];
+    out.from_lp = false;
+    return out;
+}
+
+/// Solve every subsystem model and fold its solution into the K-switching
+/// scores and service weights. Generic over the model family (Poisson
+/// SubsystemCtmdp or burst-aware ModulatedSubsystemCtmdp), which share the
+/// same surface.
+template <typename ModelVector>
+void score_subsystems(const ModelVector& models,
+                      const SizingOptions& options,
+                      const std::vector<double>& measured_occ,
+                      SizingReport& report) {
+    for (const auto& sub_model : models) {
+        const SubsystemSolution sol =
+            solve_subsystem(sub_model.model(), options);
+        if (sol.from_lp)
+            ++report.lp_solves;
+        else
+            ++report.vi_solves;
+        report.switching_states += sol.switching_states;
+
+        const auto shares = sub_model.service_shares(sol.occupation);
+        const auto& flows = sub_model.subsystem().flows;
+        for (std::size_t f = 0; f < flows.size(); ++f) {
+            const auto marginal = sub_model.flow_marginal(sol.stationary, f);
+            const double q = static_cast<double>(
+                ctmdp::marginal_quantile(marginal, options.tail_mass));
+            const double mean = ctmdp::marginal_mean(marginal);
+            // Saturation correction: occupancy pinned at the modeled cap
+            // means the true requirement exceeds the model.
+            const double at_cap = marginal.back();
+            const double score =
+                q + mean +
+                options.saturation_boost * at_cap *
+                    static_cast<double>(sub_model.caps()[f]) +
+                options.measured_occupancy_weight *
+                    measured_occ[flows[f].site];
+            report.site_scores[flows[f].site] = std::max(score, 1e-6);
+            report.site_service_weights[flows[f].site] = shares[f];
+        }
+    }
+}
+
+}  // namespace
+
+SizingReport BufferSizingEngine::run(const arch::TestSystem& system) const {
+    SizingReport report;
+    report.split = split::split_architecture(system);
+    const auto& split = report.split;
+    const std::size_t n_sites = split.sites.size();
+
+    std::vector<double> flow_weights;
+    flow_weights.reserve(system.flows.size());
+    for (const auto& f : system.flows) flow_weights.push_back(f.weight);
+
+    report.initial = uniform_allocation(split, options_.total_budget);
+    report.before = sim::simulate(system, report.initial, options_.sim);
+
+    Allocation alloc = report.initial;
+    report.best = report.initial;
+    double best_weighted = report.before.weighted_loss(flow_weights);
+    std::vector<double> rates =
+        options_.use_measured_rates
+            ? report.before.site_observed_rate
+            : std::vector<double>{};
+    std::vector<double> measured_occ = report.before.site_mean_occupancy;
+
+    report.site_scores.assign(n_sites, 0.0);
+    report.site_service_weights.assign(n_sites, 0.0);
+
+    // Active sites, in deterministic order, for the apportionment.
+    std::vector<arch::SiteId> active;
+    for (const auto& sub : split.subsystems)
+        for (const auto& f : sub.flows) active.push_back(f.site);
+    std::sort(active.begin(), active.end());
+
+    for (int iter = 0; iter < options_.iterations; ++iter) {
+        // Solve every subsystem and translate occupancies into
+        // K-switching scores.
+        if (options_.use_modulated_models) {
+            const auto models = build_modulated_models(
+                split, alloc, options_.model_cap, rates);
+            score_subsystems(models, options_, measured_occ, report);
+        } else {
+            const auto models = build_subsystem_models(
+                split, alloc, options_.model_cap, rates);
+            score_subsystems(models, options_, measured_occ, report);
+        }
+
+        // Apportion the budget by score (each active site keeps >= 1).
+        std::vector<double> weights;
+        weights.reserve(active.size());
+        for (const auto s : active) weights.push_back(report.site_scores[s]);
+        const auto shares = util::apportion_largest_remainder(
+            options_.total_budget, weights, /*floor=*/1);
+        Allocation next(n_sites, 0);
+        for (std::size_t i = 0; i < active.size(); ++i)
+            next[active[i]] = shares[i];
+
+        // Resimulate with the new buffer lengths and compare losses.
+        const auto eval = sim::simulate(system, next, options_.sim);
+        IterationRecord rec;
+        rec.allocation = next;
+        rec.total_lost = static_cast<double>(eval.total_lost());
+        rec.weighted_loss = eval.weighted_loss(flow_weights);
+        report.history.push_back(rec);
+        util::log(util::LogLevel::kInfo, "sizing iteration ", iter + 1,
+                  ": total lost ", rec.total_lost, " (weighted ",
+                  rec.weighted_loss, ")");
+
+        if (rec.weighted_loss < best_weighted) {
+            best_weighted = rec.weighted_loss;
+            report.best = next;
+        }
+        if (options_.use_measured_rates)
+            rates = eval.site_observed_rate;
+        measured_occ = eval.site_mean_occupancy;
+        const bool fixed_point = next == alloc;
+        alloc = next;
+        if (options_.early_stop && fixed_point) {
+            util::log(util::LogLevel::kInfo,
+                      "allocation reached a fixed point after ", iter + 1,
+                      " rounds");
+            break;
+        }
+    }
+
+    report.after = sim::simulate(system, report.best, options_.sim);
+    return report;
+}
+
+}  // namespace socbuf::core

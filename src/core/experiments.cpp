@@ -1,0 +1,100 @@
+#include "core/experiments.hpp"
+
+#include "arch/presets.hpp"
+#include "util/contracts.hpp"
+
+#include <algorithm>
+
+namespace socbuf::core {
+
+double Figure3Result::gain_vs_constant() const {
+    return constant_total > 0.0 ? 1.0 - resized_total / constant_total : 0.0;
+}
+
+double Figure3Result::gain_vs_timeout() const {
+    return timeout_total > 0.0 ? 1.0 - resized_total / timeout_total : 0.0;
+}
+
+namespace {
+
+/// Mean per-processor losses over `reps` seeds for a fixed allocation.
+std::vector<double> replicated(const arch::TestSystem& system,
+                               const Allocation& alloc,
+                               const sim::SimConfig& config,
+                               std::size_t reps, double* total_out) {
+    const auto r = sim::replicate_losses(system, alloc, config, reps);
+    if (total_out != nullptr) *total_out = r.mean_total_lost;
+    return r.mean_lost_per_processor;
+}
+
+}  // namespace
+
+Figure3Result run_figure3(const Figure3Params& params) {
+    SOCBUF_REQUIRE_MSG(params.replications >= 1, "need >= 1 replication");
+    const auto system = arch::network_processor_system();
+
+    SizingOptions opts;
+    opts.total_budget = params.total_budget;
+    opts.iterations = params.sizing_iterations;
+    opts.sim.horizon = params.horizon;
+    opts.sim.warmup = params.warmup;
+    opts.sim.seed = params.seed;
+
+    const BufferSizingEngine engine(opts);
+    const SizingReport report = engine.run(system);
+
+    Figure3Result out;
+    out.constant_alloc = report.initial;
+    out.resized_alloc = report.best;
+
+    // Bar 1: constant (uniform) sizing. Bar 2: after CTMDP resizing.
+    out.constant_loss = replicated(system, report.initial, opts.sim,
+                                   params.replications, &out.constant_total);
+    out.resized_loss = replicated(system, report.best, opts.sim,
+                                  params.replications, &out.resized_total);
+
+    // Bar 3: timeout policy on the constant allocation; threshold = average
+    // time spent by a request in a buffer (calibrated without timeouts).
+    out.timeout_threshold =
+        params.timeout_threshold_scale *
+        sim::calibrate_timeout_threshold(system, report.initial, opts.sim);
+    sim::SimConfig timeout_cfg = opts.sim;
+    timeout_cfg.timeout_enabled = true;
+    timeout_cfg.timeout_threshold = std::max(out.timeout_threshold, 1e-6);
+    timeout_cfg.site_timeout_thresholds =
+        sim::calibrate_site_timeout_thresholds(
+            system, report.initial, opts.sim,
+            params.timeout_threshold_scale);
+    out.timeout_loss = replicated(system, report.initial, timeout_cfg,
+                                  params.replications, &out.timeout_total);
+    return out;
+}
+
+Table1Result run_table1(const Table1Params& params) {
+    SOCBUF_REQUIRE_MSG(!params.budgets.empty(), "need at least one budget");
+    const auto system = arch::network_processor_system();
+
+    Table1Result out;
+    for (const long budget : params.budgets) {
+        SizingOptions opts;
+        opts.total_budget = budget;
+        opts.iterations = params.sizing_iterations;
+        opts.sim.horizon = params.horizon;
+        opts.sim.warmup = params.warmup;
+        opts.sim.seed = params.seed;
+
+        const BufferSizingEngine engine(opts);
+        const SizingReport report = engine.run(system);
+
+        Table1Row row;
+        row.budget = budget;
+        row.pre = replicated(system, report.initial, opts.sim,
+                             params.replications, &row.pre_total);
+        row.post = replicated(system, report.best, opts.sim,
+                              params.replications, &row.post_total);
+        out.rows.push_back(std::move(row));
+    }
+    return out;
+}
+
+}  // namespace socbuf::core

@@ -1,0 +1,236 @@
+#include "core/joint.hpp"
+
+#include "lp/simplex.hpp"
+#include "util/contracts.hpp"
+#include "util/log.hpp"
+
+#include <cmath>
+
+namespace socbuf::core {
+
+namespace {
+
+/// Solve one subsystem for objective loss + rho * occupancy and return the
+/// standard LpSolveResult (average_cost reported as the *loss* part).
+ctmdp::LpSolveResult solve_priced(const SubsystemCtmdp& sub, double rho) {
+    const auto& base = sub.model();
+    if (rho == 0.0) return ctmdp::solve_average_cost_lp(base);
+    // Clone the model with the priced cost. CtmdpModel is cheap to rebuild.
+    ctmdp::CtmdpModel priced(1);
+    for (std::size_t s = 0; s < base.state_count(); ++s) priced.add_state();
+    for (std::size_t s = 0; s < base.state_count(); ++s) {
+        for (std::size_t a = 0; a < base.action_count(s); ++a) {
+            ctmdp::Action act = base.action(s, a);
+            act.cost += rho * act.extra_costs[0];
+            priced.add_action(s, std::move(act));
+        }
+    }
+    auto result = ctmdp::solve_average_cost_lp(priced);
+    if (result.status == lp::SolveStatus::kOptimal) {
+        // Report the pure loss component, not the priced objective.
+        result.average_cost -= rho * result.extra_cost_values[0];
+    }
+    return result;
+}
+
+JointSolveResult collect(std::vector<ctmdp::LpSolveResult> parts) {
+    JointSolveResult out;
+    out.solved = true;
+    for (auto& r : parts) {
+        if (r.status != lp::SolveStatus::kOptimal) {
+            out.solved = false;
+            return out;
+        }
+        out.total_loss_rate += r.average_cost;
+        out.total_expected_occupancy += r.extra_cost_values[0];
+        out.simplex_iterations += r.simplex_iterations;
+        out.per_subsystem.push_back(std::move(r));
+    }
+    return out;
+}
+
+}  // namespace
+
+JointSolveResult solve_unconstrained(
+    const std::vector<SubsystemCtmdp>& models) {
+    SOCBUF_REQUIRE_MSG(!models.empty(), "no subsystems to solve");
+    std::vector<ctmdp::LpSolveResult> parts;
+    parts.reserve(models.size());
+    for (const auto& m : models) parts.push_back(solve_priced(m, 0.0));
+    return collect(std::move(parts));
+}
+
+JointSolveResult solve_joint_lp(const std::vector<SubsystemCtmdp>& models,
+                                double occupancy_budget) {
+    SOCBUF_REQUIRE_MSG(!models.empty(), "no subsystems to solve");
+    SOCBUF_REQUIRE_MSG(occupancy_budget > 0.0,
+                       "occupancy budget must be positive");
+
+    lp::LinearProgram program;
+    program.set_sense(lp::Sense::kMinimize);
+    std::vector<std::size_t> var_offset(models.size(), 0);
+
+    // Variables: all subsystems' occupation measures, stacked.
+    for (std::size_t k = 0; k < models.size(); ++k) {
+        const auto& m = models[k].model();
+        var_offset[k] = program.variable_count();
+        for (std::size_t p = 0; p < m.pair_count(); ++p) {
+            const std::size_t s = m.pair_state(p);
+            const std::size_t a = m.pair_action(p);
+            program.add_variable(m.action(s, a).cost,
+                                 "x" + std::to_string(k) + "_" +
+                                     std::to_string(p));
+        }
+    }
+
+    // Block constraints per subsystem: balance (one row dropped) and
+    // normalization.
+    for (std::size_t k = 0; k < models.size(); ++k) {
+        const auto& m = models[k].model();
+        std::vector<lp::Constraint> balance(m.state_count());
+        for (std::size_t p = 0; p < m.pair_count(); ++p) {
+            const std::size_t s = m.pair_state(p);
+            const std::size_t a = m.pair_action(p);
+            double exit = 0.0;
+            for (const auto& t : m.action(s, a).transitions) {
+                if (t.target == s || t.rate <= 0.0) continue;
+                balance[t.target].terms.emplace_back(var_offset[k] + p,
+                                                     t.rate);
+                exit += t.rate;
+            }
+            if (exit > 0.0)
+                balance[s].terms.emplace_back(var_offset[k] + p, -exit);
+        }
+        for (std::size_t s = 1; s < m.state_count(); ++s) {
+            balance[s].relation = lp::Relation::kEqual;
+            balance[s].rhs = 0.0;
+            program.add_constraint(std::move(balance[s]));
+        }
+        lp::Constraint norm;
+        norm.relation = lp::Relation::kEqual;
+        norm.rhs = 1.0;
+        for (std::size_t p = 0; p < m.pair_count(); ++p)
+            norm.terms.emplace_back(var_offset[k] + p, 1.0);
+        program.add_constraint(std::move(norm));
+    }
+
+    // The single coupling row that makes this a *joint* solve.
+    {
+        lp::Constraint budget;
+        budget.relation = lp::Relation::kLessEqual;
+        budget.rhs = occupancy_budget;
+        budget.name = "occupancy_budget";
+        for (std::size_t k = 0; k < models.size(); ++k) {
+            const auto& m = models[k].model();
+            for (std::size_t p = 0; p < m.pair_count(); ++p) {
+                const std::size_t s = m.pair_state(p);
+                const std::size_t a = m.pair_action(p);
+                const double occ = m.action(s, a).extra_costs[0];
+                if (occ != 0.0)
+                    budget.terms.emplace_back(var_offset[k] + p, occ);
+            }
+        }
+        program.add_constraint(std::move(budget));
+    }
+
+    const lp::Solution sol = lp::solve(program);
+    JointSolveResult out;
+    if (sol.status != lp::SolveStatus::kOptimal) {
+        util::log(util::LogLevel::kWarn, "joint LP terminated: ",
+                  lp::to_string(sol.status));
+        return out;
+    }
+    out.solved = true;
+    out.simplex_iterations = sol.iterations;
+
+    // Unpack per-subsystem results.
+    for (std::size_t k = 0; k < models.size(); ++k) {
+        const auto& m = models[k].model();
+        ctmdp::LpSolveResult r;
+        r.status = lp::SolveStatus::kOptimal;
+        r.occupation.assign(sol.x.begin() + var_offset[k],
+                            sol.x.begin() + var_offset[k] + m.pair_count());
+        r.state_probability.assign(m.state_count(), 0.0);
+        r.extra_cost_values.assign(1, 0.0);
+        for (std::size_t p = 0; p < m.pair_count(); ++p) {
+            const std::size_t s = m.pair_state(p);
+            const std::size_t a = m.pair_action(p);
+            const double x = std::max(r.occupation[p], 0.0);
+            r.state_probability[s] += x;
+            r.average_cost += m.action(s, a).cost * x;
+            r.extra_cost_values[0] += m.action(s, a).extra_costs[0] * x;
+        }
+        std::vector<std::vector<double>> probs(m.state_count());
+        for (std::size_t s = 0; s < m.state_count(); ++s) {
+            probs[s].assign(m.action_count(s), 0.0);
+            if (r.state_probability[s] > 1e-12) {
+                for (std::size_t a = 0; a < m.action_count(s); ++a)
+                    probs[s][a] = std::max(
+                        r.occupation[m.pair_index(s, a)], 0.0) /
+                        r.state_probability[s];
+            } else {
+                for (std::size_t a = 0; a < m.action_count(s); ++a)
+                    probs[s][a] = 1.0 / static_cast<double>(
+                                      m.action_count(s));
+            }
+            double total = 0.0;
+            for (double p : probs[s]) total += p;
+            for (double& p : probs[s]) p /= total;
+        }
+        r.policy = ctmdp::RandomizedPolicy(std::move(probs));
+        out.total_loss_rate += r.average_cost;
+        out.total_expected_occupancy += r.extra_cost_values[0];
+        out.per_subsystem.push_back(std::move(r));
+    }
+    return out;
+}
+
+JointSolveResult solve_price_decomposed(
+    const std::vector<SubsystemCtmdp>& models, double occupancy_budget,
+    double rho_max, std::size_t bisection_steps) {
+    SOCBUF_REQUIRE_MSG(!models.empty(), "no subsystems to solve");
+    SOCBUF_REQUIRE_MSG(occupancy_budget > 0.0,
+                       "occupancy budget must be positive");
+
+    auto solve_all = [&](double rho) {
+        std::vector<ctmdp::LpSolveResult> parts;
+        parts.reserve(models.size());
+        for (const auto& m : models) parts.push_back(solve_priced(m, rho));
+        JointSolveResult r = collect(std::move(parts));
+        r.occupancy_price = rho;
+        return r;
+    };
+
+    // Free solution first: if the budget is slack at rho = 0, we are done.
+    JointSolveResult best = solve_all(0.0);
+    if (!best.solved ||
+        best.total_expected_occupancy <= occupancy_budget + 1e-9)
+        return best;
+
+    // E[occupancy](rho) is non-increasing; bisect for the budget.
+    double lo = 0.0;
+    double hi = rho_max;
+    JointSolveResult at_hi = solve_all(hi);
+    for (std::size_t i = 0;
+         i < bisection_steps && at_hi.solved &&
+         at_hi.total_expected_occupancy > occupancy_budget;
+         ++i) {
+        hi *= 2.0;
+        at_hi = solve_all(hi);
+    }
+    best = at_hi;
+    for (std::size_t i = 0; i < bisection_steps; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        const JointSolveResult r = solve_all(mid);
+        if (!r.solved) break;
+        if (r.total_expected_occupancy <= occupancy_budget) {
+            best = r;
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    return best;
+}
+
+}  // namespace socbuf::core

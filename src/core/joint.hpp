@@ -1,0 +1,46 @@
+// "All the equations shall be solved in one go": the joint occupation-
+// measure LP over every subsystem at once, coupled by a shared expected-
+// occupancy budget — and its Lagrangian (price) decomposition, which solves
+// the same LP through per-subsystem solves and a one-dimensional bisection
+// on the budget price. The two must agree at the optimum (tested, and
+// benchmarked in A3).
+#pragma once
+
+#include "core/subsystem_model.hpp"
+#include "ctmdp/lp_solver.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace socbuf::core {
+
+struct JointSolveResult {
+    bool solved = false;
+    /// Sum over subsystems of long-run weighted loss rate.
+    double total_loss_rate = 0.0;
+    /// Sum over subsystems of expected total buffer occupancy.
+    double total_expected_occupancy = 0.0;
+    /// Per-subsystem solutions, in build order.
+    std::vector<ctmdp::LpSolveResult> per_subsystem;
+    std::size_t simplex_iterations = 0;
+    /// Price decomposition only: the budget price found by bisection.
+    double occupancy_price = 0.0;
+};
+
+/// One monolithic LP: block-diagonal balance + normalization per subsystem,
+/// plus one coupling row  sum E[occupancy] <= occupancy_budget.
+[[nodiscard]] JointSolveResult solve_joint_lp(
+    const std::vector<SubsystemCtmdp>& models, double occupancy_budget);
+
+/// The same optimum via Lagrangian decomposition: each subsystem minimizes
+/// loss + rho * occupancy independently; rho is bisected until the summed
+/// expected occupancy meets the budget (rho = 0 if the budget is slack).
+[[nodiscard]] JointSolveResult solve_price_decomposed(
+    const std::vector<SubsystemCtmdp>& models, double occupancy_budget,
+    double rho_max = 1024.0, std::size_t bisection_steps = 40);
+
+/// Unconstrained per-subsystem solve (rho = 0); the engine's default path.
+[[nodiscard]] JointSolveResult solve_unconstrained(
+    const std::vector<SubsystemCtmdp>& models);
+
+}  // namespace socbuf::core

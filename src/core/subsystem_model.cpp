@@ -1,0 +1,149 @@
+#include "core/subsystem_model.hpp"
+
+#include "util/contracts.hpp"
+
+#include <algorithm>
+
+namespace socbuf::core {
+
+SubsystemCtmdp::SubsystemCtmdp(const split::Subsystem& subsystem,
+                               std::vector<long> caps,
+                               std::vector<double> rates)
+    : subsystem_(&subsystem), caps_(std::move(caps)), rates_(std::move(rates)) {
+    SOCBUF_REQUIRE_MSG(caps_.size() == subsystem.flows.size(),
+                       "caps must match flow count");
+    SOCBUF_REQUIRE_MSG(rates_.size() == subsystem.flows.size(),
+                       "rates must match flow count");
+    for (long c : caps_) SOCBUF_REQUIRE_MSG(c >= 1, "caps must be >= 1");
+    for (double r : rates_)
+        SOCBUF_REQUIRE_MSG(r >= 0.0, "rates must be non-negative");
+    strides_.resize(caps_.size());
+    std::size_t stride = 1;
+    for (std::size_t f = 0; f < caps_.size(); ++f) {
+        strides_[f] = stride;
+        stride *= static_cast<std::size_t>(caps_[f]) + 1;
+    }
+    build();
+}
+
+std::size_t SubsystemCtmdp::state_count() const {
+    std::size_t n = 1;
+    for (long c : caps_) n *= static_cast<std::size_t>(c) + 1;
+    return n;
+}
+
+long SubsystemCtmdp::occupancy(std::size_t state, std::size_t f) const {
+    SOCBUF_REQUIRE(f < caps_.size());
+    return static_cast<long>((state / strides_[f]) %
+                             (static_cast<std::size_t>(caps_[f]) + 1));
+}
+
+double SubsystemCtmdp::loss_rate(std::size_t state) const {
+    double cost = 0.0;
+    for (std::size_t f = 0; f < caps_.size(); ++f)
+        if (occupancy(state, f) == caps_[f])
+            cost += subsystem_->flows[f].weight * rates_[f];
+    return cost;
+}
+
+void SubsystemCtmdp::build() {
+    const std::size_t n = state_count();
+    const double mu = subsystem_->service_rate;
+    action_serves_.resize(n);
+    for (std::size_t s = 0; s < n; ++s) model_.add_state();
+    for (std::size_t s = 0; s < n; ++s) {
+        const double cost = loss_rate(s);
+        double total_occ = 0.0;
+        std::vector<ctmdp::Transition> arrivals;
+        for (std::size_t f = 0; f < caps_.size(); ++f) {
+            const long k = occupancy(s, f);
+            total_occ += static_cast<double>(k);
+            if (k < caps_[f] && rates_[f] > 0.0)
+                arrivals.push_back({s + strides_[f], rates_[f]});
+        }
+        bool any_action = false;
+        for (std::size_t f = 0; f < caps_.size(); ++f) {
+            if (occupancy(s, f) == 0) continue;
+            ctmdp::Action act;
+            act.name = "serve_" + std::to_string(f);
+            act.transitions = arrivals;
+            act.transitions.push_back({s - strides_[f], mu});
+            act.cost = cost;
+            act.extra_costs = {total_occ};
+            model_.add_action(s, std::move(act));
+            action_serves_[s].push_back(f);
+            any_action = true;
+        }
+        if (!any_action) {
+            ctmdp::Action idle;
+            idle.name = "idle";
+            idle.transitions = arrivals;
+            idle.cost = cost;
+            idle.extra_costs = {total_occ};
+            model_.add_action(s, std::move(idle));
+            action_serves_[s].push_back(caps_.size());  // sentinel: idle
+        }
+    }
+    model_.validate();
+}
+
+std::vector<double> SubsystemCtmdp::flow_marginal(const linalg::Vector& pi,
+                                                  std::size_t f) const {
+    SOCBUF_REQUIRE(f < caps_.size());
+    SOCBUF_REQUIRE(pi.size() == state_count());
+    std::vector<double> marginal(static_cast<std::size_t>(caps_[f]) + 1, 0.0);
+    for (std::size_t s = 0; s < pi.size(); ++s)
+        marginal[static_cast<std::size_t>(occupancy(s, f))] += pi[s];
+    return marginal;
+}
+
+std::vector<double> SubsystemCtmdp::service_shares(
+    const std::vector<double>& occupation) const {
+    SOCBUF_REQUIRE_MSG(occupation.size() == model_.pair_count(),
+                       "occupation vector size mismatch");
+    std::vector<double> shares(caps_.size(), 0.0);
+    double total = 0.0;
+    for (std::size_t p = 0; p < occupation.size(); ++p) {
+        const std::size_t s = model_.pair_state(p);
+        const std::size_t a = model_.pair_action(p);
+        const std::size_t served = action_serves_[s][a];
+        if (served >= caps_.size()) continue;  // idle
+        shares[served] += std::max(occupation[p], 0.0);
+        total += std::max(occupation[p], 0.0);
+    }
+    if (total > 0.0)
+        for (double& v : shares) v /= total;
+    return shares;
+}
+
+std::vector<SubsystemCtmdp> build_subsystem_models(
+    const split::SplitResult& split, const std::vector<long>& allocation,
+    long model_cap, const std::vector<double>& measured_site_rates) {
+    SOCBUF_REQUIRE_MSG(allocation.size() == split.sites.size(),
+                       "allocation must cover every site");
+    SOCBUF_REQUIRE_MSG(model_cap >= 1, "model cap must be >= 1");
+    std::vector<SubsystemCtmdp> out;
+    out.reserve(split.subsystems.size());
+    for (const auto& sub : split.subsystems) {
+        std::vector<long> caps;
+        std::vector<double> rates;
+        for (const auto& f : sub.flows) {
+            caps.push_back(std::clamp(allocation[f.site], 1L, model_cap));
+            double rate = f.arrival_rate;
+            if (!measured_site_rates.empty()) {
+                SOCBUF_REQUIRE_MSG(
+                    measured_site_rates.size() == split.sites.size(),
+                    "measured rate vector must cover every site");
+                // Blend: measured rates can be zero early in short warmup
+                // runs; never let a live flow vanish from the model.
+                rate = std::max(measured_site_rates[f.site],
+                                0.25 * f.arrival_rate);
+            }
+            rates.push_back(rate);
+        }
+        out.emplace_back(sub, std::move(caps), std::move(rates));
+    }
+    return out;
+}
+
+}  // namespace socbuf::core

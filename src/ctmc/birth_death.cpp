@@ -1,0 +1,35 @@
+#include "ctmc/birth_death.hpp"
+
+#include "util/contracts.hpp"
+
+namespace socbuf::ctmc {
+
+linalg::Vector birth_death_stationary(const std::vector<double>& births,
+                                      const std::vector<double>& deaths) {
+    SOCBUF_REQUIRE_MSG(births.size() == deaths.size(),
+                       "births/deaths length mismatch");
+    const std::size_t n = births.size();
+    linalg::Vector pi(n + 1);
+    pi[0] = 1.0;
+    double total = 1.0;
+    double prod = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        SOCBUF_REQUIRE_MSG(births[i] >= 0.0, "negative birth rate");
+        SOCBUF_REQUIRE_MSG(deaths[i] > 0.0, "death rates must be positive");
+        prod *= births[i] / deaths[i];
+        pi[i + 1] = prod;
+        total += prod;
+    }
+    for (double& v : pi) v /= total;
+    return pi;
+}
+
+linalg::Vector mm1k_stationary(double lambda, double mu, std::size_t k) {
+    SOCBUF_REQUIRE_MSG(lambda >= 0.0, "negative arrival rate");
+    SOCBUF_REQUIRE_MSG(mu > 0.0, "service rate must be positive");
+    SOCBUF_REQUIRE_MSG(k > 0, "capacity must be at least 1");
+    return birth_death_stationary(std::vector<double>(k, lambda),
+                                  std::vector<double>(k, mu));
+}
+
+}  // namespace socbuf::ctmc

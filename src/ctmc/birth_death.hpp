@@ -1,0 +1,23 @@
+// Closed-form stationary distributions for birth-death chains; the M/M/1/K
+// results everything else is validated against.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace socbuf::ctmc {
+
+/// Stationary distribution of a birth-death chain on {0..n} with birth
+/// rates `births[i]` (i -> i+1) and death rates `deaths[i]` (i+1 -> i).
+/// births.size() == deaths.size() == n; all death rates must be positive.
+[[nodiscard]] linalg::Vector birth_death_stationary(
+    const std::vector<double>& births, const std::vector<double>& deaths);
+
+/// Convenience: the M/M/1/K occupancy distribution (arrival rate `lambda`,
+/// service rate `mu`, capacity `k` customers including the one in service).
+[[nodiscard]] linalg::Vector mm1k_stationary(double lambda, double mu,
+                                             std::size_t k);
+
+}  // namespace socbuf::ctmc

@@ -1,0 +1,65 @@
+#include "ctmc/generator.hpp"
+
+#include "util/contracts.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace socbuf::ctmc {
+
+void Generator::set_rate(std::size_t from, std::size_t to, double rate) {
+    SOCBUF_REQUIRE_MSG(from < size() && to < size(), "state out of range");
+    SOCBUF_REQUIRE_MSG(from != to, "cannot set a diagonal rate directly");
+    SOCBUF_REQUIRE_MSG(rate >= 0.0, "rates must be non-negative");
+    const double old = q_(from, to);
+    q_(from, to) = rate;
+    q_(from, from) += old - rate;
+}
+
+void Generator::add_rate(std::size_t from, std::size_t to, double rate) {
+    SOCBUF_REQUIRE_MSG(from < size() && to < size(), "state out of range");
+    SOCBUF_REQUIRE_MSG(from != to, "cannot add to a diagonal rate");
+    SOCBUF_REQUIRE_MSG(rate >= 0.0, "rates must be non-negative");
+    q_(from, to) += rate;
+    q_(from, from) -= rate;
+}
+
+double Generator::max_exit_rate() const {
+    double best = 0.0;
+    for (std::size_t s = 0; s < size(); ++s)
+        best = std::max(best, exit_rate(s));
+    return best;
+}
+
+void Generator::validate(double tolerance) const {
+    for (std::size_t r = 0; r < size(); ++r) {
+        double row_sum = 0.0;
+        for (std::size_t c = 0; c < size(); ++c) {
+            const double v = q_(r, c);
+            if (r != c && v < -tolerance)
+                throw util::ModelError("generator has a negative rate at (" +
+                                       std::to_string(r) + "," +
+                                       std::to_string(c) + ")");
+            row_sum += v;
+        }
+        if (std::fabs(row_sum) > tolerance)
+            throw util::ModelError("generator row " + std::to_string(r) +
+                                   " sums to " + std::to_string(row_sum));
+    }
+}
+
+linalg::Matrix Generator::uniformized(double lambda) const {
+    SOCBUF_REQUIRE_MSG(lambda > 0.0, "uniformization rate must be positive");
+    SOCBUF_REQUIRE_MSG(lambda >= max_exit_rate() - 1e-12,
+                       "uniformization rate below max exit rate");
+    linalg::Matrix p(size(), size());
+    for (std::size_t r = 0; r < size(); ++r) {
+        for (std::size_t c = 0; c < size(); ++c) {
+            p(r, c) = q_(r, c) / lambda;
+            if (r == c) p(r, c) += 1.0;
+        }
+    }
+    return p;
+}
+
+}  // namespace socbuf::ctmc

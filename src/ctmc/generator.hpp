@@ -1,0 +1,53 @@
+// Continuous-time Markov chain generators (rate matrices) and
+// uniformization, the bridge between the continuous-time models the paper
+// uses and the discrete-time iterations we compute with.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+#include <cstddef>
+
+namespace socbuf::ctmc {
+
+/// A CTMC generator: off-diagonal entries are transition rates (>= 0) and
+/// each diagonal entry is minus its row's off-diagonal sum.
+class Generator {
+public:
+    explicit Generator(std::size_t n) : q_(n, n) {}
+
+    /// Set rate from -> to (from != to, rate >= 0); the diagonal is
+    /// maintained automatically.
+    void set_rate(std::size_t from, std::size_t to, double rate);
+
+    /// Add to the rate from -> to.
+    void add_rate(std::size_t from, std::size_t to, double rate);
+
+    [[nodiscard]] double rate(std::size_t from, std::size_t to) const {
+        return q_(from, to);
+    }
+
+    [[nodiscard]] std::size_t size() const { return q_.rows(); }
+
+    /// Total exit rate of a state (= -Q(s,s)).
+    [[nodiscard]] double exit_rate(std::size_t state) const {
+        return -q_(state, state);
+    }
+
+    /// Largest exit rate over all states.
+    [[nodiscard]] double max_exit_rate() const;
+
+    /// Verify generator structure (signs, row sums); throws ModelError.
+    void validate(double tolerance = 1e-9) const;
+
+    /// Uniformized DTMC transition matrix P = I + Q / lambda.
+    /// Requires lambda >= max_exit_rate().
+    [[nodiscard]] linalg::Matrix uniformized(double lambda) const;
+
+    /// Access the raw rate matrix.
+    [[nodiscard]] const linalg::Matrix& matrix() const { return q_; }
+
+private:
+    linalg::Matrix q_;
+};
+
+}  // namespace socbuf::ctmc

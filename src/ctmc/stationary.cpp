@@ -1,0 +1,62 @@
+#include "ctmc/stationary.hpp"
+
+#include "linalg/lu.hpp"
+#include "util/contracts.hpp"
+
+#include <cmath>
+
+namespace socbuf::ctmc {
+
+linalg::Vector stationary_direct(const Generator& q) {
+    const std::size_t n = q.size();
+    SOCBUF_REQUIRE_MSG(n > 0, "empty chain");
+    // pi Q = 0 with sum(pi) = 1  <=>  A x = b where A = Q^T with its last
+    // row replaced by all-ones, b = e_last.
+    linalg::Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c) a(r, c) = q.matrix()(c, r);
+    for (std::size_t c = 0; c < n; ++c) a(n - 1, c) = 1.0;
+    linalg::Vector b(n, 0.0);
+    b[n - 1] = 1.0;
+    linalg::Vector pi = linalg::LuDecomposition(a).solve(b);
+    // Clamp tiny negative round-off and renormalize.
+    double total = 0.0;
+    for (double& v : pi) {
+        if (v < 0.0 && v > -1e-9) v = 0.0;
+        if (v < 0.0)
+            throw util::NumericalError(
+                "stationary_direct: negative probability (chain reducible?)");
+        total += v;
+    }
+    SOCBUF_ASSERT(total > 0.0);
+    for (double& v : pi) v /= total;
+    return pi;
+}
+
+linalg::Vector stationary_power(const Generator& q, double tolerance,
+                                std::size_t max_iterations) {
+    const std::size_t n = q.size();
+    SOCBUF_REQUIRE_MSG(n > 0, "empty chain");
+    // Strictly larger lambda than the max exit rate keeps self-loops
+    // positive, which makes the uniformized chain aperiodic.
+    const double lambda = q.max_exit_rate() * 1.05 + 1e-9;
+    const linalg::Matrix p = q.uniformized(lambda);
+    linalg::Vector pi(n, 1.0 / static_cast<double>(n));
+    for (std::size_t it = 0; it < max_iterations; ++it) {
+        linalg::Vector next = p.multiply_transposed(pi);
+        const double delta = linalg::max_abs_diff(next, pi);
+        pi = std::move(next);
+        if (delta < tolerance) return pi;
+    }
+    throw util::NumericalError("stationary_power: no convergence after " +
+                               std::to_string(max_iterations) +
+                               " iterations");
+}
+
+double stationarity_residual(const Generator& q, const linalg::Vector& pi) {
+    SOCBUF_REQUIRE(pi.size() == q.size());
+    const linalg::Vector r = q.matrix().multiply_transposed(pi);
+    return linalg::norm_inf(r);
+}
+
+}  // namespace socbuf::ctmc

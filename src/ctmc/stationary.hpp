@@ -1,0 +1,26 @@
+// Stationary distributions of finite CTMCs: a direct solver (LU on the
+// normalized balance system) and a power-iteration fallback for
+// cross-checking.
+#pragma once
+
+#include "ctmc/generator.hpp"
+#include "linalg/matrix.hpp"
+
+namespace socbuf::ctmc {
+
+/// Solve pi Q = 0, sum(pi) = 1 directly. Requires an irreducible chain
+/// (singular system otherwise); throws NumericalError when not solvable.
+[[nodiscard]] linalg::Vector stationary_direct(const Generator& q);
+
+/// Power iteration on the uniformized chain; converges for any finite
+/// irreducible chain. `tolerance` bounds the max-norm change per step.
+[[nodiscard]] linalg::Vector stationary_power(const Generator& q,
+                                              double tolerance = 1e-12,
+                                              std::size_t max_iterations =
+                                                  200000);
+
+/// Max-norm of pi Q — how stationary a candidate distribution is.
+[[nodiscard]] double stationarity_residual(const Generator& q,
+                                           const linalg::Vector& pi);
+
+}  // namespace socbuf::ctmc

@@ -1,0 +1,102 @@
+#include "ctmc/transient.hpp"
+
+#include "util/contracts.hpp"
+
+#include <cmath>
+
+namespace socbuf::ctmc {
+
+namespace {
+
+/// Common driver: walk the uniformized power sequence v_k = initial P^k,
+/// calling `accumulate(k, weight_k, v_k)` with the Poisson(lambda t)
+/// weights until the tail mass drops below epsilon.
+template <typename Accumulate>
+void poisson_walk(const Generator& q, const linalg::Vector& initial,
+                  double t, const TransientOptions& options,
+                  Accumulate&& accumulate) {
+    SOCBUF_REQUIRE_MSG(initial.size() == q.size(),
+                       "initial distribution size mismatch");
+    SOCBUF_REQUIRE_MSG(t >= 0.0, "time must be non-negative");
+    double mass = 0.0;
+    for (double p : initial) {
+        SOCBUF_REQUIRE_MSG(p >= -1e-12, "negative initial probability");
+        mass += p;
+    }
+    SOCBUF_REQUIRE_MSG(std::fabs(mass - 1.0) < 1e-6,
+                       "initial distribution must sum to 1");
+
+    const double lambda = q.max_exit_rate() * 1.05 + 1e-9;
+    const linalg::Matrix p = q.uniformized(lambda);
+    const double a = lambda * t;
+
+    // Poisson weights computed iteratively; for large a, start from the
+    // log-space seed to avoid underflow of exp(-a).
+    double log_weight = -a;  // log Poisson(a; 0)
+    linalg::Vector v = initial;
+    double consumed = 0.0;
+    for (std::size_t k = 0; k < options.max_terms; ++k) {
+        const double weight = std::exp(log_weight);
+        accumulate(k, weight, v);
+        consumed += weight;
+        if (1.0 - consumed < options.epsilon && a < static_cast<double>(k))
+            return;
+        v = p.multiply_transposed(v);
+        log_weight += std::log(a) - std::log(static_cast<double>(k + 1));
+    }
+    throw util::NumericalError(
+        "transient analysis: Poisson series did not converge within the "
+        "term limit (lambda*t too large)");
+}
+
+}  // namespace
+
+linalg::Vector transient_distribution(const Generator& q,
+                                      const linalg::Vector& initial,
+                                      double t,
+                                      const TransientOptions& options) {
+    if (t == 0.0) return initial;
+    linalg::Vector out(q.size(), 0.0);
+    poisson_walk(q, initial, t, options,
+                 [&](std::size_t, double weight, const linalg::Vector& v) {
+                     for (std::size_t s = 0; s < out.size(); ++s)
+                         out[s] += weight * v[s];
+                 });
+    // Renormalize the truncated series.
+    double total = 0.0;
+    for (double x : out) total += x;
+    SOCBUF_ASSERT(total > 0.0);
+    for (double& x : out) x /= total;
+    return out;
+}
+
+double transient_average_cost(const Generator& q,
+                              const linalg::Vector& initial,
+                              const linalg::Vector& cost_rate, double t,
+                              const TransientOptions& options) {
+    SOCBUF_REQUIRE_MSG(cost_rate.size() == q.size(),
+                       "cost vector size mismatch");
+    SOCBUF_REQUIRE_MSG(t > 0.0, "horizon must be positive");
+    // (1/t) int_0^t pi(s) ds = sum_k  P(N(lambda t) > k)/(lambda t) v_k
+    // (standard uniformization integral). We accumulate the complementary
+    // Poisson CDF weights on the fly.
+    const double lambda = q.max_exit_rate() * 1.05 + 1e-9;
+    const double a = lambda * t;
+    double cdf = 0.0;
+    double result = 0.0;
+    // integral identity: int_0^t Poisson(lambda s; k) ds
+    //                    = P(N(lambda t) >= k+1) / lambda,
+    // so the time average is sum_k v_k c * P(N >= k+1) / (lambda t).
+    poisson_walk(q, initial, t, options,
+                 [&](std::size_t, double weight, const linalg::Vector& v) {
+                     cdf += weight;
+                     const double tail = std::max(0.0, 1.0 - cdf);
+                     double state_cost = 0.0;
+                     for (std::size_t s = 0; s < v.size(); ++s)
+                         state_cost += v[s] * cost_rate[s];
+                     result += tail / a * state_cost;
+                 });
+    return result;
+}
+
+}  // namespace socbuf::ctmc

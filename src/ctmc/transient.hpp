@@ -1,0 +1,38 @@
+// Transient CTMC analysis by uniformization (Jensen's method): state
+// distributions at finite times and time-averaged cost over a horizon.
+// Complements the stationary solvers: lets a user ask "how much is lost in
+// the first T time units after a reconfiguration", and cross-validates the
+// stationary results (t -> infinity limit).
+#pragma once
+
+#include "ctmc/generator.hpp"
+#include "linalg/matrix.hpp"
+
+#include <cstddef>
+
+namespace socbuf::ctmc {
+
+struct TransientOptions {
+    /// Truncation tolerance of the Poisson series (mass left in the tail).
+    double epsilon = 1e-12;
+    /// Hard cap on the number of series terms (guards huge lambda*t).
+    std::size_t max_terms = 2000000;
+};
+
+/// Distribution at time `t` starting from `initial`:
+///   pi(t) = sum_k Poisson(lambda t; k) * initial P^k,
+/// truncated when the remaining Poisson mass drops below epsilon.
+[[nodiscard]] linalg::Vector transient_distribution(
+    const Generator& q, const linalg::Vector& initial, double t,
+    const TransientOptions& options = {});
+
+/// Expected time-average of a state cost rate over [0, t] from `initial`:
+///   (1/t) * integral_0^t  pi(s) c  ds,
+/// computed with the standard uniformization integral (Poisson tail
+/// weights). For t -> infinity this approaches the stationary average.
+[[nodiscard]] double transient_average_cost(
+    const Generator& q, const linalg::Vector& initial,
+    const linalg::Vector& cost_rate, double t,
+    const TransientOptions& options = {});
+
+}  // namespace socbuf::ctmc

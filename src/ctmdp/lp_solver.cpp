@@ -1,0 +1,135 @@
+#include "ctmdp/lp_solver.hpp"
+
+#include "util/contracts.hpp"
+#include "util/log.hpp"
+
+#include <cmath>
+
+namespace socbuf::ctmdp {
+
+LpSolveResult solve_average_cost_lp(const CtmdpModel& model,
+                                    const std::vector<CostBound>& bounds,
+                                    const LpSolverOptions& options) {
+    model.validate();
+    for (const auto& b : bounds)
+        SOCBUF_REQUIRE_MSG(b.cost_index < model.extra_cost_count(),
+                           "cost bound references unknown extra cost");
+
+    const std::size_t n_states = model.state_count();
+    const std::size_t n_pairs = model.pair_count();
+
+    lp::LinearProgram program;
+    program.set_sense(lp::Sense::kMinimize);
+    for (std::size_t p = 0; p < n_pairs; ++p) {
+        const std::size_t s = model.pair_state(p);
+        const std::size_t a = model.pair_action(p);
+        program.add_variable(model.action(s, a).cost,
+                             "x(" + model.state_name(s) + "," +
+                                 model.action(s, a).name + ")");
+    }
+
+    // Balance constraints: for each state s', sum_{s,a} q(s'|s,a) x(s,a) = 0.
+    // The rows sum to zero over s', so one (state 0's) is redundant and
+    // dropped; phase 1 of the simplex would otherwise carry a permanently
+    // degenerate artificial for it.
+    std::vector<lp::Constraint> balance(n_states);
+    for (std::size_t sprime = 0; sprime < n_states; ++sprime) {
+        balance[sprime].relation = lp::Relation::kEqual;
+        balance[sprime].rhs = 0.0;
+        balance[sprime].name = "balance(" + model.state_name(sprime) + ")";
+    }
+    for (std::size_t p = 0; p < n_pairs; ++p) {
+        const std::size_t s = model.pair_state(p);
+        const std::size_t a = model.pair_action(p);
+        const Action& act = model.action(s, a);
+        double exit = 0.0;
+        for (const auto& t : act.transitions) {
+            if (t.target == s || t.rate <= 0.0) continue;
+            balance[t.target].terms.emplace_back(p, t.rate);
+            exit += t.rate;
+        }
+        if (exit > 0.0) balance[s].terms.emplace_back(p, -exit);
+    }
+    for (std::size_t sprime = 1; sprime < n_states; ++sprime)
+        program.add_constraint(std::move(balance[sprime]));
+
+    // Normalization.
+    {
+        lp::Constraint norm;
+        norm.relation = lp::Relation::kEqual;
+        norm.rhs = 1.0;
+        norm.name = "normalization";
+        for (std::size_t p = 0; p < n_pairs; ++p)
+            norm.terms.emplace_back(p, 1.0);
+        program.add_constraint(std::move(norm));
+    }
+
+    // Side constraints on extra cost averages.
+    for (const auto& b : bounds) {
+        lp::Constraint c;
+        c.relation = lp::Relation::kLessEqual;
+        c.rhs = b.bound;
+        c.name = "cost_bound(" + std::to_string(b.cost_index) + ")";
+        for (std::size_t p = 0; p < n_pairs; ++p) {
+            const std::size_t s = model.pair_state(p);
+            const std::size_t a = model.pair_action(p);
+            const double coeff =
+                model.action(s, a).extra_costs[b.cost_index];
+            if (coeff != 0.0) c.terms.emplace_back(p, coeff);
+        }
+        program.add_constraint(std::move(c));
+    }
+
+    const lp::Solution sol = lp::solve(program, options.simplex);
+
+    LpSolveResult out;
+    out.status = sol.status;
+    out.simplex_iterations = sol.iterations;
+    if (sol.status != lp::SolveStatus::kOptimal) {
+        util::log(util::LogLevel::kWarn, "ctmdp LP terminated: ",
+                  lp::to_string(sol.status));
+        return out;
+    }
+
+    out.average_cost = sol.objective;
+    out.occupation = sol.x;
+    out.state_probability.assign(n_states, 0.0);
+    for (std::size_t p = 0; p < n_pairs; ++p)
+        out.state_probability[model.pair_state(p)] +=
+            std::max(sol.x[p], 0.0);
+
+    out.extra_cost_values.assign(model.extra_cost_count(), 0.0);
+    for (std::size_t p = 0; p < n_pairs; ++p) {
+        const std::size_t s = model.pair_state(p);
+        const std::size_t a = model.pair_action(p);
+        for (std::size_t k = 0; k < model.extra_cost_count(); ++k)
+            out.extra_cost_values[k] +=
+                model.action(s, a).extra_costs[k] * std::max(sol.x[p], 0.0);
+    }
+
+    // Policy extraction.
+    std::vector<std::vector<double>> probs(n_states);
+    for (std::size_t s = 0; s < n_states; ++s) {
+        const std::size_t n_a = model.action_count(s);
+        probs[s].assign(n_a, 0.0);
+        const double mass = out.state_probability[s];
+        if (mass > options.unvisited_state_tolerance) {
+            for (std::size_t a = 0; a < n_a; ++a)
+                probs[s][a] =
+                    std::max(sol.x[model.pair_index(s, a)], 0.0) / mass;
+        } else {
+            // Unvisited under the optimal measure: any choice is
+            // gain-optimal; pick uniform for determinism.
+            for (std::size_t a = 0; a < n_a; ++a)
+                probs[s][a] = 1.0 / static_cast<double>(n_a);
+        }
+        // Renormalize against round-off.
+        double total = 0.0;
+        for (double p : probs[s]) total += p;
+        for (double& p : probs[s]) p /= total;
+    }
+    out.policy = RandomizedPolicy(std::move(probs));
+    return out;
+}
+
+}  // namespace socbuf::ctmdp

@@ -1,0 +1,122 @@
+#include "ctmdp/model.hpp"
+
+#include "util/contracts.hpp"
+
+#include <algorithm>
+
+namespace socbuf::ctmdp {
+
+std::size_t CtmdpModel::add_state(std::string name) {
+    if (name.empty()) name = "s" + std::to_string(states_.size());
+    states_.push_back(StateEntry{std::move(name), {}});
+    index_dirty_ = true;
+    return states_.size() - 1;
+}
+
+std::size_t CtmdpModel::add_action(std::size_t state, Action action) {
+    SOCBUF_REQUIRE_MSG(state < states_.size(), "unknown state");
+    SOCBUF_REQUIRE_MSG(action.extra_costs.size() == extra_cost_count_,
+                       "extra cost width mismatch");
+    for (const auto& t : action.transitions) {
+        SOCBUF_REQUIRE_MSG(t.rate >= 0.0, "negative transition rate");
+    }
+    if (action.name.empty())
+        action.name = "a" + std::to_string(states_[state].actions.size());
+    states_[state].actions.push_back(std::move(action));
+    index_dirty_ = true;
+    return states_[state].actions.size() - 1;
+}
+
+std::size_t CtmdpModel::action_count(std::size_t state) const {
+    SOCBUF_REQUIRE_MSG(state < states_.size(), "unknown state");
+    return states_[state].actions.size();
+}
+
+const Action& CtmdpModel::action(std::size_t state, std::size_t a) const {
+    SOCBUF_REQUIRE_MSG(state < states_.size(), "unknown state");
+    SOCBUF_REQUIRE_MSG(a < states_[state].actions.size(), "unknown action");
+    return states_[state].actions[a];
+}
+
+const std::string& CtmdpModel::state_name(std::size_t state) const {
+    SOCBUF_REQUIRE_MSG(state < states_.size(), "unknown state");
+    return states_[state].name;
+}
+
+void CtmdpModel::rebuild_pair_index() const {
+    pair_offset_.assign(states_.size() + 1, 0);
+    pair_to_state_.clear();
+    for (std::size_t s = 0; s < states_.size(); ++s) {
+        pair_offset_[s + 1] = pair_offset_[s] + states_[s].actions.size();
+        for (std::size_t a = 0; a < states_[s].actions.size(); ++a)
+            pair_to_state_.push_back(s);
+    }
+    index_dirty_ = false;
+}
+
+std::size_t CtmdpModel::pair_count() const {
+    if (index_dirty_) rebuild_pair_index();
+    return pair_to_state_.size();
+}
+
+std::size_t CtmdpModel::pair_index(std::size_t state, std::size_t a) const {
+    if (index_dirty_) rebuild_pair_index();
+    SOCBUF_REQUIRE_MSG(state < states_.size(), "unknown state");
+    SOCBUF_REQUIRE_MSG(a < states_[state].actions.size(), "unknown action");
+    return pair_offset_[state] + a;
+}
+
+std::size_t CtmdpModel::pair_state(std::size_t pair) const {
+    if (index_dirty_) rebuild_pair_index();
+    SOCBUF_REQUIRE_MSG(pair < pair_to_state_.size(), "pair out of range");
+    return pair_to_state_[pair];
+}
+
+std::size_t CtmdpModel::pair_action(std::size_t pair) const {
+    if (index_dirty_) rebuild_pair_index();
+    SOCBUF_REQUIRE_MSG(pair < pair_to_state_.size(), "pair out of range");
+    return pair - pair_offset_[pair_to_state_[pair]];
+}
+
+double CtmdpModel::exit_rate(std::size_t state, std::size_t a) const {
+    const Action& act = action(state, a);
+    double total = 0.0;
+    for (const auto& t : act.transitions)
+        if (t.target != state) total += t.rate;
+    return total;
+}
+
+double CtmdpModel::max_exit_rate() const {
+    double best = 0.0;
+    for (std::size_t s = 0; s < states_.size(); ++s)
+        for (std::size_t a = 0; a < states_[s].actions.size(); ++a)
+            best = std::max(best, exit_rate(s, a));
+    return best;
+}
+
+void CtmdpModel::validate() const {
+    if (states_.empty()) throw util::ModelError("CTMDP has no states");
+    for (std::size_t s = 0; s < states_.size(); ++s) {
+        if (states_[s].actions.empty())
+            throw util::ModelError("state " + states_[s].name +
+                                   " has no actions");
+        for (const auto& act : states_[s].actions) {
+            if (act.extra_costs.size() != extra_cost_count_)
+                throw util::ModelError("action " + act.name + " of state " +
+                                       states_[s].name +
+                                       " has wrong extra-cost width");
+            for (const auto& t : act.transitions) {
+                if (t.target >= states_.size())
+                    throw util::ModelError(
+                        "action " + act.name + " of state " +
+                        states_[s].name + " targets unknown state " +
+                        std::to_string(t.target));
+                if (t.rate < 0.0)
+                    throw util::ModelError("negative rate in action " +
+                                           act.name);
+            }
+        }
+    }
+}
+
+}  // namespace socbuf::ctmdp

@@ -1,0 +1,86 @@
+// Finite continuous-time Markov decision processes.
+//
+// A CTMDP here is: finite states, per-state finite action sets, exponential
+// transition rates q(s'|s,a), a primary cost *rate* c(s,a) to be minimized
+// in long-run average, and optional extra cost rates used as side
+// constraints (Feinberg's constrained average-cost setting, which the paper
+// builds on).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace socbuf::ctmdp {
+
+struct Transition {
+    std::size_t target = 0;
+    double rate = 0.0;
+};
+
+struct Action {
+    std::string name;
+    std::vector<Transition> transitions;
+    double cost = 0.0;                // primary cost rate (minimized)
+    std::vector<double> extra_costs;  // length must equal extra_cost_count()
+};
+
+class CtmdpModel {
+public:
+    /// Number of extra cost signals every action must carry (default 0).
+    explicit CtmdpModel(std::size_t extra_cost_count = 0)
+        : extra_cost_count_(extra_cost_count) {}
+
+    std::size_t add_state(std::string name = {});
+
+    /// Attach an action to a state; returns the action's index within the
+    /// state. Transitions to the same target are allowed and are summed by
+    /// consumers.
+    std::size_t add_action(std::size_t state, Action action);
+
+    [[nodiscard]] std::size_t state_count() const { return states_.size(); }
+    [[nodiscard]] std::size_t action_count(std::size_t state) const;
+    [[nodiscard]] const Action& action(std::size_t state,
+                                       std::size_t a) const;
+    [[nodiscard]] const std::string& state_name(std::size_t state) const;
+    [[nodiscard]] std::size_t extra_cost_count() const {
+        return extra_cost_count_;
+    }
+
+    /// Total number of state-action pairs.
+    [[nodiscard]] std::size_t pair_count() const;
+
+    /// Flat index of (state, action) in [0, pair_count()); the inverse of
+    /// pair_state()/pair_action().
+    [[nodiscard]] std::size_t pair_index(std::size_t state,
+                                         std::size_t a) const;
+    [[nodiscard]] std::size_t pair_state(std::size_t pair) const;
+    [[nodiscard]] std::size_t pair_action(std::size_t pair) const;
+
+    /// Total exit rate of (s,a).
+    [[nodiscard]] double exit_rate(std::size_t state, std::size_t a) const;
+
+    /// Largest exit rate over all pairs (uniformization bound).
+    [[nodiscard]] double max_exit_rate() const;
+
+    /// Structural validation: every state has at least one action, targets
+    /// in range, rates and extra-cost widths consistent. Throws ModelError.
+    void validate() const;
+
+private:
+    struct StateEntry {
+        std::string name;
+        std::vector<Action> actions;
+    };
+
+    void rebuild_pair_index() const;
+
+    std::vector<StateEntry> states_;
+    std::size_t extra_cost_count_;
+    // Lazily rebuilt flat indexing caches.
+    mutable std::vector<std::size_t> pair_offset_;
+    mutable std::vector<std::size_t> pair_to_state_;
+    mutable bool index_dirty_ = true;
+};
+
+}  // namespace socbuf::ctmdp

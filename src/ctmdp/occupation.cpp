@@ -1,0 +1,111 @@
+#include "ctmdp/occupation.hpp"
+
+#include "ctmc/stationary.hpp"
+#include "util/contracts.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace socbuf::ctmdp {
+
+namespace {
+
+/// Sparse stationary distribution of the policy-induced chain: power
+/// iteration on the uniformized transitions without ever materializing the
+/// dense matrix (queueing models have ~flows transitions per state, so the
+/// dense path wastes a factor of |S|/flows).
+linalg::Vector sparse_stationary(const CtmdpModel& model,
+                                 const RandomizedPolicy& policy,
+                                 double tolerance, std::size_t max_iters) {
+    const std::size_t n = model.state_count();
+    struct Jump {
+        std::size_t from, to;
+        double prob;
+    };
+    std::vector<Jump> jumps;
+    std::vector<double> stay(n, 1.0);
+    double max_exit = 0.0;
+    for (std::size_t s = 0; s < n; ++s)
+        for (std::size_t a = 0; a < model.action_count(s); ++a)
+            if (policy.probability(s, a) > 0.0)
+                max_exit = std::max(max_exit, model.exit_rate(s, a));
+    const double lambda = std::max(max_exit, 1e-12) * 1.05 + 1e-9;
+    for (std::size_t s = 0; s < n; ++s) {
+        for (std::size_t a = 0; a < model.action_count(s); ++a) {
+            const double pa = policy.probability(s, a);
+            if (pa <= 0.0) continue;
+            for (const auto& t : model.action(s, a).transitions) {
+                if (t.target == s || t.rate <= 0.0) continue;
+                const double prob = pa * t.rate / lambda;
+                jumps.push_back({s, t.target, prob});
+                stay[s] -= prob;
+            }
+        }
+    }
+    linalg::Vector pi(n, 1.0 / static_cast<double>(n));
+    linalg::Vector next(n, 0.0);
+    for (std::size_t it = 0; it < max_iters; ++it) {
+        for (std::size_t s = 0; s < n; ++s) next[s] = stay[s] * pi[s];
+        for (const auto& j : jumps) next[j.to] += j.prob * pi[j.from];
+        const double delta = linalg::max_abs_diff(next, pi);
+        std::swap(pi, next);
+        if (delta < tolerance) return pi;
+    }
+    throw util::NumericalError(
+        "occupation_of_policy: stationary iteration did not converge");
+}
+
+}  // namespace
+
+std::vector<double> occupation_of_policy(const CtmdpModel& model,
+                                         const RandomizedPolicy& policy) {
+    const linalg::Vector pi =
+        sparse_stationary(model, policy, 1e-11, 500000);
+    std::vector<double> x(model.pair_count(), 0.0);
+    for (std::size_t p = 0; p < model.pair_count(); ++p) {
+        const std::size_t s = model.pair_state(p);
+        const std::size_t a = model.pair_action(p);
+        x[p] = pi[s] * policy.probability(s, a);
+    }
+    return x;
+}
+
+std::vector<double> state_marginal(
+    const linalg::Vector& pi,
+    const std::function<std::size_t(std::size_t)>& feature,
+    std::size_t feature_cardinality) {
+    SOCBUF_REQUIRE_MSG(feature_cardinality > 0, "empty feature domain");
+    std::vector<double> marginal(feature_cardinality, 0.0);
+    for (std::size_t s = 0; s < pi.size(); ++s) {
+        const std::size_t f = feature(s);
+        SOCBUF_REQUIRE_MSG(f < feature_cardinality,
+                           "feature value out of range");
+        marginal[f] += pi[s];
+    }
+    return marginal;
+}
+
+double marginal_mean(const std::vector<double>& marginal) {
+    double mean = 0.0;
+    for (std::size_t k = 0; k < marginal.size(); ++k)
+        mean += static_cast<double>(k) * marginal[k];
+    return mean;
+}
+
+std::size_t marginal_quantile(const std::vector<double>& marginal,
+                              double tail_mass) {
+    SOCBUF_REQUIRE_MSG(!marginal.empty(), "empty marginal");
+    SOCBUF_REQUIRE_MSG(tail_mass >= 0.0 && tail_mass <= 1.0,
+                       "tail mass outside [0,1]");
+    double tail = 0.0;
+    for (double p : marginal) tail += p;
+    // tail currently ~1; walk k upward removing P(X = k) until the
+    // remaining strict-tail P(X > k) drops to tail_mass.
+    for (std::size_t k = 0; k < marginal.size(); ++k) {
+        tail -= marginal[k];
+        if (tail <= tail_mass + 1e-15) return k;
+    }
+    return marginal.size() - 1;
+}
+
+}  // namespace socbuf::ctmdp

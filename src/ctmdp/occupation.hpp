@@ -1,0 +1,39 @@
+// Occupation-measure utilities: recover x(s,a) for an arbitrary stationary
+// policy, and reduce state-level measures to per-coordinate marginals. The
+// sizing engine's K-switching translation is built on these marginals.
+#pragma once
+
+#include "ctmdp/model.hpp"
+#include "ctmdp/policy.hpp"
+#include "linalg/matrix.hpp"
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace socbuf::ctmdp {
+
+/// Occupation measure x(s,a) = pi(s) * phi(a|s) of a stationary policy,
+/// flat-indexed by the model's pair index. pi is computed from the induced
+/// CTMC (power method; works for any finite unichain model).
+[[nodiscard]] std::vector<double> occupation_of_policy(
+    const CtmdpModel& model, const RandomizedPolicy& policy);
+
+/// Marginal distribution of an integer feature of the state (e.g. "queue f
+/// occupancy") under the state distribution pi. `feature(s)` must return a
+/// value in [0, feature_cardinality).
+[[nodiscard]] std::vector<double> state_marginal(
+    const linalg::Vector& pi,
+    const std::function<std::size_t(std::size_t)>& feature,
+    std::size_t feature_cardinality);
+
+/// Expected value of the marginal distribution.
+[[nodiscard]] double marginal_mean(const std::vector<double>& marginal);
+
+/// Smallest k with P(X > k) <= tail_mass (the quantile the K-switching
+/// translation uses as a flow's buffer requirement). Returns the top of the
+/// support if even that leaves more tail mass.
+[[nodiscard]] std::size_t marginal_quantile(const std::vector<double>& marginal,
+                                            double tail_mass);
+
+}  // namespace socbuf::ctmdp

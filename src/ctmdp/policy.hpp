@@ -1,0 +1,75 @@
+// Stationary policies for CTMDPs. The constrained LP produces randomized
+// policies; Feinberg's theory says they randomize ("switch") in at most as
+// many states as there are side constraints — switching_state_count() makes
+// that checkable.
+#pragma once
+
+#include "ctmc/generator.hpp"
+#include "ctmdp/model.hpp"
+#include "rng/engine.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace socbuf::ctmdp {
+
+/// A stationary deterministic policy: one action index per state.
+class DeterministicPolicy {
+public:
+    DeterministicPolicy() = default;
+    explicit DeterministicPolicy(std::vector<std::size_t> choice)
+        : choice_(std::move(choice)) {}
+
+    [[nodiscard]] std::size_t action(std::size_t state) const;
+    [[nodiscard]] std::size_t state_count() const { return choice_.size(); }
+    [[nodiscard]] const std::vector<std::size_t>& choices() const {
+        return choice_;
+    }
+
+    bool operator==(const DeterministicPolicy&) const = default;
+
+private:
+    std::vector<std::size_t> choice_;
+};
+
+/// A stationary randomized policy: per-state distribution over actions.
+class RandomizedPolicy {
+public:
+    RandomizedPolicy() = default;
+    explicit RandomizedPolicy(std::vector<std::vector<double>> probs);
+
+    /// Degenerate (deterministic) policy lifting.
+    static RandomizedPolicy from_deterministic(const DeterministicPolicy& d,
+                                               const CtmdpModel& model);
+
+    [[nodiscard]] std::size_t state_count() const { return probs_.size(); }
+    [[nodiscard]] const std::vector<double>& distribution(
+        std::size_t state) const;
+    [[nodiscard]] double probability(std::size_t state,
+                                     std::size_t action) const;
+
+    /// Sample an action for `state`.
+    [[nodiscard]] std::size_t sample(std::size_t state,
+                                     rng::RandomEngine& engine) const;
+
+    /// Number of states whose distribution puts mass > `tol` on more than
+    /// one action — the "switching" states of the K-switching policy.
+    [[nodiscard]] std::size_t switching_state_count(double tol = 1e-9) const;
+
+    /// True when no state randomizes (up to `tol`).
+    [[nodiscard]] bool is_deterministic(double tol = 1e-9) const {
+        return switching_state_count(tol) == 0;
+    }
+
+    /// Most likely action in each state.
+    [[nodiscard]] DeterministicPolicy mode() const;
+
+private:
+    std::vector<std::vector<double>> probs_;
+};
+
+/// The CTMC induced on `model` by following `policy`.
+[[nodiscard]] ctmc::Generator induced_generator(const CtmdpModel& model,
+                                                const RandomizedPolicy& policy);
+
+}  // namespace socbuf::ctmdp

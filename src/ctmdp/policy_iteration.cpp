@@ -1,0 +1,120 @@
+#include "ctmdp/policy_iteration.hpp"
+
+#include "linalg/lu.hpp"
+#include "util/contracts.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace socbuf::ctmdp {
+
+namespace {
+
+/// Evaluate a deterministic policy on the uniformized chain: solve
+///   g + h(s) = c(s) + sum_{s'} P(s'|s) h(s'),  h(ref) = 0
+/// for (g, h). Unknown vector z = [g, h(0..n-1) except ref].
+struct Evaluation {
+    double step_gain = 0.0;
+    linalg::Vector bias;
+};
+
+Evaluation evaluate(const CtmdpModel& model, const DeterministicPolicy& pol,
+                    double lambda, std::size_t ref) {
+    const std::size_t n = model.state_count();
+    // Column mapping: 0 -> g, 1.. -> h(s) for s != ref.
+    std::vector<std::size_t> col_of(n, 0);
+    {
+        std::size_t next = 1;
+        for (std::size_t s = 0; s < n; ++s)
+            if (s != ref) col_of[s] = next++;
+    }
+    linalg::Matrix a(n, n);
+    linalg::Vector b(n, 0.0);
+    for (std::size_t s = 0; s < n; ++s) {
+        const Action& act = model.action(s, pol.action(s));
+        // Row: g + h(s) - sum P(s'|s) h(s') = c_step(s).
+        a(s, 0) = 1.0;
+        double stay = 1.0;
+        auto add_h = [&](std::size_t state, double coeff) {
+            if (state == ref) return;  // h(ref) = 0
+            a(s, col_of[state]) += coeff;
+        };
+        for (const auto& t : act.transitions) {
+            if (t.target == s || t.rate <= 0.0) continue;
+            const double p = t.rate / lambda;
+            stay -= p;
+            add_h(t.target, -p);
+        }
+        add_h(s, 1.0 - stay);
+        b[s] = act.cost / lambda;
+    }
+    const linalg::Vector z = linalg::LuDecomposition(a).solve(b);
+    Evaluation ev;
+    ev.step_gain = z[0];
+    ev.bias.assign(n, 0.0);
+    for (std::size_t s = 0; s < n; ++s)
+        if (s != ref) ev.bias[s] = z[col_of[s]];
+    return ev;
+}
+
+}  // namespace
+
+PiResult policy_iteration(const CtmdpModel& model, const PiOptions& options) {
+    model.validate();
+    SOCBUF_REQUIRE_MSG(options.reference_state < model.state_count(),
+                       "reference state out of range");
+    const double lambda =
+        std::max(model.max_exit_rate(), 1e-12) * 1.05 + 1e-9;
+    const std::size_t n = model.state_count();
+
+    DeterministicPolicy policy(std::vector<std::size_t>(n, 0));
+    PiResult out;
+    for (std::size_t update = 0; update < options.max_policy_updates;
+         ++update) {
+        const Evaluation ev =
+            evaluate(model, policy, lambda, options.reference_state);
+        // Greedy improvement against the evaluated bias.
+        std::vector<std::size_t> next(n, 0);
+        for (std::size_t s = 0; s < n; ++s) {
+            double best = std::numeric_limits<double>::infinity();
+            std::size_t best_a = policy.action(s);
+            for (std::size_t a = 0; a < model.action_count(s); ++a) {
+                const Action& act = model.action(s, a);
+                double stay = 1.0;
+                double value = act.cost / lambda;
+                for (const auto& t : act.transitions) {
+                    if (t.target == s || t.rate <= 0.0) continue;
+                    const double p = t.rate / lambda;
+                    stay -= p;
+                    value += p * ev.bias[t.target];
+                }
+                value += stay * ev.bias[s];
+                if (value < best - options.improvement_tolerance) {
+                    best = value;
+                    best_a = a;
+                }
+            }
+            next[s] = best_a;
+        }
+        out.policy_updates = update + 1;
+        DeterministicPolicy next_policy(std::move(next));
+        if (next_policy == policy) {
+            out.gain = ev.step_gain * lambda;
+            out.bias = ev.bias;
+            out.policy = policy;
+            out.converged = true;
+            return out;
+        }
+        policy = std::move(next_policy);
+    }
+    const Evaluation ev =
+        evaluate(model, policy, lambda, options.reference_state);
+    out.gain = ev.step_gain * lambda;
+    out.bias = ev.bias;
+    out.policy = policy;
+    out.converged = false;
+    return out;
+}
+
+}  // namespace socbuf::ctmdp

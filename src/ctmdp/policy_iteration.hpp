@@ -1,0 +1,35 @@
+// Howard policy iteration for unconstrained average-cost CTMDPs
+// (uniformized). Slower than value iteration per step but converges in a
+// handful of policy updates; serves as an independent check of both the LP
+// and the value-iteration solvers.
+#pragma once
+
+#include "ctmdp/model.hpp"
+#include "ctmdp/policy.hpp"
+#include "linalg/matrix.hpp"
+
+#include <cstddef>
+
+namespace socbuf::ctmdp {
+
+struct PiResult {
+    double gain = 0.0;
+    linalg::Vector bias;
+    DeterministicPolicy policy;
+    std::size_t policy_updates = 0;
+    bool converged = false;
+};
+
+struct PiOptions {
+    std::size_t max_policy_updates = 1000;
+    std::size_t reference_state = 0;
+    double improvement_tolerance = 1e-10;
+};
+
+/// Minimize long-run average cost by policy iteration. Requires a unichain
+/// model (policy evaluation solves a linear system that is singular
+/// otherwise).
+[[nodiscard]] PiResult policy_iteration(const CtmdpModel& model,
+                                        const PiOptions& options = {});
+
+}  // namespace socbuf::ctmdp

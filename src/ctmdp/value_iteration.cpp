@@ -1,0 +1,131 @@
+#include "ctmdp/value_iteration.hpp"
+
+#include "ctmc/stationary.hpp"
+#include "util/contracts.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace socbuf::ctmdp {
+
+namespace {
+
+/// Precomputed uniformized model: per pair, per-step cost and transition
+/// list (with the self-loop folded in implicitly via `stay`).
+struct Uniformized {
+    double lambda = 1.0;
+    // Flattened per pair: step cost, stay probability, transitions.
+    std::vector<double> step_cost;
+    std::vector<double> stay;
+    std::vector<std::vector<Transition>> jumps;  // probabilities, not rates
+};
+
+Uniformized uniformize(const CtmdpModel& model) {
+    Uniformized u;
+    // A margin keeps every self-loop probability strictly positive, which
+    // makes the uniformized chain aperiodic (required for RVI convergence).
+    u.lambda = std::max(model.max_exit_rate(), 1e-12) * 1.05 + 1e-9;
+    const std::size_t n_pairs = model.pair_count();
+    u.step_cost.resize(n_pairs);
+    u.stay.resize(n_pairs);
+    u.jumps.resize(n_pairs);
+    for (std::size_t p = 0; p < n_pairs; ++p) {
+        const std::size_t s = model.pair_state(p);
+        const std::size_t a = model.pair_action(p);
+        const Action& act = model.action(s, a);
+        u.step_cost[p] = act.cost / u.lambda;
+        double move = 0.0;
+        for (const auto& t : act.transitions) {
+            if (t.target == s || t.rate <= 0.0) continue;
+            u.jumps[p].push_back(Transition{t.target, t.rate / u.lambda});
+            move += t.rate / u.lambda;
+        }
+        u.stay[p] = 1.0 - move;
+        SOCBUF_ASSERT(u.stay[p] > 0.0);
+    }
+    return u;
+}
+
+}  // namespace
+
+ViResult relative_value_iteration(const CtmdpModel& model,
+                                  const ViOptions& options) {
+    model.validate();
+    SOCBUF_REQUIRE_MSG(options.reference_state < model.state_count(),
+                       "reference state out of range");
+    const Uniformized u = uniformize(model);
+    const std::size_t n = model.state_count();
+
+    linalg::Vector h(n, 0.0);
+    linalg::Vector th(n, 0.0);
+    std::vector<std::size_t> greedy(n, 0);
+
+    ViResult out;
+    for (std::size_t it = 0; it < options.max_iterations; ++it) {
+        for (std::size_t s = 0; s < n; ++s) {
+            double best = std::numeric_limits<double>::infinity();
+            std::size_t best_a = 0;
+            for (std::size_t a = 0; a < model.action_count(s); ++a) {
+                const std::size_t p = model.pair_index(s, a);
+                double value = u.step_cost[p] + u.stay[p] * h[s];
+                for (const auto& j : u.jumps[p])
+                    value += j.rate * h[j.target];
+                if (value < best) {
+                    best = value;
+                    best_a = a;
+                }
+            }
+            th[s] = best;
+            greedy[s] = best_a;
+        }
+        // Span of the update delta bounds the gain error (Puterman 8.5.5).
+        double lo = std::numeric_limits<double>::infinity();
+        double hi = -lo;
+        for (std::size_t s = 0; s < n; ++s) {
+            const double d = th[s] - h[s];
+            lo = std::min(lo, d);
+            hi = std::max(hi, d);
+        }
+        out.span_residual = hi - lo;
+        out.iterations = it + 1;
+        if (out.span_residual < options.tolerance) {
+            out.gain = 0.5 * (hi + lo) * u.lambda;
+            out.converged = true;
+            break;
+        }
+        // Relative normalization keeps h bounded.
+        const double ref = th[options.reference_state];
+        for (std::size_t s = 0; s < n; ++s) h[s] = th[s] - ref;
+    }
+    if (!out.converged) {
+        // Best estimate anyway; the caller can inspect `converged`.
+        double lo = std::numeric_limits<double>::infinity();
+        double hi = -lo;
+        for (std::size_t s = 0; s < n; ++s) {
+            const double d = th[s] - h[s];
+            lo = std::min(lo, d);
+            hi = std::max(hi, d);
+        }
+        out.gain = 0.5 * (hi + lo) * u.lambda;
+    }
+    out.bias = h;
+    out.policy = DeterministicPolicy(std::move(greedy));
+    return out;
+}
+
+double average_cost_of_policy(const CtmdpModel& model,
+                              const RandomizedPolicy& policy) {
+    model.validate();
+    const ctmc::Generator gen = induced_generator(model, policy);
+    const linalg::Vector pi = ctmc::stationary_power(gen);
+    double cost = 0.0;
+    for (std::size_t s = 0; s < model.state_count(); ++s) {
+        const auto& dist = policy.distribution(s);
+        for (std::size_t a = 0; a < dist.size(); ++a)
+            cost += pi[s] * dist[a] * model.action(s, a).cost;
+    }
+    return cost;
+}
+
+}  // namespace socbuf::ctmdp

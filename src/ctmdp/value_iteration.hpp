@@ -1,0 +1,41 @@
+// Relative value iteration for unconstrained average-cost CTMDPs via
+// uniformization. This is the fast path the sizing engine uses when a
+// subsystem's occupation-measure LP would be too large; on small models it
+// must (and in tests does) agree with the LP gain.
+#pragma once
+
+#include "ctmdp/model.hpp"
+#include "ctmdp/policy.hpp"
+#include "linalg/matrix.hpp"
+
+#include <cstddef>
+
+namespace socbuf::ctmdp {
+
+struct ViResult {
+    double gain = 0.0;            // optimal long-run average cost (per time)
+    linalg::Vector bias;          // relative value function (h(ref) = 0)
+    DeterministicPolicy policy;   // greedy optimal policy
+    std::size_t iterations = 0;
+    double span_residual = 0.0;   // final span of the Bellman update delta
+    bool converged = false;
+};
+
+struct ViOptions {
+    double tolerance = 1e-10;        // on the per-step gain bounds
+    std::size_t max_iterations = 500000;
+    std::size_t reference_state = 0;
+};
+
+/// Minimize long-run average cost with relative value iteration on the
+/// uniformized chain. The model must be validated, unichain, and have at
+/// least one action everywhere.
+[[nodiscard]] ViResult relative_value_iteration(const CtmdpModel& model,
+                                                const ViOptions& options = {});
+
+/// Long-run average cost of a fixed randomized policy (policy evaluation
+/// via the induced CTMC's stationary distribution).
+[[nodiscard]] double average_cost_of_policy(const CtmdpModel& model,
+                                            const RandomizedPolicy& policy);
+
+}  // namespace socbuf::ctmdp

@@ -1,0 +1,62 @@
+#include "des/scheduler.hpp"
+
+#include "util/contracts.hpp"
+
+namespace socbuf::des {
+
+EventId Scheduler::schedule_at(double when, std::function<void()> action) {
+    SOCBUF_REQUIRE_MSG(when >= now_, "cannot schedule into the past");
+    SOCBUF_REQUIRE_MSG(static_cast<bool>(action), "empty event action");
+    const EventId id = actions_.size();
+    actions_.push_back(std::move(action));
+    queue_.push(Entry{when, id});
+    return id;
+}
+
+EventId Scheduler::schedule_after(double delay, std::function<void()> action) {
+    SOCBUF_REQUIRE_MSG(delay >= 0.0, "negative delay");
+    return schedule_at(now_ + delay, std::move(action));
+}
+
+bool Scheduler::cancel(EventId id) {
+    if (id >= actions_.size() || !actions_[id]) return false;
+    return cancelled_.insert(id).second;
+}
+
+bool Scheduler::step() {
+    while (!queue_.empty()) {
+        const Entry e = queue_.top();
+        queue_.pop();
+        if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
+            cancelled_.erase(it);
+            actions_[e.id] = nullptr;
+            continue;
+        }
+        now_ = e.time;
+        // Move the action out so its storage can be reclaimed even if the
+        // action itself schedules more events (which may grow actions_).
+        auto action = std::move(actions_[e.id]);
+        actions_[e.id] = nullptr;
+        ++fired_;
+        action();
+        return true;
+    }
+    return false;
+}
+
+void Scheduler::run_until(double horizon) {
+    SOCBUF_REQUIRE_MSG(horizon >= now_, "horizon is in the past");
+    while (!queue_.empty()) {
+        const Entry e = queue_.top();
+        if (e.time > horizon) break;
+        step();
+    }
+    now_ = horizon;
+}
+
+void Scheduler::run_to_exhaustion() {
+    while (step()) {
+    }
+}
+
+}  // namespace socbuf::des

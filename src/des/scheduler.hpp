@@ -1,0 +1,69 @@
+// Discrete-event simulation kernel: a time-ordered event queue with stable
+// FIFO tie-breaking, cancellation, and bounded runs. The architecture
+// simulator (sim/) is built on top of this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace socbuf::des {
+
+using EventId = std::uint64_t;
+
+/// Event-driven scheduler. Events fire in (time, insertion order).
+class Scheduler {
+public:
+    /// Schedule `action` at absolute time `when` (>= now). Returns an id
+    /// usable with cancel().
+    EventId schedule_at(double when, std::function<void()> action);
+
+    /// Schedule `action` `delay` time units from now (delay >= 0).
+    EventId schedule_after(double delay, std::function<void()> action);
+
+    /// Cancel a pending event. Cancelling an already-fired or unknown id is
+    /// a no-op (returns false).
+    bool cancel(EventId id);
+
+    /// Current simulation time.
+    [[nodiscard]] double now() const { return now_; }
+
+    /// Number of pending (non-cancelled) events.
+    [[nodiscard]] std::size_t pending() const {
+        return queue_.size() - cancelled_.size();
+    }
+
+    /// Fire the next event; returns false if the queue is empty.
+    bool step();
+
+    /// Run until the queue empties or simulation time would exceed
+    /// `horizon`. Events scheduled exactly at `horizon` still fire.
+    void run_until(double horizon);
+
+    /// Run until the queue is empty (caller must guarantee termination).
+    void run_to_exhaustion();
+
+    /// Total number of events fired so far.
+    [[nodiscard]] std::uint64_t fired_count() const { return fired_; }
+
+private:
+    struct Entry {
+        double time;
+        EventId id;
+        // Ordered min-heap: earliest time first, FIFO among equal times.
+        bool operator>(const Entry& other) const {
+            if (time != other.time) return time > other.time;
+            return id > other.id;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+    std::vector<std::function<void()>> actions_;  // indexed by EventId
+    std::unordered_set<EventId> cancelled_;
+    double now_ = 0.0;
+    std::uint64_t fired_ = 0;
+};
+
+}  // namespace socbuf::des

@@ -1,0 +1,51 @@
+#include "des/stats.hpp"
+
+#include "util/contracts.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace socbuf::des {
+
+void Tally::observe(double value) {
+    ++n_;
+    total_ += value;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (value - mean_);
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+double Tally::variance() const {
+    if (n_ < 2) return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Tally::stddev() const { return std::sqrt(variance()); }
+
+void TimeWeighted::update(double now, double value) {
+    if (!started_) {
+        started_ = true;
+        start_time_ = now;
+        last_time_ = now;
+        value_ = value;
+        max_ = value;
+        return;
+    }
+    SOCBUF_REQUIRE_MSG(now >= last_time_, "time went backwards");
+    weighted_sum_ += value_ * (now - last_time_);
+    last_time_ = now;
+    value_ = value;
+    max_ = std::max(max_, value);
+}
+
+double TimeWeighted::average(double now) const {
+    SOCBUF_REQUIRE_MSG(started_, "average of a signal with no updates");
+    const double elapsed = now - start_time_;
+    if (elapsed <= 0.0) return value_;
+    const double tail = value_ * (now - last_time_);
+    return (weighted_sum_ + tail) / elapsed;
+}
+
+}  // namespace socbuf::des

@@ -1,0 +1,132 @@
+#include "nonlinear/newton.hpp"
+
+#include "linalg/lu.hpp"
+#include "util/contracts.hpp"
+
+#include <cmath>
+
+namespace socbuf::nonlinear {
+
+const char* to_string(NewtonOutcome outcome) {
+    switch (outcome) {
+        case NewtonOutcome::kConverged: return "converged";
+        case NewtonOutcome::kConvergedInfeasible:
+            return "converged-infeasible";
+        case NewtonOutcome::kSingularJacobian: return "singular-jacobian";
+        case NewtonOutcome::kLineSearchFailed: return "line-search-failed";
+        case NewtonOutcome::kIterationLimit: return "iteration-limit";
+        case NewtonOutcome::kDiverged: return "diverged";
+    }
+    return "?";
+}
+
+namespace {
+
+linalg::Matrix fd_jacobian(const CoupledBusModel& model,
+                           const linalg::Vector& x,
+                           const linalg::Vector& fx, double eps) {
+    const std::size_t n = x.size();
+    linalg::Matrix j(n, n);
+    linalg::Vector xp = x;
+    for (std::size_t c = 0; c < n; ++c) {
+        const double h = eps * std::max(1.0, std::fabs(x[c]));
+        xp[c] = x[c] + h;
+        const linalg::Vector fp = model.residual(xp);
+        xp[c] = x[c];
+        for (std::size_t r = 0; r < n; ++r)
+            j(r, c) = (fp[r] - fx[r]) / h;
+    }
+    return j;
+}
+
+bool has_nan(const linalg::Vector& v) {
+    for (double e : v)
+        if (!std::isfinite(e)) return true;
+    return false;
+}
+
+}  // namespace
+
+NewtonResult solve_newton(const CoupledBusModel& model,
+                          const linalg::Vector& x0,
+                          const NewtonOptions& options) {
+    SOCBUF_REQUIRE_MSG(x0.size() == model.unknown_count(),
+                       "starting point has wrong dimension");
+    NewtonResult out;
+    out.x = x0;
+    linalg::Vector fx = model.residual(out.x);
+    double fnorm = linalg::norm_inf(fx);
+    const double initial_norm = fnorm;
+
+    for (std::size_t it = 0; it < options.max_iterations; ++it) {
+        out.iterations = it;
+        out.residual_norm = fnorm;
+        if (fnorm < options.tolerance) {
+            const auto decoded = model.decode(out.x);
+            out.outcome = decoded.feasible
+                              ? NewtonOutcome::kConverged
+                              : NewtonOutcome::kConvergedInfeasible;
+            return out;
+        }
+
+        linalg::Vector step;
+        try {
+            const linalg::Matrix j =
+                fd_jacobian(model, out.x, fx, options.fd_epsilon);
+            step = linalg::LuDecomposition(j).solve(fx);
+        } catch (const util::NumericalError&) {
+            out.outcome = NewtonOutcome::kSingularJacobian;
+            return out;
+        }
+
+        if (options.line_search) {
+            // Backtracking line search on ||F||.
+            double alpha = 1.0;
+            bool improved = false;
+            while (alpha >= options.min_step) {
+                linalg::Vector candidate = out.x;
+                for (std::size_t i = 0; i < candidate.size(); ++i)
+                    candidate[i] -= alpha * step[i];
+                const linalg::Vector fc = model.residual(candidate);
+                if (has_nan(fc)) {
+                    alpha *= 0.5;
+                    continue;
+                }
+                const double cnorm = linalg::norm_inf(fc);
+                if (cnorm < fnorm * (1.0 - 1e-4 * alpha)) {
+                    out.x = std::move(candidate);
+                    fx = fc;
+                    fnorm = cnorm;
+                    improved = true;
+                    break;
+                }
+                alpha *= 0.5;
+            }
+            if (!improved) {
+                out.outcome = NewtonOutcome::kLineSearchFailed;
+                out.residual_norm = fnorm;
+                return out;
+            }
+        } else {
+            // Full Newton step, no globalization.
+            for (std::size_t i = 0; i < out.x.size(); ++i)
+                out.x[i] -= step[i];
+            fx = model.residual(out.x);
+            if (has_nan(fx)) {
+                out.outcome = NewtonOutcome::kDiverged;
+                return out;
+            }
+            fnorm = linalg::norm_inf(fx);
+        }
+        if (!std::isfinite(fnorm) || fnorm > 1e6 * (initial_norm + 1.0)) {
+            out.outcome = NewtonOutcome::kDiverged;
+            out.residual_norm = fnorm;
+            return out;
+        }
+    }
+    out.outcome = NewtonOutcome::kIterationLimit;
+    out.residual_norm = fnorm;
+    return out;
+}
+
+}  // namespace socbuf::nonlinear

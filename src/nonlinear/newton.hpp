@@ -1,0 +1,53 @@
+// Damped Newton for the monolithic quadratic system — the "Matlab 6.1
+// nonlinear solver" stand-in. Jacobians are finite-difference; steps are
+// backtracked on the residual norm; divergence, singular Jacobians and
+// infeasible fixed points are all reported rather than hidden, because the
+// failure modes *are* the experimental result (E5).
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "nonlinear/coupled_model.hpp"
+
+#include <cstddef>
+
+namespace socbuf::nonlinear {
+
+struct NewtonOptions {
+    std::size_t max_iterations = 200;
+    double tolerance = 1e-10;      // on ||F||_inf
+    double min_step = 1e-12;       // backtracking floor
+    double fd_epsilon = 1e-7;      // finite-difference step
+    /// true: damped Newton with backtracking (modern globalization).
+    /// false: full Newton steps — the behaviour of a plain nonlinear
+    /// solver, and the mode in which the paper's failure reproduces.
+    bool line_search = true;
+};
+
+enum class NewtonOutcome {
+    kConverged,          // ||F|| below tolerance, solution feasible
+    kConvergedInfeasible,  // solved the equations but left the simplex
+    kSingularJacobian,
+    kLineSearchFailed,   // no descent even at the smallest step
+    kIterationLimit,
+    kDiverged,           // residual blew up / NaN
+};
+
+[[nodiscard]] const char* to_string(NewtonOutcome outcome);
+
+struct NewtonResult {
+    NewtonOutcome outcome = NewtonOutcome::kIterationLimit;
+    std::size_t iterations = 0;
+    double residual_norm = 0.0;
+    linalg::Vector x;
+
+    [[nodiscard]] bool usable() const {
+        return outcome == NewtonOutcome::kConverged;
+    }
+};
+
+/// Solve model.residual(x) = 0 starting from `x0`.
+[[nodiscard]] NewtonResult solve_newton(const CoupledBusModel& model,
+                                        const linalg::Vector& x0,
+                                        const NewtonOptions& options = {});
+
+}  // namespace socbuf::nonlinear

@@ -1,0 +1,30 @@
+#include "queueing/erlang.hpp"
+
+#include "util/contracts.hpp"
+
+namespace socbuf::queueing {
+
+double erlang_b(std::size_t servers, double offered_load) {
+    SOCBUF_REQUIRE_MSG(offered_load >= 0.0, "negative offered load");
+    // B(0, a) = 1; B(c, a) = a*B(c-1,a) / (c + a*B(c-1,a)).
+    double b = 1.0;
+    for (std::size_t c = 1; c <= servers; ++c) {
+        b = offered_load * b /
+            (static_cast<double>(c) + offered_load * b);
+    }
+    return b;
+}
+
+std::size_t erlang_b_servers_for(double offered_load, double target,
+                                 std::size_t max_servers) {
+    SOCBUF_REQUIRE_MSG(target > 0.0 && target < 1.0,
+                       "target blocking must be in (0,1)");
+    double b = 1.0;
+    for (std::size_t c = 1; c <= max_servers; ++c) {
+        b = offered_load * b / (static_cast<double>(c) + offered_load * b);
+        if (b <= target) return c;
+    }
+    return max_servers;
+}
+
+}  // namespace socbuf::queueing

@@ -1,0 +1,19 @@
+// Erlang loss formulas, used as an independent cross-check of the
+// birth-death machinery (Erlang-B equals M/M/c/c blocking).
+#pragma once
+
+#include <cstddef>
+
+namespace socbuf::queueing {
+
+/// Erlang-B blocking probability for `servers` servers offered
+/// `offered_load` = lambda/mu Erlangs, via the stable recursion.
+[[nodiscard]] double erlang_b(std::size_t servers, double offered_load);
+
+/// Smallest number of servers with Erlang-B blocking <= `target`.
+[[nodiscard]] std::size_t erlang_b_servers_for(double offered_load,
+                                               double target,
+                                               std::size_t max_servers =
+                                                   100000);
+
+}  // namespace socbuf::queueing

@@ -1,0 +1,69 @@
+#include "queueing/multiclass.hpp"
+
+#include "queueing/mm1k.hpp"
+#include "util/contracts.hpp"
+#include "util/numeric.hpp"
+
+#include <algorithm>
+
+namespace socbuf::queueing {
+
+MulticlassMetrics approximate_shared_server(
+    const std::vector<FlowLoad>& flows, double mu) {
+    SOCBUF_REQUIRE_MSG(!flows.empty(), "no flows");
+    SOCBUF_REQUIRE_MSG(mu > 0.0, "service rate must be positive");
+    double total_arrivals = 0.0;
+    for (const auto& f : flows) {
+        SOCBUF_REQUIRE_MSG(f.arrival_rate >= 0.0, "negative arrival rate");
+        SOCBUF_REQUIRE_MSG(f.capacity >= 1, "capacity must be >= 1");
+        total_arrivals += f.arrival_rate;
+    }
+
+    MulticlassMetrics out;
+    out.loss_rate.resize(flows.size(), 0.0);
+    out.blocking.resize(flows.size(), 0.0);
+    out.mean_occupancy.resize(flows.size(), 0.0);
+    if (total_arrivals <= 0.0) return out;
+
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+        const auto& f = flows[i];
+        if (f.arrival_rate <= 0.0) continue;
+        const double share = f.arrival_rate / total_arrivals;
+        const double mu_f = std::max(mu * share, 1e-12);
+        const Mm1kMetrics m = analyze_mm1k(f.arrival_rate, mu_f, f.capacity);
+        out.loss_rate[i] = m.loss_rate;
+        out.blocking[i] = m.blocking_probability;
+        out.mean_occupancy[i] = m.mean_occupancy;
+        out.total_loss_rate += m.loss_rate;
+        out.weighted_loss_rate += f.weight * m.loss_rate;
+        out.server_utilization += m.throughput / mu;
+    }
+    out.server_utilization = std::min(out.server_utilization, 1.0);
+    return out;
+}
+
+std::vector<long> demand_proportional_allocation(
+    const std::vector<FlowLoad>& flows, double mu, long total_buffer,
+    double target_blocking) {
+    SOCBUF_REQUIRE_MSG(!flows.empty(), "no flows");
+    SOCBUF_REQUIRE_MSG(total_buffer >= static_cast<long>(flows.size()),
+                       "need at least one buffer unit per flow");
+
+    // Under rate-proportional sharing every class would see the same
+    // utilization, which cannot discriminate demand; an equal-share
+    // (round-robin) service model does, and matches the simulator's
+    // default arbiter.
+    const double mu_equal =
+        std::max(mu / static_cast<double>(flows.size()), 1e-12);
+    std::vector<double> demand(flows.size(), 1.0);
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+        const auto& f = flows[i];
+        if (f.arrival_rate <= 0.0) continue;
+        demand[i] = static_cast<double>(min_capacity_for_blocking(
+            f.arrival_rate, mu_equal, target_blocking, 512));
+    }
+    return util::apportion_largest_remainder(total_buffer, demand,
+                                             /*floor_per_entry=*/1);
+}
+
+}  // namespace socbuf::queueing

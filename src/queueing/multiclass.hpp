@@ -1,0 +1,46 @@
+// Multi-class shared-server approximation: n Poisson flows share one
+// exponential server, each with its own finite buffer. Used for initial
+// buffer allocations and as an analytic sanity check of the CTMDP models.
+//
+// The approximation treats class f as an independent M/M/1/K_f queue whose
+// service rate is the server's capacity times the class's long-run service
+// share. It is exact for a single class and a good first-order model under
+// work-conserving arbitration.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace socbuf::queueing {
+
+struct FlowLoad {
+    double arrival_rate = 0.0;  // lambda_f
+    std::size_t capacity = 1;   // K_f, including the slot in service
+    double weight = 1.0;        // loss weight used by sizing objectives
+};
+
+struct MulticlassMetrics {
+    std::vector<double> loss_rate;       // per class
+    std::vector<double> blocking;        // per class
+    std::vector<double> mean_occupancy;  // per class
+    double total_loss_rate = 0.0;
+    double weighted_loss_rate = 0.0;
+    double server_utilization = 0.0;  // estimated
+};
+
+/// Approximate per-class metrics for flows sharing a server of rate `mu`.
+/// Service shares are proportional to each class's arrival rate (a
+/// processor-sharing view of round-robin arbitration).
+[[nodiscard]] MulticlassMetrics approximate_shared_server(
+    const std::vector<FlowLoad>& flows, double mu);
+
+/// Allocate `total_buffer` units across flows proportionally to the
+/// capacity each class would need to keep blocking below `target_blocking`
+/// in isolation (each class gets at least one unit). This is the paper's
+/// "division of space depending on traffic ratios" strawman, refined by
+/// need rather than raw rate.
+[[nodiscard]] std::vector<long> demand_proportional_allocation(
+    const std::vector<FlowLoad>& flows, double mu, long total_buffer,
+    double target_blocking = 0.01);
+
+}  // namespace socbuf::queueing

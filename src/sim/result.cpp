@@ -1,0 +1,39 @@
+#include "sim/config.hpp"
+
+#include "util/contracts.hpp"
+
+namespace socbuf::sim {
+
+namespace {
+std::uint64_t sum(const std::vector<std::uint64_t>& v) {
+    std::uint64_t total = 0;
+    for (auto x : v) total += x;
+    return total;
+}
+}  // namespace
+
+std::uint64_t SimResult::total_offered() const { return sum(offered); }
+std::uint64_t SimResult::total_lost() const { return sum(lost); }
+std::uint64_t SimResult::total_delivered() const { return sum(delivered); }
+
+double SimResult::overall_mean_wait() const {
+    double weighted = 0.0;
+    std::uint64_t count = 0;
+    for (std::size_t s = 0; s < site_mean_wait.size(); ++s) {
+        weighted += site_mean_wait[s] * static_cast<double>(site_served[s]);
+        count += site_served[s];
+    }
+    return count > 0 ? weighted / static_cast<double>(count) : 0.0;
+}
+
+double SimResult::weighted_loss(
+    const std::vector<double>& flow_weights) const {
+    SOCBUF_REQUIRE_MSG(flow_weights.size() == flow_lost.size(),
+                       "flow weight vector size mismatch");
+    double total = 0.0;
+    for (std::size_t f = 0; f < flow_lost.size(); ++f)
+        total += flow_weights[f] * static_cast<double>(flow_lost[f]);
+    return total;
+}
+
+}  // namespace socbuf::sim

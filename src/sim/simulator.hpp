@@ -1,0 +1,51 @@
+// Event-driven simulator of an SoC communication architecture with finite
+// buffers. Packets are generated per flow, queue at buffer sites, win bus
+// arbitration, hop across bridges, and are counted as lost (attributed to
+// their origin processor) whenever they meet a full buffer or trip the
+// timeout policy.
+#pragma once
+
+#include "arch/presets.hpp"
+#include "arch/sites.hpp"
+#include "sim/config.hpp"
+
+#include <vector>
+
+namespace socbuf::sim {
+
+/// Simulate `system` with per-site buffer `capacities` (indexed like
+/// arch::enumerate_buffer_sites). Returns per-processor / per-site / per-bus
+/// statistics. Deterministic for a fixed (system, capacities, config).
+[[nodiscard]] SimResult simulate(const arch::TestSystem& system,
+                                 const std::vector<long>& capacities,
+                                 const SimConfig& config);
+
+/// Run once without the timeout policy and return the mean buffer waiting
+/// time — the threshold the paper's timeout policy uses ("the average time
+/// spent by a request in a buffer").
+[[nodiscard]] double calibrate_timeout_threshold(
+    const arch::TestSystem& system, const std::vector<long>& capacities,
+    const SimConfig& config);
+
+/// Per-buffer calibration of the same quantity: mean waiting time at each
+/// site, scaled by `scale`; sites with no served packets fall back to the
+/// scaled global mean. Feed the result to
+/// SimConfig::site_timeout_thresholds.
+[[nodiscard]] std::vector<double> calibrate_site_timeout_thresholds(
+    const arch::TestSystem& system, const std::vector<long>& capacities,
+    const SimConfig& config, double scale);
+
+/// Average `runs` independent replications (seeds seed, seed+1, ...) and
+/// return per-processor mean loss counts; used by the experiment drivers
+/// for smoother Figure 3 / Table 1 rows.
+struct ReplicatedLosses {
+    std::vector<double> mean_lost_per_processor;
+    std::vector<double> stddev_lost_per_processor;
+    double mean_total_lost = 0.0;
+    double mean_total_offered = 0.0;
+};
+[[nodiscard]] ReplicatedLosses replicate_losses(
+    const arch::TestSystem& system, const std::vector<long>& capacities,
+    const SimConfig& config, std::size_t runs);
+
+}  // namespace socbuf::sim

@@ -1,0 +1,111 @@
+#include "split/splitter.hpp"
+
+#include "traffic/routing.hpp"
+#include "util/contracts.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace socbuf::split {
+
+double Subsystem::offered_rate() const {
+    double total = 0.0;
+    for (const auto& f : flows) total += f.arrival_rate;
+    return total;
+}
+
+double Subsystem::utilization() const {
+    return service_rate > 0.0 ? offered_rate() / service_rate : 0.0;
+}
+
+SplitResult split_architecture(const arch::TestSystem& system) {
+    system.architecture.validate();
+    SOCBUF_REQUIRE_MSG(!system.flows.empty(), "system has no flows");
+
+    SplitResult out;
+    out.sites = arch::enumerate_buffer_sites(system.architecture);
+    const auto routes = traffic::compute_routes(system);
+    const auto rates = traffic::offered_rate_per_site(system, routes,
+                                                      out.sites.size());
+    const auto weights =
+        traffic::weight_per_site(system, routes, out.sites.size());
+
+    // Contributing flows per site.
+    std::vector<std::vector<std::size_t>> site_flows(out.sites.size());
+    for (const auto& r : routes)
+        for (const auto site : r.sites)
+            site_flows[site].push_back(r.flow_id);
+
+    out.subsystem_of_site.assign(out.sites.size(), SplitResult::npos);
+    std::map<arch::BusId, std::size_t> subsystem_of_bus;
+    for (arch::SiteId s = 0; s < out.sites.size(); ++s) {
+        if (rates[s] <= 0.0) continue;  // site carries no traffic
+        const arch::BusId bus = out.sites[s].bus;
+        auto it = subsystem_of_bus.find(bus);
+        if (it == subsystem_of_bus.end()) {
+            Subsystem sub;
+            sub.bus = bus;
+            sub.bus_name = system.architecture.bus(bus).name;
+            sub.service_rate = system.architecture.bus(bus).service_rate;
+            out.subsystems.push_back(std::move(sub));
+            it = subsystem_of_bus
+                     .emplace(bus, out.subsystems.size() - 1)
+                     .first;
+        }
+        SubsystemFlow flow;
+        flow.site = s;
+        flow.arrival_rate = rates[s];
+        flow.weight = std::max(weights[s], 1e-12);
+        flow.inserted = out.sites[s].kind == arch::SiteKind::kBridge;
+        flow.flow_ids = site_flows[s];
+        // Burst structure: keep the largest bursty contributor; everything
+        // else is treated as Poisson background by the modulated models.
+        for (const std::size_t id : flow.flow_ids) {
+            const auto& spec = system.flows[id];
+            if (spec.bursty() && spec.rate > flow.burst_rate) {
+                flow.burst_rate = spec.rate;
+                flow.on_time = spec.on_time;
+                flow.off_time = spec.off_time;
+            }
+        }
+        if (flow.inserted) ++out.inserted_buffer_count;
+        out.subsystem_of_site[s] = it->second;
+        out.subsystems[it->second].flows.push_back(std::move(flow));
+    }
+    SOCBUF_ASSERT(!out.subsystems.empty());
+    return out;
+}
+
+void verify_linearity(const arch::TestSystem& system,
+                      const SplitResult& split) {
+    std::set<arch::SiteId> seen;
+    for (const auto& sub : split.subsystems) {
+        if (sub.flows.empty())
+            throw util::ModelError("subsystem on bus " + sub.bus_name +
+                                   " has no flows");
+        for (const auto& f : sub.flows) {
+            if (f.site >= split.sites.size())
+                throw util::ModelError("subsystem references unknown site");
+            // Single-bus property: every site of the subsystem contends on
+            // the subsystem's bus and on nothing else.
+            if (split.sites[f.site].bus != sub.bus)
+                throw util::ModelError(
+                    "subsystem on bus " + sub.bus_name +
+                    " contains a site of another bus — not linear");
+            if (!seen.insert(f.site).second)
+                throw util::ModelError("site " + split.sites[f.site].name +
+                                       " appears in two subsystems");
+        }
+    }
+    // Coverage: every flow's entire route lies in some subsystem.
+    const auto routes = traffic::compute_routes(system);
+    for (const auto& r : routes)
+        for (const auto site : r.sites)
+            if (!seen.count(site))
+                throw util::ModelError(
+                    "flow route site " + split.sites[site].name +
+                    " is not covered by any subsystem");
+}
+
+}  // namespace socbuf::split

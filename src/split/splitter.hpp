@@ -1,0 +1,74 @@
+// The paper's splitting methodology (Section 2): insert buffers at every
+// bridge point and cut the bridged architecture into single-bus subsystems
+// separated by those buffers. Each subsystem's CTMDP is then *linear*
+// (its balance equations involve only its own occupation measures); the
+// bilinear bus-to-bus coupling terms of the monolithic model (see
+// nonlinear/) disappear because the inserted buffer decouples the two
+// buses' states.
+#pragma once
+
+#include "arch/presets.hpp"
+#include "arch/sites.hpp"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace socbuf::split {
+
+/// One traffic source contending on a subsystem's bus.
+struct SubsystemFlow {
+    arch::SiteId site = 0;   // the buffer site feeding the bus
+    double arrival_rate = 0.0;  // first-order offered rate at this site
+    double weight = 1.0;        // loss weight (max over contributing flows)
+    bool inserted = false;      // true for bridge buffers created by the split
+    std::vector<std::size_t> flow_ids;  // contributing FlowSpec indices
+
+    /// Burst structure of the dominant bursty contributor (zeros when all
+    /// contributing flows are Poisson). `burst_rate` is that flow's
+    /// long-run rate; the remaining `arrival_rate - burst_rate` stays
+    /// Poisson. Consumed by the modulated (MMPP) subsystem models.
+    double burst_rate = 0.0;
+    double on_time = 0.0;
+    double off_time = 0.0;
+
+    [[nodiscard]] bool bursty() const {
+        return burst_rate > 0.0 && on_time > 0.0 && off_time > 0.0;
+    }
+};
+
+/// A single-bus linear subsystem.
+struct Subsystem {
+    arch::BusId bus = 0;
+    std::string bus_name;
+    double service_rate = 0.0;
+    std::vector<SubsystemFlow> flows;  // only sites with traffic
+
+    /// Total offered rate over all flows.
+    [[nodiscard]] double offered_rate() const;
+    /// offered_rate / service_rate.
+    [[nodiscard]] double utilization() const;
+};
+
+struct SplitResult {
+    std::vector<Subsystem> subsystems;      // one per bus carrying traffic
+    std::vector<arch::BufferSite> sites;    // full site enumeration
+    std::size_t inserted_buffer_count = 0;  // bridge sites carrying traffic
+
+    /// Site -> subsystem index, or npos for sites with no traffic.
+    std::vector<std::size_t> subsystem_of_site;
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+/// Split `system` into independent linear subsystems. Throws ModelError on
+/// invalid architectures or unroutable flows.
+[[nodiscard]] SplitResult split_architecture(const arch::TestSystem& system);
+
+/// Verify the defining property of the split: every subsystem touches
+/// exactly one bus, no site appears in two subsystems, and every flow of
+/// the original system is covered. Throws ModelError on violation.
+/// (Exercised directly by tests and by the Figure 2 bench.)
+void verify_linearity(const arch::TestSystem& system,
+                      const SplitResult& split);
+
+}  // namespace socbuf::split

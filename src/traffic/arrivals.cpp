@@ -1,0 +1,54 @@
+#include "traffic/arrivals.hpp"
+
+#include "util/contracts.hpp"
+
+namespace socbuf::traffic {
+
+PoissonProcess::PoissonProcess(double rate) : rate_(rate) {
+    SOCBUF_REQUIRE_MSG(rate > 0.0, "Poisson rate must be positive");
+}
+
+double PoissonProcess::next_interarrival(rng::RandomEngine& engine) {
+    return engine.exponential(rate_);
+}
+
+OnOffProcess::OnOffProcess(double peak_rate, double on_time, double off_time)
+    : peak_rate_(peak_rate), on_time_(on_time), off_time_(off_time) {
+    SOCBUF_REQUIRE_MSG(peak_rate > 0.0, "peak rate must be positive");
+    SOCBUF_REQUIRE_MSG(on_time > 0.0 && off_time > 0.0,
+                       "ON/OFF phase means must be positive");
+}
+
+double OnOffProcess::mean_rate() const {
+    return peak_rate_ * on_time_ / (on_time_ + off_time_);
+}
+
+double OnOffProcess::next_interarrival(rng::RandomEngine& engine) {
+    // Walk ON windows until an arrival lands inside one; silent OFF gaps
+    // accumulate into the returned inter-arrival time.
+    double gap = 0.0;
+    for (;;) {
+        if (remaining_on_ <= 0.0) {
+            gap += engine.exponential(1.0 / off_time_);
+            remaining_on_ = engine.exponential(1.0 / on_time_);
+        }
+        const double candidate = engine.exponential(peak_rate_);
+        if (candidate <= remaining_on_) {
+            remaining_on_ -= candidate;
+            return gap + candidate;
+        }
+        gap += remaining_on_;
+        remaining_on_ = 0.0;
+    }
+}
+
+std::unique_ptr<ArrivalProcess> make_arrival_process(
+    const arch::FlowSpec& spec) {
+    SOCBUF_REQUIRE_MSG(spec.rate > 0.0, "flow rate must be positive");
+    if (!spec.bursty()) return std::make_unique<PoissonProcess>(spec.rate);
+    const double duty = spec.on_time / (spec.on_time + spec.off_time);
+    return std::make_unique<OnOffProcess>(spec.rate / duty, spec.on_time,
+                                          spec.off_time);
+}
+
+}  // namespace socbuf::traffic

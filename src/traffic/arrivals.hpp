@@ -1,0 +1,59 @@
+// Arrival processes driving the simulator: Poisson for smooth flows and
+// exponential ON/OFF (an MMPP(2) with a silent phase) for the bursty
+// flows whose buffer demand uniform sizing underestimates.
+#pragma once
+
+#include "arch/presets.hpp"
+#include "rng/engine.hpp"
+
+#include <memory>
+
+namespace socbuf::traffic {
+
+/// A stationary point process generating packet inter-arrival times.
+class ArrivalProcess {
+public:
+    virtual ~ArrivalProcess() = default;
+
+    /// Time from the previous arrival to the next one.
+    virtual double next_interarrival(rng::RandomEngine& engine) = 0;
+
+    /// Long-run arrival rate.
+    [[nodiscard]] virtual double mean_rate() const = 0;
+};
+
+/// Poisson arrivals at a fixed rate.
+class PoissonProcess final : public ArrivalProcess {
+public:
+    explicit PoissonProcess(double rate);
+    double next_interarrival(rng::RandomEngine& engine) override;
+    [[nodiscard]] double mean_rate() const override { return rate_; }
+
+private:
+    double rate_;
+};
+
+/// Exponential ON/OFF source: while ON (mean length `on_time`) it emits
+/// Poisson arrivals at `peak_rate`; OFF phases (mean `off_time`) are
+/// silent. Long-run rate = peak_rate * on_time / (on_time + off_time).
+class OnOffProcess final : public ArrivalProcess {
+public:
+    OnOffProcess(double peak_rate, double on_time, double off_time);
+    double next_interarrival(rng::RandomEngine& engine) override;
+    [[nodiscard]] double mean_rate() const override;
+    [[nodiscard]] double peak_rate() const { return peak_rate_; }
+
+private:
+    double peak_rate_;
+    double on_time_;
+    double off_time_;
+    double remaining_on_ = 0.0;  // unconsumed ON time carried across calls
+};
+
+/// Build the process described by a FlowSpec: Poisson unless the spec is
+/// bursty, in which case the ON/OFF peak rate is chosen to preserve the
+/// spec's long-run rate.
+[[nodiscard]] std::unique_ptr<ArrivalProcess> make_arrival_process(
+    const arch::FlowSpec& spec);
+
+}  // namespace socbuf::traffic

@@ -1,0 +1,58 @@
+#include "traffic/routing.hpp"
+
+#include "util/contracts.hpp"
+
+#include <algorithm>
+
+namespace socbuf::traffic {
+
+std::vector<FlowRoute> compute_routes(const arch::TestSystem& system) {
+    const arch::Architecture& a = system.architecture;
+    std::vector<FlowRoute> routes;
+    routes.reserve(system.flows.size());
+    for (std::size_t id = 0; id < system.flows.size(); ++id) {
+        const auto& flow = system.flows[id];
+        SOCBUF_REQUIRE_MSG(flow.source != flow.destination,
+                           "flow endpoints must differ");
+        FlowRoute r;
+        r.flow_id = id;
+        r.sites.push_back(arch::processor_site(a, flow.source));
+        const auto src_bus = a.processor(flow.source).bus;
+        const auto dst_bus = a.processor(flow.destination).bus;
+        arch::BusId cursor = src_bus;
+        for (const auto bridge : a.route(src_bus, dst_bus)) {
+            r.sites.push_back(arch::bridge_site(a, bridge, cursor));
+            cursor = a.bridge_peer(bridge, cursor);
+        }
+        routes.push_back(std::move(r));
+    }
+    return routes;
+}
+
+std::vector<double> offered_rate_per_site(const arch::TestSystem& system,
+                                          const std::vector<FlowRoute>& routes,
+                                          std::size_t site_count) {
+    std::vector<double> rates(site_count, 0.0);
+    for (const auto& r : routes) {
+        const double rate = system.flows[r.flow_id].rate;
+        for (const auto site : r.sites) {
+            SOCBUF_REQUIRE_MSG(site < site_count, "route site out of range");
+            rates[site] += rate;
+        }
+    }
+    return rates;
+}
+
+std::vector<double> weight_per_site(const arch::TestSystem& system,
+                                    const std::vector<FlowRoute>& routes,
+                                    std::size_t site_count) {
+    std::vector<double> weights(site_count, 0.0);
+    for (const auto& r : routes) {
+        const double w = system.flows[r.flow_id].weight;
+        for (const auto site : r.sites)
+            weights[site] = std::max(weights[site], w);
+    }
+    return weights;
+}
+
+}  // namespace socbuf::traffic

@@ -1,0 +1,41 @@
+// Flow routing: expand each FlowSpec into its sequence of buffer sites.
+// A packet occupies exactly one site at a time; being served on the final
+// bus delivers it to the destination processor.
+#pragma once
+
+#include "arch/presets.hpp"
+#include "arch/sites.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace socbuf::traffic {
+
+/// The materialized path of one flow: `sites[0]` is the source processor's
+/// outbound queue, subsequent entries are bridge buffers; the packet is
+/// delivered after service on sites.back()'s bus.
+struct FlowRoute {
+    std::size_t flow_id = 0;
+    std::vector<arch::SiteId> sites;
+};
+
+/// Expand every flow of `system` into its route. Throws ModelError when a
+/// flow's endpoint buses are not bridge-connected.
+[[nodiscard]] std::vector<FlowRoute> compute_routes(
+    const arch::TestSystem& system);
+
+/// First-order per-site offered rates: every site on a flow's route is
+/// offered the flow's full rate (loss-free upstream approximation; the
+/// sizing loop later replaces these with measured rates).
+[[nodiscard]] std::vector<double> offered_rate_per_site(
+    const arch::TestSystem& system, const std::vector<FlowRoute>& routes,
+    std::size_t site_count);
+
+/// Aggregate loss weight per site: the maximum weight among flows through
+/// the site (a buffer shared by several flows inherits the most critical
+/// one). Sites carrying no flow get weight 0.
+[[nodiscard]] std::vector<double> weight_per_site(
+    const arch::TestSystem& system, const std::vector<FlowRoute>& routes,
+    std::size_t site_count);
+
+}  // namespace socbuf::traffic

@@ -1,0 +1,64 @@
+// Contract checking and error types shared by all socbuf modules.
+//
+// Per the C++ Core Guidelines (I.5/I.6, E.2) we express preconditions with
+// throwing checks so violations are detectable in release builds; logic
+// errors raised here indicate misuse of an API, runtime errors indicate a
+// legitimate failure (e.g. an infeasible LP).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace socbuf::util {
+
+/// Raised when a caller violates a documented precondition.
+class ContractViolation : public std::logic_error {
+public:
+    explicit ContractViolation(const std::string& what_arg)
+        : std::logic_error(what_arg) {}
+};
+
+/// Raised when an algorithm fails for a reason the caller can act on
+/// (singular matrix, infeasible program, divergent iteration, ...).
+class NumericalError : public std::runtime_error {
+public:
+    explicit NumericalError(const std::string& what_arg)
+        : std::runtime_error(what_arg) {}
+};
+
+/// Raised when a model description is structurally invalid
+/// (dangling bus reference, negative rate, empty architecture, ...).
+class ModelError : public std::runtime_error {
+public:
+    explicit ModelError(const std::string& what_arg)
+        : std::runtime_error(what_arg) {}
+};
+
+[[noreturn]] inline void raise_contract_violation(const char* expr,
+                                                  const char* file, int line,
+                                                  const std::string& msg) {
+    throw ContractViolation(std::string(file) + ":" + std::to_string(line) +
+                            ": contract `" + expr + "` violated" +
+                            (msg.empty() ? "" : (": " + msg)));
+}
+
+}  // namespace socbuf::util
+
+/// Precondition check that survives in release builds.
+#define SOCBUF_REQUIRE(expr)                                                  \
+    do {                                                                      \
+        if (!(expr))                                                          \
+            ::socbuf::util::raise_contract_violation(#expr, __FILE__,         \
+                                                     __LINE__, "");           \
+    } while (false)
+
+/// Precondition check with an explanatory message.
+#define SOCBUF_REQUIRE_MSG(expr, msg)                                         \
+    do {                                                                      \
+        if (!(expr))                                                          \
+            ::socbuf::util::raise_contract_violation(#expr, __FILE__,         \
+                                                     __LINE__, (msg));        \
+    } while (false)
+
+/// Internal invariant check (same behaviour; distinct name documents intent).
+#define SOCBUF_ASSERT(expr) SOCBUF_REQUIRE(expr)

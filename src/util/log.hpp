@@ -1,0 +1,37 @@
+// Minimal leveled logger. All socbuf libraries log through this so example
+// binaries and benches can silence or amplify diagnostics uniformly.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace socbuf::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one message (a newline is appended) if `level` passes the threshold.
+void log_message(LogLevel level, const std::string& text);
+
+namespace detail {
+inline void append_all(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append_all(std::ostringstream& os, const T& first, const Rest&... rest) {
+    os << first;
+    append_all(os, rest...);
+}
+}  // namespace detail
+
+/// Stream-style convenience: log(LogLevel::kInfo, "gain=", g, " iters=", n).
+template <typename... Args>
+void log(LogLevel level, const Args&... args) {
+    if (level < log_level()) return;
+    std::ostringstream os;
+    detail::append_all(os, args...);
+    log_message(level, os.str());
+}
+
+}  // namespace socbuf::util

@@ -1,0 +1,29 @@
+// Small string utilities used across modules (no locale, no allocation
+// surprises).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace socbuf::util {
+
+/// Join the elements of `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Fixed-precision formatting of a double (printf "%.*f").
+std::string format_fixed(double value, int precision);
+
+/// Human-readable formatting: integers without decimals, otherwise 3 digits.
+std::string format_compact(double value);
+
+/// Left-pad `s` with spaces to at least `width` characters.
+std::string pad_left(const std::string& s, std::size_t width);
+
+/// Right-pad `s` with spaces to at least `width` characters.
+std::string pad_right(const std::string& s, std::size_t width);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+}  // namespace socbuf::util

@@ -1,0 +1,62 @@
+#include "util/table.hpp"
+
+#include "util/contracts.hpp"
+#include "util/strings.hpp"
+
+#include <algorithm>
+
+namespace socbuf::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    SOCBUF_REQUIRE_MSG(!headers_.empty(), "a table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+    SOCBUF_REQUIRE_MSG(cells.size() == headers_.size(),
+                       "row width must match header width");
+    rows_.push_back(std::move(cells));
+}
+
+void Table::add_numeric_row(const std::string& label,
+                            const std::vector<double>& values, int precision) {
+    SOCBUF_REQUIRE(values.size() + 1 == headers_.size());
+    std::vector<std::string> cells;
+    cells.reserve(values.size() + 1);
+    cells.push_back(label);
+    for (double v : values) cells.push_back(format_fixed(v, precision));
+    add_row(std::move(cells));
+}
+
+std::string Table::to_string() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::string out;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c > 0) out += "  ";
+            out += pad_left(row[c], widths[c]);
+        }
+        out += '\n';
+    };
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c > 0 ? 2 : 0);
+    out += std::string(total, '-');
+    out += '\n';
+    for (const auto& row : rows_) emit_row(row);
+    return out;
+}
+
+std::string Table::to_csv() const {
+    std::string out = join(headers_, ",") + "\n";
+    for (const auto& row : rows_) out += join(row, ",") + "\n";
+    return out;
+}
+
+}  // namespace socbuf::util

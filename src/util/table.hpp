@@ -1,0 +1,36 @@
+// Column-aligned text tables and CSV emission. The bench binaries use this
+// to print the paper's tables/figures as plain rows, so outputs are easy to
+// diff against EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace socbuf::util {
+
+/// A simple right-aligned text table with a header row.
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers);
+
+    /// Append one row; must have exactly as many cells as there are headers.
+    void add_row(std::vector<std::string> cells);
+
+    /// Convenience: format doubles with `precision` digits.
+    void add_numeric_row(const std::string& label,
+                         const std::vector<double>& values, int precision = 2);
+
+    [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+    /// Render with aligned columns, a separator under the header.
+    [[nodiscard]] std::string to_string() const;
+
+    /// Render as CSV (no quoting; cells must not contain commas).
+    [[nodiscard]] std::string to_csv() const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace socbuf::util

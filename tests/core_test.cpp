@@ -1,0 +1,335 @@
+#include "arch/presets.hpp"
+#include "core/allocation.hpp"
+#include "core/engine.hpp"
+#include "core/joint.hpp"
+#include "core/subsystem_model.hpp"
+#include "ctmdp/lp_solver.hpp"
+#include "ctmdp/occupation.hpp"
+#include "split/splitter.hpp"
+#include "util/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace sc = socbuf::core;
+namespace sa = socbuf::arch;
+namespace sp = socbuf::split;
+
+namespace {
+
+const sa::TestSystem& figure1() {
+    static const auto sys = sa::figure1_system();
+    return sys;
+}
+
+const sp::SplitResult& figure1_split() {
+    static const auto split = sp::split_architecture(figure1());
+    return split;
+}
+
+}  // namespace
+
+TEST(Allocation, UniformExhaustsBudgetOverActiveSites) {
+    const auto alloc = sc::uniform_allocation(figure1_split(), 45);
+    EXPECT_EQ(sc::allocation_total(alloc), 45);
+    // 9 active sites (5 processors + 4 inserted bridge buffers) -> 5 each.
+    for (const auto& sub : figure1_split().subsystems)
+        for (const auto& f : sub.flows) EXPECT_EQ(alloc[f.site], 5);
+}
+
+TEST(Allocation, ProportionalFollowsRates) {
+    const auto& split = figure1_split();
+    const auto alloc = sc::proportional_allocation(split, 90);
+    EXPECT_EQ(sc::allocation_total(alloc), 90);
+    // Busier sites receive at least as much as quieter ones.
+    double hi_rate = 0.0;
+    double lo_rate = 1e18;
+    sa::SiteId hi = 0;
+    sa::SiteId lo = 0;
+    for (const auto& sub : split.subsystems) {
+        for (const auto& f : sub.flows) {
+            if (f.arrival_rate > hi_rate) {
+                hi_rate = f.arrival_rate;
+                hi = f.site;
+            }
+            if (f.arrival_rate < lo_rate) {
+                lo_rate = f.arrival_rate;
+                lo = f.site;
+            }
+        }
+    }
+    EXPECT_GE(alloc[hi], alloc[lo]);
+}
+
+TEST(Allocation, DemandAllocationExhaustsBudget) {
+    const auto alloc = sc::demand_allocation(figure1_split(), 60);
+    EXPECT_EQ(sc::allocation_total(alloc), 60);
+    for (const auto& sub : figure1_split().subsystems)
+        for (const auto& f : sub.flows) EXPECT_GE(alloc[f.site], 1);
+}
+
+TEST(SubsystemModel, StateSpaceAndIndexing) {
+    const auto& split = figure1_split();
+    // Bus b subsystem: processors 2, 3 + 1 bridge buffer = 3 flows.
+    const sp::Subsystem* bus_b = nullptr;
+    for (const auto& sub : split.subsystems)
+        if (sub.bus_name == "b") bus_b = &sub;
+    ASSERT_NE(bus_b, nullptr);
+    ASSERT_EQ(bus_b->flows.size(), 3u);
+    std::vector<long> caps{2, 3, 1};
+    std::vector<double> rates{0.5, 0.4, 0.3};
+    const sc::SubsystemCtmdp model(*bus_b, caps, rates);
+    EXPECT_EQ(model.model().state_count(), 3u * 4u * 2u);
+    // Occupancy decoding round-trips the mixed-radix encoding.
+    for (std::size_t s = 0; s < model.model().state_count(); ++s) {
+        long reconstructed = 0;
+        long stride = 1;
+        for (std::size_t f = 0; f < caps.size(); ++f) {
+            reconstructed += model.occupancy(s, f) * stride;
+            stride *= caps[f] + 1;
+        }
+        EXPECT_EQ(static_cast<std::size_t>(reconstructed), s);
+    }
+}
+
+TEST(SubsystemModel, CostIsWeightedLossRate) {
+    const auto& split = figure1_split();
+    const auto& sub = split.subsystems.front();
+    const std::size_t n = sub.flows.size();
+    const sc::SubsystemCtmdp model(sub, std::vector<long>(n, 1),
+                                   std::vector<double>(n, 1.0));
+    // State with every queue full: cost = sum of weights * rates.
+    const std::size_t full = model.model().state_count() - 1;
+    double expected = 0.0;
+    for (const auto& f : sub.flows) expected += f.weight * 1.0;
+    EXPECT_NEAR(model.loss_rate(full), expected, 1e-12);
+    EXPECT_NEAR(model.loss_rate(0), 0.0, 1e-12);
+}
+
+TEST(SubsystemModel, LpSolutionBeatsArbitraryPolicyAndMarginalsAreSane) {
+    const auto& split = figure1_split();
+    const sp::Subsystem* bus_b = nullptr;
+    for (const auto& sub : split.subsystems)
+        if (sub.bus_name == "b") bus_b = &sub;
+    ASSERT_NE(bus_b, nullptr);
+    std::vector<long> caps(bus_b->flows.size(), 3);
+    std::vector<double> rates;
+    for (const auto& f : bus_b->flows) rates.push_back(f.arrival_rate);
+    const sc::SubsystemCtmdp model(*bus_b, caps, rates);
+    const auto lp = socbuf::ctmdp::solve_average_cost_lp(model.model());
+    ASSERT_EQ(lp.status, socbuf::lp::SolveStatus::kOptimal);
+    // Marginals are probability distributions with means within caps.
+    socbuf::linalg::Vector pi(lp.state_probability.begin(),
+                              lp.state_probability.end());
+    for (std::size_t f = 0; f < model.flow_count(); ++f) {
+        const auto marg = model.flow_marginal(pi, f);
+        double total = 0.0;
+        for (double p : marg) total += p;
+        EXPECT_NEAR(total, 1.0, 1e-6);
+        EXPECT_LE(socbuf::ctmdp::marginal_mean(marg),
+                  static_cast<double>(caps[f]));
+    }
+    // Service shares form a distribution over flows.
+    const auto shares = model.service_shares(lp.occupation);
+    EXPECT_NEAR(std::accumulate(shares.begin(), shares.end(), 0.0), 1.0,
+                1e-6);
+}
+
+TEST(Joint, JointLpMatchesPriceDecomposition) {
+    // The equivalence behind "solve all the equations in one go": the
+    // explicit joint LP and its Lagrangian decomposition land on the same
+    // optimal loss (within bisection tolerance).
+    const auto& split = figure1_split();
+    const auto alloc = sc::uniform_allocation(split, 27);  // 3 per site
+    const auto models = sc::build_subsystem_models(split, alloc, 3);
+    // Find a budget that is binding but feasible: the occupancy range a
+    // policy can influence is bounded below by the heavily-priced solve.
+    const auto free_run = sc::solve_unconstrained(models);
+    ASSERT_TRUE(free_run.solved);
+    const auto squeezed = sc::solve_price_decomposed(
+        models, 1e-6, /*rho_max=*/64.0, /*bisection_steps=*/0);
+    ASSERT_TRUE(squeezed.solved);
+    const double min_occ = squeezed.total_expected_occupancy;
+    ASSERT_LT(min_occ, free_run.total_expected_occupancy);
+    const double budget =
+        0.5 * (min_occ + free_run.total_expected_occupancy);
+
+    const auto joint = sc::solve_joint_lp(models, budget);
+    ASSERT_TRUE(joint.solved);
+    EXPECT_LE(joint.total_expected_occupancy, budget + 1e-6);
+
+    const auto priced = sc::solve_price_decomposed(models, budget);
+    ASSERT_TRUE(priced.solved);
+    EXPECT_LE(priced.total_expected_occupancy, budget + 1e-4);
+    EXPECT_GT(priced.occupancy_price, 0.0);
+    EXPECT_NEAR(joint.total_loss_rate, priced.total_loss_rate,
+                0.05 * std::max(1e-3, joint.total_loss_rate));
+    // Constraining occupancy can only increase the optimal loss.
+    EXPECT_GE(joint.total_loss_rate, free_run.total_loss_rate - 1e-9);
+}
+
+TEST(Joint, SlackBudgetReducesToUnconstrained) {
+    const auto& split = figure1_split();
+    const auto alloc = sc::uniform_allocation(split, 27);
+    const auto models = sc::build_subsystem_models(split, alloc, 3);
+    const auto free_run = sc::solve_unconstrained(models);
+    ASSERT_TRUE(free_run.solved);
+    const auto priced = sc::solve_price_decomposed(
+        models, free_run.total_expected_occupancy * 2.0);
+    ASSERT_TRUE(priced.solved);
+    EXPECT_DOUBLE_EQ(priced.occupancy_price, 0.0);
+    EXPECT_NEAR(priced.total_loss_rate, free_run.total_loss_rate, 1e-9);
+}
+
+TEST(Engine, OptionValidation) {
+    sc::SizingOptions opts;
+    opts.total_budget = 0;
+    EXPECT_THROW(sc::BufferSizingEngine{opts},
+                 socbuf::util::ContractViolation);
+    sc::SizingOptions opts2;
+    opts2.iterations = 0;
+    EXPECT_THROW(sc::BufferSizingEngine{opts2},
+                 socbuf::util::ContractViolation);
+    sc::SizingOptions opts3;
+    opts3.tail_mass = 1.5;
+    EXPECT_THROW(sc::BufferSizingEngine{opts3},
+                 socbuf::util::ContractViolation);
+}
+
+TEST(Engine, Figure1EndToEnd) {
+    sc::SizingOptions opts;
+    opts.total_budget = 36;
+    opts.iterations = 4;
+    opts.sim.horizon = 1500.0;
+    opts.sim.warmup = 150.0;
+    opts.sim.seed = 11;
+    const sc::BufferSizingEngine engine(opts);
+    const auto report = engine.run(figure1());
+
+    EXPECT_EQ(sc::allocation_total(report.initial), 36);
+    EXPECT_EQ(sc::allocation_total(report.best), 36);
+    EXPECT_FALSE(report.history.empty());
+    EXPECT_GT(report.lp_solves + report.vi_solves, 0u);
+    // The engine never returns something worse than the uniform baseline.
+    std::vector<double> weights(figure1().flows.size(), 1.0);
+    EXPECT_LE(report.after.weighted_loss(weights),
+              report.before.weighted_loss(weights) + 1e-9);
+}
+
+TEST(Engine, BudgetMonotonicityOfPostLoss) {
+    // More budget -> the optimized system loses no more (statistically;
+    // fixed seeds make this deterministic here).
+    double previous = 1e18;
+    for (const long budget : {18L, 36L, 90L}) {
+        sc::SizingOptions opts;
+        opts.total_budget = budget;
+        opts.iterations = 3;
+        opts.sim.horizon = 1500.0;
+        opts.sim.warmup = 150.0;
+        opts.sim.seed = 13;
+        const sc::BufferSizingEngine engine(opts);
+        const auto report = engine.run(figure1());
+        const double post = static_cast<double>(report.after.total_lost());
+        EXPECT_LE(post, previous + 1.0) << "budget " << budget;
+        previous = post;
+    }
+}
+
+TEST(Engine, ForcedSolverChoicesAgreeOnDirection) {
+    sc::SizingOptions lp_opts;
+    lp_opts.total_budget = 36;
+    lp_opts.iterations = 2;
+    lp_opts.solver = sc::SolverChoice::kLp;
+    lp_opts.sim.horizon = 1000.0;
+    lp_opts.sim.warmup = 100.0;
+    const auto lp_report = sc::BufferSizingEngine(lp_opts).run(figure1());
+    EXPECT_GT(lp_report.lp_solves, 0u);
+    EXPECT_EQ(lp_report.vi_solves, 0u);
+
+    sc::SizingOptions vi_opts = lp_opts;
+    vi_opts.solver = sc::SolverChoice::kValueIteration;
+    const auto vi_report = sc::BufferSizingEngine(vi_opts).run(figure1());
+    EXPECT_EQ(vi_report.lp_solves, 0u);
+    EXPECT_GT(vi_report.vi_solves, 0u);
+
+    // Both must improve on (or match) the uniform baseline.
+    EXPECT_LE(vi_report.after.total_lost(), vi_report.before.total_lost());
+    EXPECT_LE(lp_report.after.total_lost(), lp_report.before.total_lost());
+}
+
+TEST(Engine, ScoresCoverActiveSitesOnly) {
+    sc::SizingOptions opts;
+    opts.total_budget = 36;
+    opts.iterations = 2;
+    opts.sim.horizon = 800.0;
+    opts.sim.warmup = 100.0;
+    const auto report = sc::BufferSizingEngine(opts).run(figure1());
+    for (const auto& sub : report.split.subsystems)
+        for (const auto& f : sub.flows)
+            EXPECT_GT(report.site_scores[f.site], 0.0);
+}
+
+TEST(Engine, SwitchingStatesBoundedByConstraints) {
+    // Unconstrained subsystem LPs should produce (near-)deterministic
+    // policies: Feinberg's bound says randomization only appears with side
+    // constraints.
+    sc::SizingOptions opts;
+    opts.total_budget = 36;
+    opts.iterations = 1;
+    opts.solver = sc::SolverChoice::kLp;
+    opts.sim.horizon = 800.0;
+    opts.sim.warmup = 100.0;
+    const auto report = sc::BufferSizingEngine(opts).run(figure1());
+    EXPECT_EQ(report.switching_states, 0u);
+}
+
+TEST(Engine, WeightedArbiterUsesCtmdpServiceShares) {
+    // The engine exports per-site service weights from the CTMDP policy;
+    // feeding them to the weighted-random arbiter must produce a valid
+    // simulation (and the weights must cover every active site).
+    sc::SizingOptions opts;
+    opts.total_budget = 36;
+    opts.iterations = 2;
+    opts.sim.horizon = 800.0;
+    opts.sim.warmup = 100.0;
+    const auto report = sc::BufferSizingEngine(opts).run(figure1());
+    socbuf::sim::SimConfig cfg = opts.sim;
+    cfg.arbiter = socbuf::sim::ArbiterKind::kWeightedRandom;
+    cfg.site_weights = report.site_service_weights;
+    const auto r = socbuf::sim::simulate(figure1(), report.best, cfg);
+    EXPECT_GT(r.total_delivered(), 0u);
+    for (const auto& sub : report.split.subsystems) {
+        double bus_total = 0.0;
+        for (const auto& f : sub.flows)
+            bus_total += report.site_service_weights[f.site];
+        EXPECT_NEAR(bus_total, 1.0, 1e-6) << "bus " << sub.bus_name;
+    }
+}
+
+TEST(Engine, EarlyStopCanBeDisabled) {
+    sc::SizingOptions opts;
+    opts.total_budget = 36;
+    opts.iterations = 4;
+    opts.early_stop = false;
+    opts.sim.horizon = 600.0;
+    opts.sim.warmup = 100.0;
+    const auto report = sc::BufferSizingEngine(opts).run(figure1());
+    EXPECT_EQ(report.history.size(), 4u);  // all rounds run
+}
+
+TEST(Engine, HistoryTracksBestAllocation) {
+    sc::SizingOptions opts;
+    opts.total_budget = 36;
+    opts.iterations = 3;
+    opts.sim.horizon = 800.0;
+    opts.sim.warmup = 100.0;
+    const auto report = sc::BufferSizingEngine(opts).run(figure1());
+    std::vector<double> weights(figure1().flows.size(), 1.0);
+    const double best_weighted = report.after.weighted_loss(weights);
+    const double initial_weighted = report.before.weighted_loss(weights);
+    for (const auto& rec : report.history)
+        EXPECT_GE(rec.weighted_loss + 1e-9,
+                  std::min(best_weighted, initial_weighted));
+}

@@ -1,0 +1,296 @@
+#include "ctmc/birth_death.hpp"
+#include "ctmdp/lp_solver.hpp"
+#include "ctmdp/model.hpp"
+#include "ctmdp/occupation.hpp"
+#include "ctmdp/policy.hpp"
+#include "ctmdp/policy_iteration.hpp"
+#include "ctmdp/value_iteration.hpp"
+#include "util/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace sm = socbuf::ctmdp;
+
+namespace {
+
+/// Two-state toy with a hand-computable optimum.
+/// State 0 offers: A (rate 1 -> state 1, cost 2) giving average cost 4/3,
+/// or B (rate 4 -> state 1, cost 3) giving average cost 1. B is optimal.
+sm::CtmdpModel two_state_toy(std::size_t extra_costs = 0) {
+    sm::CtmdpModel m(extra_costs);
+    const auto s0 = m.add_state("idle");
+    const auto s1 = m.add_state("busy");
+    sm::Action a;
+    a.name = "A";
+    a.transitions = {{s1, 1.0}};
+    a.cost = 2.0;
+    a.extra_costs.assign(extra_costs, 0.0);
+    m.add_action(s0, a);
+    sm::Action b;
+    b.name = "B";
+    b.transitions = {{s1, 4.0}};
+    b.cost = 3.0;
+    b.extra_costs.assign(extra_costs, extra_costs > 0 ? 1.0 : 0.0);
+    m.add_action(s0, b);
+    sm::Action done;
+    done.name = "done";
+    done.transitions = {{s0, 2.0}};
+    done.cost = 0.0;
+    done.extra_costs.assign(extra_costs, 0.0);
+    m.add_action(s1, done);
+    return m;
+}
+
+/// Single M/M/1/K queue as a (single-action) CTMDP whose average cost is
+/// the closed-form loss rate.
+sm::CtmdpModel mm1k_model(double lambda, double mu, std::size_t k) {
+    sm::CtmdpModel m;
+    for (std::size_t i = 0; i <= k; ++i)
+        m.add_state("q" + std::to_string(i));
+    for (std::size_t i = 0; i <= k; ++i) {
+        sm::Action a;
+        a.name = "serve";
+        if (i < k) a.transitions.push_back({i + 1, lambda});
+        if (i > 0) a.transitions.push_back({i - 1, mu});
+        a.cost = (i == k) ? lambda : 0.0;  // loss rate while full
+        m.add_action(i, a);
+    }
+    return m;
+}
+
+/// Random strongly-connected CTMDP for solver cross-validation.
+sm::CtmdpModel random_model(unsigned seed, std::size_t n_states,
+                            std::size_t n_actions) {
+    std::mt19937_64 gen(seed);
+    std::uniform_real_distribution<double> rate(0.2, 3.0);
+    std::uniform_real_distribution<double> cost(0.0, 5.0);
+    sm::CtmdpModel m;
+    for (std::size_t s = 0; s < n_states; ++s) m.add_state();
+    for (std::size_t s = 0; s < n_states; ++s) {
+        for (std::size_t a = 0; a < n_actions; ++a) {
+            sm::Action act;
+            // A guaranteed ring edge keeps every policy irreducible.
+            act.transitions.push_back({(s + 1) % n_states, rate(gen)});
+            const std::size_t other = gen() % n_states;
+            if (other != s)
+                act.transitions.push_back({other, rate(gen)});
+            act.cost = cost(gen);
+            m.add_action(s, act);
+        }
+    }
+    return m;
+}
+
+}  // namespace
+
+TEST(Model, IndexingRoundTrips) {
+    const auto m = two_state_toy();
+    EXPECT_EQ(m.state_count(), 2u);
+    EXPECT_EQ(m.action_count(0), 2u);
+    EXPECT_EQ(m.action_count(1), 1u);
+    EXPECT_EQ(m.pair_count(), 3u);
+    for (std::size_t p = 0; p < m.pair_count(); ++p) {
+        EXPECT_EQ(m.pair_index(m.pair_state(p), m.pair_action(p)), p);
+    }
+}
+
+TEST(Model, ExitRatesIgnoreSelfLoops) {
+    sm::CtmdpModel m;
+    m.add_state();
+    m.add_state();
+    sm::Action a;
+    a.transitions = {{0, 5.0}, {1, 2.0}};  // self-loop rate must not count
+    m.add_action(0, a);
+    sm::Action b;
+    b.transitions = {{0, 1.0}};
+    m.add_action(1, b);
+    EXPECT_DOUBLE_EQ(m.exit_rate(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(m.max_exit_rate(), 2.0);
+}
+
+TEST(Model, ValidateCatchesStructuralErrors) {
+    sm::CtmdpModel empty;
+    EXPECT_THROW(empty.validate(), socbuf::util::ModelError);
+
+    sm::CtmdpModel no_action;
+    no_action.add_state();
+    EXPECT_THROW(no_action.validate(), socbuf::util::ModelError);
+
+    sm::CtmdpModel bad_target;
+    bad_target.add_state();
+    sm::Action a;
+    a.transitions = {{5, 1.0}};
+    bad_target.add_action(0, a);
+    EXPECT_THROW(bad_target.validate(), socbuf::util::ModelError);
+
+    sm::CtmdpModel wrong_extra(2);
+    wrong_extra.add_state();
+    sm::Action b;
+    b.extra_costs = {1.0};  // width 1, model wants 2
+    EXPECT_THROW(wrong_extra.add_action(0, b),
+                 socbuf::util::ContractViolation);
+}
+
+TEST(LpSolver, FindsKnownOptimum) {
+    const auto m = two_state_toy();
+    const auto r = sm::solve_average_cost_lp(m);
+    ASSERT_EQ(r.status, socbuf::lp::SolveStatus::kOptimal);
+    EXPECT_NEAR(r.average_cost, 1.0, 1e-8);
+    // Optimal policy picks B deterministically in state 0.
+    EXPECT_NEAR(r.policy.probability(0, 1), 1.0, 1e-6);
+    EXPECT_TRUE(r.policy.is_deterministic(1e-6));
+    // State probabilities are the induced chain's stationary law.
+    EXPECT_NEAR(r.state_probability[0], 1.0 / 3.0, 1e-8);
+    EXPECT_NEAR(r.state_probability[1], 2.0 / 3.0, 1e-8);
+}
+
+TEST(LpSolver, OccupationSumsToOne) {
+    const auto m = two_state_toy();
+    const auto r = sm::solve_average_cost_lp(m);
+    double total = 0.0;
+    for (double x : r.occupation) total += x;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(LpSolver, ConstraintForcesRandomization) {
+    // Bound the extra cost (incurred only by action B in state 0) to half
+    // of its unconstrained value: the policy must mix A and B — and per
+    // Feinberg's K-switching bound, randomize in at most 1 state.
+    const auto m = two_state_toy(/*extra_costs=*/1);
+    const auto unconstrained = sm::solve_average_cost_lp(m);
+    ASSERT_EQ(unconstrained.status, socbuf::lp::SolveStatus::kOptimal);
+    const double full_extra = unconstrained.extra_cost_values[0];
+    ASSERT_GT(full_extra, 0.0);
+
+    const auto r = sm::solve_average_cost_lp(
+        m, {sm::CostBound{0, full_extra / 2.0}});
+    ASSERT_EQ(r.status, socbuf::lp::SolveStatus::kOptimal);
+    EXPECT_LE(r.extra_cost_values[0], full_extra / 2.0 + 1e-9);
+    EXPECT_EQ(r.policy.switching_state_count(1e-6), 1u);
+    // Cost sits between the optimal and the all-A policy.
+    EXPECT_GT(r.average_cost, 1.0 - 1e-9);
+    EXPECT_LT(r.average_cost, 4.0 / 3.0 + 1e-9);
+}
+
+TEST(LpSolver, InfeasibleConstraintReported) {
+    const auto m = two_state_toy(/*extra_costs=*/1);
+    // Demanding negative extra cost is impossible.
+    const auto r = sm::solve_average_cost_lp(m, {sm::CostBound{0, -1.0}});
+    EXPECT_EQ(r.status, socbuf::lp::SolveStatus::kInfeasible);
+}
+
+TEST(LpSolver, SingleActionChainReproducesMm1k) {
+    const double lambda = 0.8;
+    const double mu = 1.0;
+    const std::size_t k = 5;
+    const auto m = mm1k_model(lambda, mu, k);
+    const auto r = sm::solve_average_cost_lp(m);
+    ASSERT_EQ(r.status, socbuf::lp::SolveStatus::kOptimal);
+    const auto pi = socbuf::ctmc::mm1k_stationary(lambda, mu, k);
+    for (std::size_t i = 0; i <= k; ++i)
+        EXPECT_NEAR(r.state_probability[i], pi[i], 1e-7) << "state " << i;
+    EXPECT_NEAR(r.average_cost, lambda * pi[k], 1e-8);
+}
+
+TEST(ValueIteration, MatchesKnownOptimum) {
+    const auto m = two_state_toy();
+    const auto r = sm::relative_value_iteration(m);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.gain, 1.0, 1e-7);
+    EXPECT_EQ(r.policy.action(0), 1u);  // B
+}
+
+TEST(PolicyIteration, MatchesKnownOptimum) {
+    const auto m = two_state_toy();
+    const auto r = sm::policy_iteration(m);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.gain, 1.0, 1e-9);
+    EXPECT_EQ(r.policy.action(0), 1u);
+    EXPECT_LE(r.policy_updates, 5u);
+}
+
+TEST(PolicyEvaluation, AverageCostOfFixedPolicy) {
+    const auto m = two_state_toy();
+    // Force the suboptimal action A: average cost 4/3.
+    const auto all_a = sm::RandomizedPolicy::from_deterministic(
+        sm::DeterministicPolicy({0, 0}), m);
+    EXPECT_NEAR(sm::average_cost_of_policy(m, all_a), 4.0 / 3.0, 1e-8);
+}
+
+class SolverAgreementTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SolverAgreementTest, LpViAndPiAgreeOnRandomModels) {
+    const unsigned seed = GetParam();
+    const auto m = random_model(seed, 3 + seed % 4, 2 + seed % 2);
+    const auto lp = sm::solve_average_cost_lp(m);
+    ASSERT_EQ(lp.status, socbuf::lp::SolveStatus::kOptimal);
+    const auto vi = sm::relative_value_iteration(m);
+    ASSERT_TRUE(vi.converged);
+    const auto pi = sm::policy_iteration(m);
+    ASSERT_TRUE(pi.converged);
+    EXPECT_NEAR(lp.average_cost, vi.gain, 1e-6) << "seed " << seed;
+    EXPECT_NEAR(vi.gain, pi.gain, 1e-6) << "seed " << seed;
+    // The LP's policy really achieves the LP's objective value.
+    EXPECT_NEAR(sm::average_cost_of_policy(m, lp.policy), lp.average_cost,
+                1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverAgreementTest,
+                         ::testing::Range(1u, 16u));
+
+TEST(Policy, RandomizedPolicyValidation) {
+    EXPECT_THROW(sm::RandomizedPolicy({{0.5, 0.4}}),  // sums to 0.9
+                 socbuf::util::ContractViolation);
+    const sm::RandomizedPolicy p({{0.25, 0.75}});
+    EXPECT_NEAR(p.probability(0, 1), 0.75, 1e-12);
+    EXPECT_EQ(p.switching_state_count(), 1u);
+    EXPECT_EQ(p.mode().action(0), 1u);
+}
+
+TEST(Policy, SamplingFollowsDistribution) {
+    const sm::RandomizedPolicy p({{0.2, 0.8}});
+    socbuf::rng::RandomEngine eng(99);
+    int ones = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        if (p.sample(0, eng) == 1) ++ones;
+    EXPECT_NEAR(static_cast<double>(ones) / n, 0.8, 0.02);
+}
+
+TEST(Policy, InducedGeneratorMixesActions) {
+    const auto m = two_state_toy();
+    const sm::RandomizedPolicy mix({{0.5, 0.5}, {1.0}});
+    const auto gen = sm::induced_generator(m, mix);
+    // Mixed rate out of state 0: 0.5*1 + 0.5*4 = 2.5.
+    EXPECT_NEAR(gen.rate(0, 1), 2.5, 1e-12);
+    EXPECT_NEAR(gen.rate(1, 0), 2.0, 1e-12);
+}
+
+TEST(Occupation, PolicyOccupationMatchesLp) {
+    const auto m = two_state_toy();
+    const auto lp = sm::solve_average_cost_lp(m);
+    const auto occ = sm::occupation_of_policy(m, lp.policy);
+    ASSERT_EQ(occ.size(), lp.occupation.size());
+    for (std::size_t i = 0; i < occ.size(); ++i)
+        EXPECT_NEAR(occ[i], lp.occupation[i], 1e-7);
+}
+
+TEST(Occupation, MarginalsAndQuantiles) {
+    // pi over 4 states mapping to feature k = state % 2.
+    const socbuf::linalg::Vector pi{0.1, 0.2, 0.3, 0.4};
+    const auto marg = sm::state_marginal(
+        pi, [](std::size_t s) { return s % 2; }, 2);
+    EXPECT_NEAR(marg[0], 0.4, 1e-12);
+    EXPECT_NEAR(marg[1], 0.6, 1e-12);
+    EXPECT_NEAR(sm::marginal_mean(marg), 0.6, 1e-12);
+
+    const std::vector<double> dist{0.5, 0.3, 0.15, 0.05};
+    EXPECT_EQ(sm::marginal_quantile(dist, 0.5), 0u);
+    EXPECT_EQ(sm::marginal_quantile(dist, 0.2), 1u);
+    EXPECT_EQ(sm::marginal_quantile(dist, 0.05), 2u);
+    EXPECT_EQ(sm::marginal_quantile(dist, 0.0), 3u);
+    EXPECT_EQ(sm::marginal_quantile(dist, 1.0), 0u);
+}

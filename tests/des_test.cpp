@@ -1,0 +1,119 @@
+#include "des/scheduler.hpp"
+#include "des/stats.hpp"
+#include "util/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sd = socbuf::des;
+
+TEST(Scheduler, FiresInTimeOrder) {
+    sd::Scheduler sched;
+    std::vector<int> order;
+    sched.schedule_at(2.0, [&] { order.push_back(2); });
+    sched.schedule_at(1.0, [&] { order.push_back(1); });
+    sched.schedule_at(3.0, [&] { order.push_back(3); });
+    sched.run_to_exhaustion();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(sched.now(), 3.0);
+    EXPECT_EQ(sched.fired_count(), 3u);
+}
+
+TEST(Scheduler, TieBreaksFifo) {
+    sd::Scheduler sched;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        sched.schedule_at(1.0, [&order, i] { order.push_back(i); });
+    sched.run_to_exhaustion();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, EventsMayScheduleMoreEvents) {
+    sd::Scheduler sched;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 10) sched.schedule_after(1.0, chain);
+    };
+    sched.schedule_at(0.0, chain);
+    sched.run_to_exhaustion();
+    EXPECT_EQ(fired, 10);
+    EXPECT_DOUBLE_EQ(sched.now(), 9.0);
+}
+
+TEST(Scheduler, RunUntilStopsAtHorizon) {
+    sd::Scheduler sched;
+    int fired = 0;
+    sched.schedule_at(1.0, [&] { ++fired; });
+    sched.schedule_at(5.0, [&] { ++fired; });
+    sched.run_until(2.0);
+    EXPECT_EQ(fired, 1);
+    EXPECT_DOUBLE_EQ(sched.now(), 2.0);
+    EXPECT_EQ(sched.pending(), 1u);
+    sched.run_until(5.0);  // boundary event still fires
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, CancelSuppressesEvent) {
+    sd::Scheduler sched;
+    int fired = 0;
+    const auto id = sched.schedule_at(1.0, [&] { ++fired; });
+    sched.schedule_at(2.0, [&] { ++fired; });
+    EXPECT_TRUE(sched.cancel(id));
+    EXPECT_FALSE(sched.cancel(id));       // double-cancel is a no-op
+    EXPECT_FALSE(sched.cancel(999999u));  // unknown id is a no-op
+    sched.run_to_exhaustion();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, PastSchedulingRejected) {
+    sd::Scheduler sched;
+    sched.schedule_at(5.0, [] {});
+    sched.run_to_exhaustion();
+    EXPECT_THROW(sched.schedule_at(1.0, [] {}),
+                 socbuf::util::ContractViolation);
+    EXPECT_THROW(sched.schedule_after(-1.0, [] {}),
+                 socbuf::util::ContractViolation);
+}
+
+TEST(Scheduler, StepReturnsFalseWhenEmpty) {
+    sd::Scheduler sched;
+    EXPECT_FALSE(sched.step());
+}
+
+TEST(Tally, MomentsAndExtrema) {
+    sd::Tally t;
+    for (double v : {2.0, 4.0, 6.0}) t.observe(v);
+    EXPECT_EQ(t.count(), 3u);
+    EXPECT_DOUBLE_EQ(t.mean(), 4.0);
+    EXPECT_NEAR(t.variance(), 4.0, 1e-12);
+    EXPECT_NEAR(t.stddev(), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(t.min(), 2.0);
+    EXPECT_DOUBLE_EQ(t.max(), 6.0);
+    EXPECT_DOUBLE_EQ(t.total(), 12.0);
+}
+
+TEST(Tally, EmptyIsSafe) {
+    const sd::Tally t;
+    EXPECT_EQ(t.count(), 0u);
+    EXPECT_DOUBLE_EQ(t.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(t.variance(), 0.0);
+}
+
+TEST(TimeWeighted, PiecewiseConstantAverage) {
+    sd::TimeWeighted tw;
+    tw.update(0.0, 0.0);
+    tw.update(1.0, 2.0);  // signal was 0 on [0,1)
+    tw.update(3.0, 1.0);  // signal was 2 on [1,3)
+    // average over [0,4]: (0*1 + 2*2 + 1*1) / 4 = 1.25
+    EXPECT_DOUBLE_EQ(tw.average(4.0), 1.25);
+    EXPECT_DOUBLE_EQ(tw.current(), 1.0);
+    EXPECT_DOUBLE_EQ(tw.max(), 2.0);
+}
+
+TEST(TimeWeighted, RejectsTimeTravel) {
+    sd::TimeWeighted tw;
+    tw.update(1.0, 1.0);
+    EXPECT_THROW(tw.update(0.5, 2.0), socbuf::util::ContractViolation);
+}

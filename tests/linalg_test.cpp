@@ -1,0 +1,136 @@
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "util/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace sl = socbuf::linalg;
+
+TEST(Matrix, ConstructionAndAccess) {
+    sl::Matrix m(2, 3, 1.5);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+    m(0, 0) = -2.0;
+    EXPECT_DOUBLE_EQ(m.at(0, 0), -2.0);
+    EXPECT_THROW(m.at(2, 0), socbuf::util::ContractViolation);
+}
+
+TEST(Matrix, FromRowsValidatesShape) {
+    const auto m = sl::Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+    EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+    EXPECT_THROW(sl::Matrix::from_rows({{1.0}, {1.0, 2.0}}),
+                 socbuf::util::ContractViolation);
+}
+
+TEST(Matrix, IdentityMultiplyIsNoOp) {
+    const auto id = sl::Matrix::identity(3);
+    const sl::Vector x{1.0, -2.0, 0.5};
+    EXPECT_EQ(id.multiply(x), x);
+}
+
+TEST(Matrix, MultiplyKnownValues) {
+    const auto a = sl::Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+    const auto y = a.multiply(sl::Vector{1.0, 1.0});
+    EXPECT_DOUBLE_EQ(y[0], 3.0);
+    EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, MultiplyTransposedMatchesExplicitTranspose) {
+    const auto a =
+        sl::Matrix::from_rows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+    const sl::Vector x{2.0, -1.0};
+    const auto fast = a.multiply_transposed(x);
+    const auto slow = a.transposed().multiply(x);
+    ASSERT_EQ(fast.size(), slow.size());
+    for (std::size_t i = 0; i < fast.size(); ++i)
+        EXPECT_NEAR(fast[i], slow[i], 1e-14);
+}
+
+TEST(Matrix, MatrixMatrixProduct) {
+    const auto a = sl::Matrix::from_rows({{1.0, 2.0}, {0.0, 1.0}});
+    const auto b = sl::Matrix::from_rows({{3.0, 0.0}, {1.0, 1.0}});
+    const auto c = a.multiply(b);
+    EXPECT_DOUBLE_EQ(c(0, 0), 5.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 1.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 1.0);
+}
+
+TEST(Matrix, NormsAndScaling) {
+    const auto a = sl::Matrix::from_rows({{1.0, -2.0}, {3.0, 4.0}});
+    EXPECT_DOUBLE_EQ(a.infinity_norm(), 7.0);
+    EXPECT_DOUBLE_EQ(a.max_abs(), 4.0);
+    EXPECT_DOUBLE_EQ(a.scaled(2.0)(1, 1), 8.0);
+    EXPECT_DOUBLE_EQ(a.add(a)(0, 1), -4.0);
+}
+
+TEST(VectorOps, Arithmetic) {
+    const sl::Vector a{1.0, 2.0};
+    const sl::Vector b{3.0, -1.0};
+    EXPECT_EQ(sl::add(a, b), (sl::Vector{4.0, 1.0}));
+    EXPECT_EQ(sl::subtract(a, b), (sl::Vector{-2.0, 3.0}));
+    EXPECT_EQ(sl::scale(a, 2.0), (sl::Vector{2.0, 4.0}));
+    EXPECT_DOUBLE_EQ(sl::dot(a, b), 1.0);
+    EXPECT_DOUBLE_EQ(sl::norm2({3.0, 4.0}), 5.0);
+    EXPECT_DOUBLE_EQ(sl::norm_inf(b), 3.0);
+    EXPECT_DOUBLE_EQ(sl::sum(a), 3.0);
+    EXPECT_DOUBLE_EQ(sl::max_abs_diff(a, b), 3.0);
+    EXPECT_DOUBLE_EQ(sl::span({1.0, 5.0, -2.0}), 7.0);
+}
+
+TEST(Lu, SolvesKnownSystem) {
+    // x + y = 3; 2x - y = 0  =>  x = 1, y = 2.
+    const auto a = sl::Matrix::from_rows({{1.0, 1.0}, {2.0, -1.0}});
+    const auto x = sl::solve_linear_system(a, {3.0, 0.0});
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, DeterminantWithPivoting) {
+    // Requires a row swap; det = -2.
+    const auto a = sl::Matrix::from_rows({{0.0, 1.0}, {2.0, 0.0}});
+    sl::LuDecomposition lu(a);
+    EXPECT_NEAR(lu.determinant(), -2.0, 1e-12);
+}
+
+TEST(Lu, SingularMatrixThrows) {
+    const auto a = sl::Matrix::from_rows({{1.0, 2.0}, {2.0, 4.0}});
+    EXPECT_THROW(sl::LuDecomposition{a}, socbuf::util::NumericalError);
+}
+
+TEST(Lu, TransposedSolveMatchesExplicitTranspose) {
+    const auto a = sl::Matrix::from_rows(
+        {{4.0, 1.0, 0.0}, {1.0, 3.0, 1.0}, {0.0, 1.0, 2.0}});
+    const sl::Vector b{1.0, -2.0, 0.5};
+    sl::LuDecomposition lu(a);
+    const auto x1 = lu.solve_transposed(b);
+    const auto x2 = sl::LuDecomposition(a.transposed()).solve(b);
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-12);
+}
+
+class LuPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuPropertyTest, RandomSystemsHaveTinyResiduals) {
+    const int n = GetParam();
+    std::mt19937_64 gen(12345u + static_cast<unsigned>(n));
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    sl::Matrix a(n, n);
+    for (int r = 0; r < n; ++r) {
+        for (int c = 0; c < n; ++c) a(r, c) = dist(gen);
+        a(r, r) += static_cast<double>(n);  // diagonal dominance
+    }
+    sl::Vector b(n);
+    for (int i = 0; i < n; ++i) b[i] = dist(gen);
+    const auto x = sl::solve_linear_system(a, b);
+    EXPECT_LT(sl::residual_inf(a, x, b), 1e-9);
+    // Transposed solve: residual of A^T y = b.
+    const auto y = sl::LuDecomposition(a).solve_transposed(b);
+    EXPECT_LT(sl::residual_inf(a.transposed(), y, b), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 25, 60, 120));

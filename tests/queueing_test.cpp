@@ -1,0 +1,122 @@
+#include "ctmc/birth_death.hpp"
+#include "queueing/erlang.hpp"
+#include "queueing/mm1k.hpp"
+#include "queueing/multiclass.hpp"
+#include "util/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace sq = socbuf::queueing;
+
+TEST(Mm1k, BlockingMatchesStationaryTail) {
+    const double lambda = 0.8;
+    const double mu = 1.0;
+    const std::size_t k = 5;
+    const auto m = sq::analyze_mm1k(lambda, mu, k);
+    const auto pi = socbuf::ctmc::mm1k_stationary(lambda, mu, k);
+    EXPECT_NEAR(m.blocking_probability, pi[k], 1e-12);
+    EXPECT_NEAR(m.loss_rate, lambda * pi[k], 1e-12);
+    EXPECT_NEAR(m.throughput + m.loss_rate, lambda, 1e-12);
+    EXPECT_NEAR(m.utilization, 1.0 - pi[0], 1e-12);
+}
+
+TEST(Mm1k, LittleLawConsistency) {
+    const auto m = sq::analyze_mm1k(0.9, 1.0, 10);
+    EXPECT_NEAR(m.mean_occupancy, m.throughput * m.mean_sojourn, 1e-12);
+}
+
+TEST(Mm1k, BlockingDecreasesWithCapacity) {
+    double previous = 1.0;
+    for (std::size_t k = 1; k <= 12; ++k) {
+        const double b = sq::analyze_mm1k(0.95, 1.0, k).blocking_probability;
+        EXPECT_LT(b, previous) << "k=" << k;
+        previous = b;
+    }
+}
+
+TEST(Mm1k, OverloadedQueueKeepsLosing) {
+    // rho = 2: even large buffers lose about half the traffic.
+    const auto m = sq::analyze_mm1k(2.0, 1.0, 64);
+    EXPECT_NEAR(m.blocking_probability, 0.5, 1e-6);
+}
+
+TEST(Mm1k, MinCapacitySearch) {
+    const std::size_t k =
+        sq::min_capacity_for_blocking(0.8, 1.0, 0.01);
+    // Verify minimality.
+    EXPECT_LE(sq::analyze_mm1k(0.8, 1.0, k).blocking_probability, 0.01);
+    ASSERT_GT(k, 1u);
+    EXPECT_GT(sq::analyze_mm1k(0.8, 1.0, k - 1).blocking_probability, 0.01);
+}
+
+TEST(Mm1k, RejectsBadArguments) {
+    EXPECT_THROW(sq::analyze_mm1k(-1.0, 1.0, 3),
+                 socbuf::util::ContractViolation);
+    EXPECT_THROW(sq::analyze_mm1k(1.0, 0.0, 3),
+                 socbuf::util::ContractViolation);
+    EXPECT_THROW(sq::analyze_mm1k(1.0, 1.0, 0),
+                 socbuf::util::ContractViolation);
+}
+
+TEST(ErlangB, KnownValues) {
+    // Classic table entries: B(1, 1) = 0.5; B(2, 2) = 0.4.
+    EXPECT_NEAR(sq::erlang_b(1, 1.0), 0.5, 1e-12);
+    EXPECT_NEAR(sq::erlang_b(2, 2.0), 0.4, 1e-12);
+    EXPECT_NEAR(sq::erlang_b(0, 3.0), 1.0, 1e-12);
+}
+
+TEST(ErlangB, MatchesMm1BlockingWhenSingleServerNoWaiting) {
+    // M/M/1/1 blocking = rho/(1+rho) = Erlang-B with 1 server.
+    const double rho = 0.7;
+    const auto m = sq::analyze_mm1k(rho, 1.0, 1);
+    EXPECT_NEAR(m.blocking_probability, sq::erlang_b(1, rho), 1e-12);
+}
+
+TEST(ErlangB, ServerSearchIsMinimal) {
+    const std::size_t c = sq::erlang_b_servers_for(10.0, 0.01);
+    EXPECT_LE(sq::erlang_b(c, 10.0), 0.01);
+    EXPECT_GT(sq::erlang_b(c - 1, 10.0), 0.01);
+}
+
+TEST(Multiclass, SingleClassReducesToMm1k) {
+    const sq::FlowLoad f{0.8, 6, 1.0};
+    const auto out = sq::approximate_shared_server({f}, 1.0);
+    const auto exact = sq::analyze_mm1k(0.8, 1.0, 6);
+    EXPECT_NEAR(out.loss_rate[0], exact.loss_rate, 1e-12);
+    EXPECT_NEAR(out.blocking[0], exact.blocking_probability, 1e-12);
+    EXPECT_NEAR(out.total_loss_rate, exact.loss_rate, 1e-12);
+}
+
+TEST(Multiclass, ZeroRateFlowHasNoLoss) {
+    const auto out = sq::approximate_shared_server(
+        {{0.0, 4, 1.0}, {0.9, 4, 1.0}}, 1.0);
+    EXPECT_DOUBLE_EQ(out.loss_rate[0], 0.0);
+    EXPECT_GT(out.loss_rate[1], 0.0);
+}
+
+TEST(Multiclass, WeightsScaleWeightedLoss) {
+    const auto flows = std::vector<sq::FlowLoad>{{0.9, 3, 2.0}, {0.9, 3, 1.0}};
+    const auto out = sq::approximate_shared_server(flows, 1.5);
+    EXPECT_NEAR(out.weighted_loss_rate,
+                2.0 * out.loss_rate[0] + 1.0 * out.loss_rate[1], 1e-12);
+}
+
+TEST(Multiclass, DemandAllocationExhaustsBudgetAndFavorsLoad) {
+    const std::vector<sq::FlowLoad> flows{{0.2, 1, 1.0}, {1.4, 1, 1.0},
+                                          {0.7, 1, 1.0}};
+    const auto alloc = sq::demand_proportional_allocation(flows, 2.5, 24);
+    EXPECT_EQ(std::accumulate(alloc.begin(), alloc.end(), 0L), 24);
+    for (long a : alloc) EXPECT_GE(a, 1);
+    // The heaviest flow needs the deepest buffer.
+    EXPECT_GT(alloc[1], alloc[0]);
+    EXPECT_GT(alloc[1], alloc[2]);
+}
+
+TEST(Multiclass, AllocationRequiresRoomForFloors) {
+    const std::vector<sq::FlowLoad> flows{{0.5, 1, 1.0}, {0.5, 1, 1.0}};
+    EXPECT_THROW(sq::demand_proportional_allocation(flows, 1.0, 1),
+                 socbuf::util::ContractViolation);
+}

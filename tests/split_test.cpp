@@ -1,0 +1,156 @@
+#include "arch/presets.hpp"
+#include "split/splitter.hpp"
+#include "rng/engine.hpp"
+#include "util/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sp = socbuf::split;
+namespace sa = socbuf::arch;
+
+TEST(Split, Figure1YieldsFourLinearSubsystems) {
+    // The paper's Figure 2: the sample architecture splits into four
+    // single-bus subsystems with four inserted bridge buffers (b1..b4).
+    const auto sys = sa::figure1_system();
+    const auto split = sp::split_architecture(sys);
+    EXPECT_EQ(split.subsystems.size(), 4u);
+    EXPECT_EQ(split.inserted_buffer_count, 4u);
+    EXPECT_NO_THROW(sp::verify_linearity(sys, split));
+}
+
+TEST(Split, Figure1SubsystemContents) {
+    const auto sys = sa::figure1_system();
+    const auto split = sp::split_architecture(sys);
+    // Bus b's subsystem: processors 2, 3 plus one inserted bridge buffer
+    // (the paper: "bus b becomes a shared resource between [bridge
+    // buffers] and processors 2 and 3").
+    const sp::Subsystem* bus_b = nullptr;
+    for (const auto& sub : split.subsystems)
+        if (sub.bus_name == "b") bus_b = &sub;
+    ASSERT_NE(bus_b, nullptr);
+    std::size_t processors = 0;
+    std::size_t inserted = 0;
+    for (const auto& f : bus_b->flows) {
+        if (f.inserted)
+            ++inserted;
+        else
+            ++processors;
+    }
+    EXPECT_EQ(processors, 2u);
+    EXPECT_EQ(inserted, 1u);
+}
+
+TEST(Split, NetworkProcessorFiveSubsystems) {
+    const auto sys = sa::network_processor_system();
+    const auto split = sp::split_architecture(sys);
+    EXPECT_EQ(split.subsystems.size(), 5u);
+    EXPECT_EQ(split.inserted_buffer_count, 8u);  // 4 bridges x 2 directions
+    EXPECT_NO_THROW(sp::verify_linearity(sys, split));
+    // Every subsystem is stable (long-run load below service rate) —
+    // required for Table 1's zero-loss column to be reachable.
+    for (const auto& sub : split.subsystems) {
+        EXPECT_LT(sub.utilization(), 1.0) << sub.bus_name;
+        EXPECT_GT(sub.utilization(), 0.3) << sub.bus_name;
+    }
+}
+
+TEST(Split, SubsystemRatesMatchRoutedTraffic) {
+    const auto sys = sa::figure1_system();
+    const auto split = sp::split_architecture(sys);
+    // Total offered over all subsystems >= total flow rate (multi-hop flows
+    // are offered to several subsystems).
+    double flow_total = 0.0;
+    for (const auto& f : sys.flows) flow_total += f.rate;
+    double split_total = 0.0;
+    for (const auto& sub : split.subsystems) split_total += sub.offered_rate();
+    EXPECT_GE(split_total, flow_total - 1e-9);
+}
+
+TEST(Split, SiteMappingIsConsistent) {
+    const auto sys = sa::network_processor_system();
+    const auto split = sp::split_architecture(sys);
+    for (std::size_t k = 0; k < split.subsystems.size(); ++k)
+        for (const auto& f : split.subsystems[k].flows)
+            EXPECT_EQ(split.subsystem_of_site[f.site], k);
+    // Sites not referenced by any subsystem are marked npos.
+    std::set<sa::SiteId> used;
+    for (const auto& sub : split.subsystems)
+        for (const auto& f : sub.flows) used.insert(f.site);
+    for (std::size_t s = 0; s < split.sites.size(); ++s)
+        if (!used.count(s))
+            EXPECT_EQ(split.subsystem_of_site[s], sp::SplitResult::npos);
+}
+
+TEST(Split, LinearityCheckCatchesCorruption) {
+    const auto sys = sa::figure1_system();
+    auto split = sp::split_architecture(sys);
+    // Move a flow to a foreign subsystem: must be rejected.
+    ASSERT_GE(split.subsystems.size(), 2u);
+    auto stolen = split.subsystems[1].flows.front();
+    split.subsystems[1].flows.erase(split.subsystems[1].flows.begin());
+    split.subsystems[0].flows.push_back(stolen);
+    EXPECT_THROW(sp::verify_linearity(sys, split),
+                 socbuf::util::ModelError);
+}
+
+TEST(Split, RejectsEmptyWorkload) {
+    auto sys = sa::figure1_system();
+    sys.flows.clear();
+    EXPECT_THROW(sp::split_architecture(sys),
+                 socbuf::util::ContractViolation);
+}
+
+TEST(Split, InsertedBuffersOnlyWhereTrafficCrosses) {
+    // A two-bus system where traffic only flows a->b: only one of the two
+    // directional bridge buffers carries traffic, so only one is inserted.
+    sa::TestSystem sys;
+    const auto x = sys.architecture.add_bus("x", 2.0);
+    const auto y = sys.architecture.add_bus("y", 2.0);
+    const auto p = sys.architecture.add_processor("p", x);
+    const auto q = sys.architecture.add_processor("q", y);
+    sys.architecture.add_bridge("xy", x, y);
+    sys.flows.push_back({p, q, 1.0, 1.0, 0.0, 0.0});
+    const auto split = sp::split_architecture(sys);
+    EXPECT_EQ(split.inserted_buffer_count, 1u);
+    EXPECT_EQ(split.subsystems.size(), 2u);
+}
+
+
+
+class SplitPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SplitPropertyTest, RandomBridgedTopologiesSplitLinearly) {
+    // Random star/chain mixes of buses: the split must always produce
+    // single-bus subsystems that pass the linearity check.
+    const unsigned seed = GetParam();
+    socbuf::rng::RandomEngine eng(seed);
+    sa::TestSystem sys;
+    const std::size_t n_bus = 2 + seed % 4;
+    std::vector<sa::BusId> buses;
+    for (std::size_t b = 0; b < n_bus; ++b)
+        buses.push_back(
+            sys.architecture.add_bus("B" + std::to_string(b),
+                                     1.0 + eng.uniform()));
+    // Chain the buses so everything is connected.
+    for (std::size_t b = 1; b < n_bus; ++b)
+        sys.architecture.add_bridge("", buses[b - 1], buses[b]);
+    std::vector<sa::ProcessorId> procs;
+    for (std::size_t b = 0; b < n_bus; ++b)
+        for (int i = 0; i < 2; ++i)
+            procs.push_back(sys.architecture.add_processor("", buses[b]));
+    for (std::size_t f = 0; f < procs.size(); ++f) {
+        std::size_t dst_idx = (f + 1 + seed) % procs.size();
+        if (dst_idx == f) dst_idx = (dst_idx + 1) % procs.size();
+        sys.flows.push_back({procs[f], procs[dst_idx],
+                             0.2 + eng.uniform() * 0.3, 1.0, 0.0, 0.0});
+    }
+    const auto split = sp::split_architecture(sys);
+    EXPECT_NO_THROW(sp::verify_linearity(sys, split)) << "seed " << seed;
+    for (const auto& sub : split.subsystems)
+        for (const auto& f : sub.flows)
+            EXPECT_EQ(split.sites[f.site].bus, sub.bus);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SplitPropertyTest, ::testing::Range(1u, 13u));

@@ -1,0 +1,122 @@
+#include "arch/presets.hpp"
+#include "traffic/arrivals.hpp"
+#include "traffic/routing.hpp"
+#include "util/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+namespace st = socbuf::traffic;
+namespace sa = socbuf::arch;
+
+TEST(Arrivals, PoissonMeanRate) {
+    st::PoissonProcess p(2.0);
+    EXPECT_DOUBLE_EQ(p.mean_rate(), 2.0);
+    socbuf::rng::RandomEngine eng(5);
+    double total = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) total += p.next_interarrival(eng);
+    EXPECT_NEAR(total / n, 0.5, 0.01);
+    EXPECT_THROW(st::PoissonProcess{0.0}, socbuf::util::ContractViolation);
+}
+
+TEST(Arrivals, OnOffPreservesLongRunRate) {
+    // peak 3.0, on 2, off 1 -> mean rate 2.0.
+    st::OnOffProcess p(3.0, 2.0, 1.0);
+    EXPECT_NEAR(p.mean_rate(), 2.0, 1e-12);
+    socbuf::rng::RandomEngine eng(7);
+    double total = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) total += p.next_interarrival(eng);
+    EXPECT_NEAR(static_cast<double>(n) / total, 2.0, 0.05);
+}
+
+TEST(Arrivals, OnOffIsBurstier) {
+    // Squared coefficient of variation of inter-arrivals must exceed the
+    // Poisson value (1) for a strongly modulated source.
+    st::OnOffProcess p(10.0, 1.0, 4.0);  // mean rate 2, very bursty
+    socbuf::rng::RandomEngine eng(11);
+    double sum = 0.0;
+    double sumsq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double x = p.next_interarrival(eng);
+        sum += x;
+        sumsq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sumsq / n - mean * mean;
+    EXPECT_GT(var / (mean * mean), 1.5);
+}
+
+TEST(Arrivals, FactoryRespectsSpec) {
+    sa::FlowSpec smooth{0, 1, 1.5, 1.0, 0.0, 0.0};
+    const auto p1 = st::make_arrival_process(smooth);
+    EXPECT_NEAR(p1->mean_rate(), 1.5, 1e-12);
+
+    sa::FlowSpec bursty{0, 1, 1.5, 1.0, 2.0, 2.0};
+    ASSERT_TRUE(bursty.bursty());
+    const auto p2 = st::make_arrival_process(bursty);
+    // Long-run rate preserved; peak doubled (duty cycle 1/2).
+    EXPECT_NEAR(p2->mean_rate(), 1.5, 1e-9);
+    const auto* onoff = dynamic_cast<const st::OnOffProcess*>(p2.get());
+    ASSERT_NE(onoff, nullptr);
+    EXPECT_NEAR(onoff->peak_rate(), 3.0, 1e-9);
+}
+
+TEST(Routing, SingleBusFlowHasOneSite) {
+    const auto sys = sa::figure1_system();
+    const auto routes = st::compute_routes(sys);
+    ASSERT_EQ(routes.size(), sys.flows.size());
+    // Flow 0: processor 1 -> 4, both on bus a.
+    EXPECT_EQ(routes[0].sites.size(), 1u);
+    EXPECT_EQ(routes[0].sites[0],
+              sa::processor_site(sys.architecture, sys.flows[0].source));
+}
+
+TEST(Routing, CrossBridgeFlowsVisitBridgeSites) {
+    const auto sys = sa::figure1_system();
+    const auto routes = st::compute_routes(sys);
+    const auto sites = sa::enumerate_buffer_sites(sys.architecture);
+    // Flow 2: processor 2 (bus b) -> 5 (bus g) through b<->f and f<->g.
+    const auto& r = routes[2];
+    ASSERT_EQ(r.sites.size(), 3u);
+    EXPECT_EQ(sites[r.sites[0]].kind, sa::SiteKind::kProcessor);
+    EXPECT_EQ(sites[r.sites[1]].kind, sa::SiteKind::kBridge);
+    EXPECT_EQ(sites[r.sites[2]].kind, sa::SiteKind::kBridge);
+    // Direction: first bridge hop leaves bus b, so the site contends on f.
+    EXPECT_EQ(sites[r.sites[1]].from_bus, sys.architecture.processor(1).bus);
+}
+
+TEST(Routing, OfferedRatesAccumulateAlongRoutes) {
+    const auto sys = sa::figure1_system();
+    const auto routes = st::compute_routes(sys);
+    const auto sites = sa::enumerate_buffer_sites(sys.architecture);
+    const auto rates = st::offered_rate_per_site(sys, routes, sites.size());
+    // Processor 2's site carries both of processor 2's flows.
+    double expected = 0.0;
+    for (const auto& f : sys.flows)
+        if (f.source == 1) expected += f.rate;
+    EXPECT_NEAR(rates[1], expected, 1e-12);
+    // Total over processor sites equals total offered rate.
+    double processor_total = 0.0;
+    for (std::size_t p = 0; p < sys.architecture.processor_count(); ++p)
+        processor_total += rates[p];
+    double flow_total = 0.0;
+    for (const auto& f : sys.flows) flow_total += f.rate;
+    EXPECT_NEAR(processor_total, flow_total, 1e-12);
+}
+
+TEST(Routing, WeightsTakeMaxOverFlows) {
+    auto sys = sa::figure1_system();
+    sys.flows[0].weight = 5.0;  // flow 0 goes out of processor 1's site
+    const auto routes = st::compute_routes(sys);
+    const auto sites = sa::enumerate_buffer_sites(sys.architecture);
+    const auto weights = st::weight_per_site(sys, routes, sites.size());
+    EXPECT_DOUBLE_EQ(weights[0], 5.0);
+}
+
+TEST(Routing, SelfFlowRejected) {
+    auto sys = sa::figure1_system();
+    sys.flows.push_back({2, 2, 1.0, 1.0, 0.0, 0.0});
+    EXPECT_THROW(st::compute_routes(sys), socbuf::util::ContractViolation);
+}

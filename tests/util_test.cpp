@@ -1,0 +1,186 @@
+#include "util/contracts.hpp"
+#include "util/log.hpp"
+#include "util/numeric.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace su = socbuf::util;
+
+TEST(Contracts, RequireThrowsWithLocation) {
+    try {
+        SOCBUF_REQUIRE_MSG(1 == 2, "impossible arithmetic");
+        FAIL() << "expected ContractViolation";
+    } catch (const su::ContractViolation& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("1 == 2"), std::string::npos);
+        EXPECT_NE(what.find("impossible arithmetic"), std::string::npos);
+        EXPECT_NE(what.find("util_test.cpp"), std::string::npos);
+    }
+}
+
+TEST(Contracts, RequirePassesSilently) {
+    EXPECT_NO_THROW(SOCBUF_REQUIRE(2 + 2 == 4));
+}
+
+TEST(Log, ThresholdFiltersMessages) {
+    const su::LogLevel old = su::log_level();
+    su::set_log_level(su::LogLevel::kError);
+    EXPECT_EQ(su::log_level(), su::LogLevel::kError);
+    // Below threshold: must not crash and must be cheap.
+    su::log(su::LogLevel::kDebug, "invisible ", 42);
+    su::set_log_level(old);
+}
+
+TEST(Strings, JoinHandlesEmptyAndMany) {
+    EXPECT_EQ(su::join({}, ","), "");
+    EXPECT_EQ(su::join({"a"}, ","), "a");
+    EXPECT_EQ(su::join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(Strings, FormatFixed) {
+    EXPECT_EQ(su::format_fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(su::format_fixed(-0.5, 1), "-0.5");
+    EXPECT_EQ(su::format_fixed(2.0, 0), "2");
+}
+
+TEST(Strings, FormatCompactIntegersStayIntegers) {
+    EXPECT_EQ(su::format_compact(42.0), "42");
+    EXPECT_EQ(su::format_compact(1.5), "1.500");
+}
+
+TEST(Strings, Padding) {
+    EXPECT_EQ(su::pad_left("ab", 4), "  ab");
+    EXPECT_EQ(su::pad_right("ab", 4), "ab  ");
+    EXPECT_EQ(su::pad_left("abcdef", 4), "abcdef");
+}
+
+TEST(Strings, StartsWith) {
+    EXPECT_TRUE(su::starts_with("balance(x)", "balance"));
+    EXPECT_FALSE(su::starts_with("bal", "balance"));
+}
+
+TEST(Numeric, ApproxEqual) {
+    EXPECT_TRUE(su::approx_equal(1.0, 1.0 + 1e-12));
+    EXPECT_FALSE(su::approx_equal(1.0, 1.1));
+    EXPECT_TRUE(su::approx_equal(1e9, 1e9 + 1.0, 0.0, 1e-8));
+}
+
+TEST(Numeric, StableSumBeatsNaiveOnCancellation) {
+    std::vector<double> values;
+    values.push_back(1.0);
+    for (int i = 0; i < 1000; ++i) values.push_back(1e-16);
+    const double s = su::stable_sum(values);
+    EXPECT_NEAR(s, 1.0 + 1000e-16, 1e-18);
+}
+
+TEST(Numeric, MeanAndStddev) {
+    EXPECT_DOUBLE_EQ(su::mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(su::mean({2.0, 4.0, 6.0}), 4.0);
+    EXPECT_DOUBLE_EQ(su::sample_stddev({5.0}), 0.0);
+    EXPECT_NEAR(su::sample_stddev({2.0, 4.0, 6.0}), 2.0, 1e-12);
+}
+
+TEST(Numeric, ApportionExactTotal) {
+    const auto out = su::apportion_largest_remainder(10, {1.0, 1.0, 1.0});
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0L), 10);
+    // 10/3: two entries get 3, one gets 4 (first by remainder order).
+    EXPECT_EQ(out[0], 4);
+    EXPECT_EQ(out[1], 3);
+    EXPECT_EQ(out[2], 3);
+}
+
+TEST(Numeric, ApportionRespectsFloors) {
+    const auto out =
+        su::apportion_largest_remainder(9, {0.0, 0.0, 100.0}, 1);
+    EXPECT_EQ(out[0], 1);
+    EXPECT_EQ(out[1], 1);
+    EXPECT_EQ(out[2], 7);
+}
+
+TEST(Numeric, ApportionProportionality) {
+    const auto out = su::apportion_largest_remainder(100, {1.0, 3.0});
+    EXPECT_EQ(out[0], 25);
+    EXPECT_EQ(out[1], 75);
+}
+
+TEST(Numeric, ApportionZeroWeightsSpreadEvenly) {
+    const auto out = su::apportion_largest_remainder(5, {0.0, 0.0});
+    EXPECT_EQ(out[0] + out[1], 5);
+    EXPECT_LE(std::abs(out[0] - out[1]), 1);
+}
+
+TEST(Numeric, ApportionRejectsBadInput) {
+    EXPECT_THROW(su::apportion_largest_remainder(1, {}),
+                 su::ContractViolation);
+    EXPECT_THROW(su::apportion_largest_remainder(1, {1.0, 1.0}, 1),
+                 su::ContractViolation);
+    EXPECT_THROW(su::apportion_largest_remainder(3, {-1.0, 1.0}),
+                 su::ContractViolation);
+}
+
+class ApportionPropertyTest : public ::testing::TestWithParam<long> {};
+
+TEST_P(ApportionPropertyTest, SumsToTotalAndStaysNearProportional) {
+    const long total = GetParam();
+    const std::vector<double> weights{0.5, 2.5, 3.0, 1.0, 7.7};
+    const auto out = su::apportion_largest_remainder(total, weights, 1);
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0L), total);
+    const double wsum = 14.7;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        const double exact =
+            static_cast<double>(total - 5) * weights[i] / wsum + 1.0;
+        // Hamilton apportionment never strays more than 1 unit from the
+        // exact share (plus the floor).
+        EXPECT_NEAR(static_cast<double>(out[i]), exact, 1.0 + 1e-9)
+            << "entry " << i << " for total " << total;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Totals, ApportionPropertyTest,
+                         ::testing::Values(5L, 6L, 13L, 40L, 160L, 320L, 640L,
+                                           1000L));
+
+TEST(Numeric, Argmax) {
+    EXPECT_EQ(su::argmax({1.0, 5.0, 3.0}), 1u);
+    EXPECT_EQ(su::argmax({7.0, 7.0}), 0u);  // first on ties
+    EXPECT_THROW((void)su::argmax({}), su::ContractViolation);
+}
+
+TEST(Numeric, LowerBoundIndex) {
+    const std::vector<double> cum{0.1, 0.4, 0.9, 1.0};
+    EXPECT_EQ(su::lower_bound_index(cum, 0.05), 0u);
+    EXPECT_EQ(su::lower_bound_index(cum, 0.4), 1u);
+    EXPECT_EQ(su::lower_bound_index(cum, 0.95), 3u);
+    EXPECT_EQ(su::lower_bound_index(cum, 2.0), 3u);  // clamps
+}
+
+TEST(Table, RendersAlignedColumns) {
+    su::Table t({"name", "value"});
+    t.add_row({"alpha", "1"});
+    t.add_row({"b", "22"});
+    const std::string s = t.to_string();
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("-----"), std::string::npos);
+    EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, NumericRowFormatsValues) {
+    su::Table t({"proc", "pre", "post"});
+    t.add_numeric_row("p1", {70.0, 83.0}, 0);
+    EXPECT_NE(t.to_string().find("83"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+    su::Table t({"a", "b"});
+    t.add_row({"1", "2"});
+    EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsMismatchedRow) {
+    su::Table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), su::ContractViolation);
+}
