@@ -1,13 +1,13 @@
-// A1 — CTMDP solver cross-validation and scaling: the Feinberg LP,
-// relative value iteration and policy iteration must agree on the optimal
+// A1 — CTMDP solver cross-validation and scaling, driven through the
+// unified solver registry (ctmdp/solver.hpp): the Feinberg LP, relative
+// value iteration and Howard policy iteration must agree on the optimal
 // average cost; their runtimes scale very differently with the state
-// space, which is why the sizing engine picks per model size.
+// space, which is why the registry's kAuto dispatch escalates
+// LP -> PI -> VI by model size.
 #include "arch/presets.hpp"
 #include "core/allocation.hpp"
 #include "core/subsystem_model.hpp"
-#include "ctmdp/lp_solver.hpp"
-#include "ctmdp/policy_iteration.hpp"
-#include "ctmdp/value_iteration.hpp"
+#include "ctmdp/solver.hpp"
 #include "split/splitter.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -31,31 +31,50 @@ socbuf::core::SubsystemCtmdp make_model(long cap) {
     return socbuf::core::SubsystemCtmdp(*bus_b, caps, rates);
 }
 
+socbuf::ctmdp::DispatchOptions forced(socbuf::ctmdp::SolverChoice choice) {
+    socbuf::ctmdp::DispatchOptions d;
+    d.choice = choice;
+    return d;
+}
+
 void print_agreement() {
-    std::printf("\n=== A1: LP vs value iteration vs policy iteration ===\n");
+    using socbuf::ctmdp::SolverChoice;
+    std::printf("\n=== A1: LP vs value iteration vs policy iteration"
+                " (via SolverRegistry) ===\n");
+    socbuf::ctmdp::SolverRegistry registry;
     socbuf::util::Table t({"cap", "states", "pairs", "LP gain", "VI gain",
-                           "PI gain", "LP pivots"});
+                           "PI gain", "auto picks"});
     for (const long cap : {1L, 2L, 3L, 4L}) {
         const auto model = make_model(cap);
-        const auto lp = socbuf::ctmdp::solve_average_cost_lp(model.model());
-        const auto vi =
-            socbuf::ctmdp::relative_value_iteration(model.model());
-        const auto pi = socbuf::ctmdp::policy_iteration(model.model());
+        const auto lp =
+            registry.solve(model.model(), forced(SolverChoice::kLp));
+        const auto vi = registry.solve(model.model(),
+                                       forced(SolverChoice::kValueIteration));
+        const auto pi = registry.solve(
+            model.model(), forced(SolverChoice::kPolicyIteration));
+        const auto picked = registry.select(model.model(), {});
         t.add_row({std::to_string(cap),
                    std::to_string(model.model().state_count()),
                    std::to_string(model.model().pair_count()),
-                   socbuf::util::format_fixed(lp.average_cost, 6),
+                   socbuf::util::format_fixed(lp.gain, 6),
                    socbuf::util::format_fixed(vi.gain, 6),
                    socbuf::util::format_fixed(pi.gain, 6),
-                   std::to_string(lp.simplex_iterations)});
+                   socbuf::ctmdp::to_string(picked)});
     }
     std::printf("%s", t.to_string().c_str());
+    const auto stats = registry.stats();
+    std::printf("registry stats: %zu lp / %zu vi / %zu pi solves, "
+                "%zu switching states\n",
+                stats.lp_solves, stats.vi_solves, stats.pi_solves,
+                stats.switching_states);
 }
 
 void BM_LpSolver(benchmark::State& state) {
     const auto model = make_model(state.range(0));
+    socbuf::ctmdp::SolverRegistry registry;
+    const auto dispatch = forced(socbuf::ctmdp::SolverChoice::kLp);
     for (auto _ : state) {
-        auto r = socbuf::ctmdp::solve_average_cost_lp(model.model());
+        auto r = registry.solve(model.model(), dispatch);
         benchmark::DoNotOptimize(r);
     }
 }
@@ -64,8 +83,11 @@ BENCHMARK(BM_LpSolver)->Arg(1)->Arg(2)->Arg(3)->Unit(
 
 void BM_ValueIteration(benchmark::State& state) {
     const auto model = make_model(state.range(0));
+    socbuf::ctmdp::SolverRegistry registry;
+    const auto dispatch =
+        forced(socbuf::ctmdp::SolverChoice::kValueIteration);
     for (auto _ : state) {
-        auto r = socbuf::ctmdp::relative_value_iteration(model.model());
+        auto r = registry.solve(model.model(), dispatch);
         benchmark::DoNotOptimize(r);
     }
 }
@@ -74,8 +96,11 @@ BENCHMARK(BM_ValueIteration)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(6)->Unit(
 
 void BM_PolicyIteration(benchmark::State& state) {
     const auto model = make_model(state.range(0));
+    socbuf::ctmdp::SolverRegistry registry;
+    const auto dispatch =
+        forced(socbuf::ctmdp::SolverChoice::kPolicyIteration);
     for (auto _ : state) {
-        auto r = socbuf::ctmdp::policy_iteration(model.model());
+        auto r = registry.solve(model.model(), dispatch);
         benchmark::DoNotOptimize(r);
     }
 }

@@ -1,0 +1,116 @@
+// A9 — parallel execution backbone: wall-clock scaling and determinism of
+// the exec layer on the Figure 3 workload. Two claims are measured:
+//
+//   1. determinism — run_figure3 with threads = 1, 2, 4 produces
+//      bit-identical totals (each replication owns its RNG substream and
+//      results are folded in index order),
+//   2. speedup — the replication sweep and the full driver get faster with
+//      more workers (on multi-core hardware; a 1-core container shows ~1x,
+//      which the table makes obvious rather than hiding).
+#include "arch/presets.hpp"
+#include "core/experiments.hpp"
+#include "exec/thread_pool.hpp"
+#include "sim/simulator.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+namespace {
+
+socbuf::core::Figure3Params scaled_params(std::size_t threads) {
+    socbuf::core::Figure3Params p;
+    p.horizon = 2000.0;
+    p.warmup = 200.0;
+    p.replications = 10;  // the paper's 10 repetitions
+    p.sizing_iterations = 6;
+    p.threads = threads;
+    return p;
+}
+
+double seconds_of(const std::function<void()>& body) {
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(stop - start).count();
+}
+
+void print_scaling() {
+    std::printf("\n=== A9: parallel scaling on the Figure 3 workload "
+                "(hardware threads: %zu) ===\n",
+                socbuf::exec::resolve_thread_count(0));
+
+    // Replication sweep in isolation: the embarrassingly parallel part.
+    const auto system = socbuf::arch::network_processor_system();
+    socbuf::sim::SimConfig cfg;
+    cfg.horizon = 2000.0;
+    cfg.warmup = 200.0;
+    cfg.seed = 2005;
+    const std::vector<long> alloc(
+        socbuf::arch::enumerate_buffer_sites(system.architecture).size(),
+        10);
+
+    socbuf::util::Table t({"threads", "replicate_losses [s]",
+                           "run_figure3 [s]", "resized total", "identical"});
+    double rep_base = 0.0;
+    double fig_base = 0.0;
+    double reference_total = 0.0;
+    bool first = true;
+    for (const std::size_t threads : {1UL, 2UL, 4UL}) {
+        socbuf::sim::ReplicatedLosses rep;
+        const double rep_s = seconds_of([&] {
+            rep = socbuf::sim::replicate_losses(system, alloc, cfg, 10,
+                                                threads);
+        });
+        socbuf::core::Figure3Result fig;
+        const double fig_s = seconds_of(
+            [&] { fig = socbuf::core::run_figure3(scaled_params(threads)); });
+        if (first) {
+            rep_base = rep_s;
+            fig_base = fig_s;
+            reference_total = fig.resized_total;
+            first = false;
+        }
+        const bool identical = fig.resized_total == reference_total;
+        t.add_row({std::to_string(threads),
+                   socbuf::util::format_fixed(rep_s, 3) + " (" +
+                       socbuf::util::format_fixed(rep_base / rep_s, 2) + "x)",
+                   socbuf::util::format_fixed(fig_s, 3) + " (" +
+                       socbuf::util::format_fixed(fig_base / fig_s, 2) + "x)",
+                   socbuf::util::format_fixed(fig.resized_total, 6),
+                   identical ? "yes" : "NO"});
+    }
+    std::printf("%s", t.to_string().c_str());
+}
+
+void BM_ReplicateLosses(benchmark::State& state) {
+    const auto system = socbuf::arch::network_processor_system();
+    socbuf::sim::SimConfig cfg;
+    cfg.horizon = 1000.0;
+    cfg.warmup = 100.0;
+    cfg.seed = 2005;
+    const std::vector<long> alloc(
+        socbuf::arch::enumerate_buffer_sites(system.architecture).size(),
+        10);
+    const auto threads = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        auto r = socbuf::sim::replicate_losses(system, alloc, cfg, 10,
+                                               threads);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_ReplicateLosses)->Arg(1)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_scaling();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

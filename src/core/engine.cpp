@@ -2,15 +2,17 @@
 
 #include "core/modulated_model.hpp"
 #include "core/subsystem_model.hpp"
-#include "ctmdp/lp_solver.hpp"
 #include "ctmdp/occupation.hpp"
-#include "ctmdp/value_iteration.hpp"
+#include "ctmdp/solver.hpp"
+#include "exec/parallel.hpp"
+#include "exec/thread_pool.hpp"
 #include "util/contracts.hpp"
 #include "util/log.hpp"
 #include "util/numeric.hpp"
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 namespace socbuf::core {
 
@@ -32,75 +34,42 @@ BufferSizingEngine::BufferSizingEngine(SizingOptions options)
 
 namespace {
 
-/// The solution pieces the translation needs, solver-agnostic.
-struct SubsystemSolution {
-    linalg::Vector stationary;       // pi(s)
-    std::vector<double> occupation;  // x(s,a)
-    std::size_t switching_states = 0;
-    bool from_lp = false;
-};
-
-SubsystemSolution solve_subsystem(const ctmdp::CtmdpModel& model,
-                                  const SizingOptions& options) {
-    const bool use_lp =
-        options.solver == SolverChoice::kLp ||
-        (options.solver == SolverChoice::kAuto &&
-         model.pair_count() <= options.lp_pair_limit);
-    SubsystemSolution out;
-    if (use_lp) {
-        const auto r = ctmdp::solve_average_cost_lp(model);
-        if (r.status == lp::SolveStatus::kOptimal) {
-            out.stationary.assign(r.state_probability.begin(),
-                                  r.state_probability.end());
-            out.occupation = r.occupation;
-            out.switching_states = r.policy.switching_state_count(1e-9);
-            out.from_lp = true;
-            return out;
-        }
-        if (options.solver == SolverChoice::kLp)
-            throw util::NumericalError(
-                "subsystem LP did not reach optimality: " +
-                std::string(lp::to_string(r.status)));
-        util::log(util::LogLevel::kWarn, "subsystem LP returned ",
-                  lp::to_string(r.status),
-                  "; falling back to value iteration");
-    }
-    ctmdp::ViOptions vi_opts;
-    vi_opts.tolerance = 1e-7;  // scores need far less precision than this
-    vi_opts.max_iterations = 50000;
-    const auto vi = ctmdp::relative_value_iteration(model, vi_opts);
-    if (!vi.converged)
-        util::log(util::LogLevel::kWarn,
-                  "value iteration hit the iteration limit (span ",
-                  vi.span_residual, "); using the last policy");
-    const auto policy =
-        ctmdp::RandomizedPolicy::from_deterministic(vi.policy, model);
-    out.occupation = ctmdp::occupation_of_policy(model, policy);
-    out.stationary.assign(model.state_count(), 0.0);
-    for (std::size_t p = 0; p < out.occupation.size(); ++p)
-        out.stationary[model.pair_state(p)] += out.occupation[p];
-    out.from_lp = false;
-    return out;
+/// Dispatch policy the registry applies to every subsystem solve.
+ctmdp::DispatchOptions make_dispatch(const SizingOptions& options) {
+    ctmdp::DispatchOptions dispatch;
+    dispatch.choice = options.solver;
+    dispatch.lp_pair_limit = options.lp_pair_limit;
+    dispatch.pi_state_limit = options.pi_state_limit;
+    // Scores need far less precision than the solver defaults.
+    dispatch.solver.vi.tolerance = 1e-7;
+    dispatch.solver.vi.max_iterations = 50000;
+    return dispatch;
 }
 
-/// Solve every subsystem model and fold its solution into the K-switching
-/// scores and service weights. Generic over the model family (Poisson
+/// Solve every subsystem model (in parallel — the solves are independent)
+/// and fold each solution, in subsystem order, into the K-switching scores
+/// and service weights; the ordered fold keeps the report bit-identical
+/// for any thread count. Generic over the model family (Poisson
 /// SubsystemCtmdp or burst-aware ModulatedSubsystemCtmdp), which share the
 /// same surface.
 template <typename ModelVector>
 void score_subsystems(const ModelVector& models,
                       const SizingOptions& options,
+                      ctmdp::SolverRegistry& registry,
+                      exec::ThreadPool* pool,
                       const std::vector<double>& measured_occ,
                       SizingReport& report) {
-    for (const auto& sub_model : models) {
-        const SubsystemSolution sol =
-            solve_subsystem(sub_model.model(), options);
-        if (sol.from_lp)
-            ++report.lp_solves;
-        else
-            ++report.vi_solves;
-        report.switching_states += sol.switching_states;
-
+    const ctmdp::DispatchOptions dispatch = make_dispatch(options);
+    const auto solve_one = [&](std::size_t i) {
+        return registry.solve(models[i].model(), dispatch);
+    };
+    const auto solutions =
+        pool != nullptr
+            ? exec::parallel_map(*pool, models.size(), solve_one)
+            : exec::parallel_map(std::size_t{1}, models.size(), solve_one);
+    for (std::size_t m = 0; m < models.size(); ++m) {
+        const auto& sub_model = models[m];
+        const ctmdp::SubsystemSolution& sol = solutions[m];
         const auto shares = sub_model.service_shares(sol.occupation);
         const auto& flows = sub_model.subsystem().flows;
         for (std::size_t f = 0; f < flows.size(); ++f) {
@@ -126,6 +95,13 @@ void score_subsystems(const ModelVector& models,
 }  // namespace
 
 SizingReport BufferSizingEngine::run(const arch::TestSystem& system) const {
+    ctmdp::SolverRegistry registry;
+    // Spin up workers only when they could actually be used; on the serial
+    // path parallel_map runs inline and no thread is ever spawned.
+    const std::size_t workers = exec::resolve_thread_count(options_.threads);
+    std::optional<exec::ThreadPool> pool;
+    if (workers > 1) pool.emplace(workers);
+
     SizingReport report;
     report.split = split::split_architecture(system);
     const auto& split = report.split;
@@ -159,14 +135,17 @@ SizingReport BufferSizingEngine::run(const arch::TestSystem& system) const {
     for (int iter = 0; iter < options_.iterations; ++iter) {
         // Solve every subsystem and translate occupancies into
         // K-switching scores.
+        exec::ThreadPool* workers_or_null = pool ? &*pool : nullptr;
         if (options_.use_modulated_models) {
             const auto models = build_modulated_models(
                 split, alloc, options_.model_cap, rates);
-            score_subsystems(models, options_, measured_occ, report);
+            score_subsystems(models, options_, registry, workers_or_null,
+                             measured_occ, report);
         } else {
             const auto models = build_subsystem_models(
                 split, alloc, options_.model_cap, rates);
-            score_subsystems(models, options_, measured_occ, report);
+            score_subsystems(models, options_, registry, workers_or_null,
+                             measured_occ, report);
         }
 
         // Apportion the budget by score (each active site keeps >= 1).
@@ -208,6 +187,12 @@ SizingReport BufferSizingEngine::run(const arch::TestSystem& system) const {
     }
 
     report.after = sim::simulate(system, report.best, options_.sim);
+
+    const ctmdp::SolverStatsSnapshot stats = registry.stats();
+    report.lp_solves = stats.lp_solves;
+    report.vi_solves = stats.vi_solves;
+    report.pi_solves = stats.pi_solves;
+    report.switching_states = stats.switching_states;
     return report;
 }
 

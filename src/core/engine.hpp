@@ -15,6 +15,7 @@
 #pragma once
 
 #include "core/allocation.hpp"
+#include "ctmdp/solver.hpp"
 #include "sim/simulator.hpp"
 #include "split/splitter.hpp"
 
@@ -23,19 +24,25 @@
 
 namespace socbuf::core {
 
-enum class SolverChoice {
-    kAuto,            // LP when the model is small enough, else VI
-    kLp,              // force the occupation-measure LP
-    kValueIteration,  // force relative value iteration
-};
+/// Solver selection lives in the ctmdp solver layer now; the alias keeps
+/// the engine's public surface (core::SolverChoice::kAuto/kLp/...) stable.
+/// kAuto escalates LP -> policy iteration -> value iteration by model size.
+using SolverChoice = ctmdp::SolverChoice;
 
 struct SizingOptions {
     long total_budget = 160;
     int iterations = 10;       // resize/resimulate rounds (paper: 10)
     double tail_mass = 0.02;   // occupancy-quantile tail for requirements
     long model_cap = 3;        // per-flow occupancy cap inside the CTMDP
-    std::size_t lp_pair_limit = 1200;  // kAuto: LP up to this many pairs
+    /// kAuto escalation thresholds; defaults come from the solver layer's
+    /// DispatchOptions so there is one source of truth.
+    std::size_t lp_pair_limit = ctmdp::DispatchOptions{}.lp_pair_limit;
+    std::size_t pi_state_limit = ctmdp::DispatchOptions{}.pi_state_limit;
     SolverChoice solver = SolverChoice::kAuto;
+    /// Worker threads for the per-subsystem CTMDP solves each round
+    /// (0 = hardware concurrency). Results are bit-identical for any
+    /// value — solves are independent and folded in subsystem order.
+    std::size_t threads = 1;
     /// Weight of the saturated-buffer correction: when mass piles up at the
     /// modeled cap, the true requirement exceeds the cap and the score is
     /// extrapolated by boost * P(k = cap) * cap.
@@ -73,9 +80,12 @@ struct SizingReport {
     std::vector<double> site_scores;
     /// CTMDP service shares per site (weights for a randomized arbiter).
     std::vector<double> site_service_weights;
-    std::size_t switching_states = 0;  // across all LP solves
+    // Per-solver counts, reported by the ctmdp::SolverRegistry that ran
+    // the subsystem solves (not hand-maintained).
+    std::size_t switching_states = 0;  // across all solves
     std::size_t lp_solves = 0;
     std::size_t vi_solves = 0;
+    std::size_t pi_solves = 0;
 
     /// Loss improvement of `after` over `before` (1 = all loss removed).
     [[nodiscard]] double improvement() const;

@@ -17,12 +17,15 @@ double Figure3Result::gain_vs_timeout() const {
 
 namespace {
 
-/// Mean per-processor losses over `reps` seeds for a fixed allocation.
+/// Mean per-processor losses over `reps` seeds for a fixed allocation,
+/// with the replications spread over `threads` workers.
 std::vector<double> replicated(const arch::TestSystem& system,
                                const Allocation& alloc,
                                const sim::SimConfig& config,
-                               std::size_t reps, double* total_out) {
-    const auto r = sim::replicate_losses(system, alloc, config, reps);
+                               std::size_t reps, std::size_t threads,
+                               double* total_out) {
+    const auto r =
+        sim::replicate_losses(system, alloc, config, reps, threads);
     if (total_out != nullptr) *total_out = r.mean_total_lost;
     return r.mean_lost_per_processor;
 }
@@ -36,6 +39,7 @@ Figure3Result run_figure3(const Figure3Params& params) {
     SizingOptions opts;
     opts.total_budget = params.total_budget;
     opts.iterations = params.sizing_iterations;
+    opts.threads = params.threads;
     opts.sim.horizon = params.horizon;
     opts.sim.warmup = params.warmup;
     opts.sim.seed = params.seed;
@@ -48,10 +52,12 @@ Figure3Result run_figure3(const Figure3Params& params) {
     out.resized_alloc = report.best;
 
     // Bar 1: constant (uniform) sizing. Bar 2: after CTMDP resizing.
-    out.constant_loss = replicated(system, report.initial, opts.sim,
-                                   params.replications, &out.constant_total);
-    out.resized_loss = replicated(system, report.best, opts.sim,
-                                  params.replications, &out.resized_total);
+    out.constant_loss =
+        replicated(system, report.initial, opts.sim, params.replications,
+                   params.threads, &out.constant_total);
+    out.resized_loss =
+        replicated(system, report.best, opts.sim, params.replications,
+                   params.threads, &out.resized_total);
 
     // Bar 3: timeout policy on the constant allocation; threshold = average
     // time spent by a request in a buffer (calibrated without timeouts).
@@ -65,8 +71,9 @@ Figure3Result run_figure3(const Figure3Params& params) {
         sim::calibrate_site_timeout_thresholds(
             system, report.initial, opts.sim,
             params.timeout_threshold_scale);
-    out.timeout_loss = replicated(system, report.initial, timeout_cfg,
-                                  params.replications, &out.timeout_total);
+    out.timeout_loss =
+        replicated(system, report.initial, timeout_cfg, params.replications,
+                   params.threads, &out.timeout_total);
     return out;
 }
 
@@ -79,6 +86,7 @@ Table1Result run_table1(const Table1Params& params) {
         SizingOptions opts;
         opts.total_budget = budget;
         opts.iterations = params.sizing_iterations;
+        opts.threads = params.threads;
         opts.sim.horizon = params.horizon;
         opts.sim.warmup = params.warmup;
         opts.sim.seed = params.seed;
@@ -89,9 +97,11 @@ Table1Result run_table1(const Table1Params& params) {
         Table1Row row;
         row.budget = budget;
         row.pre = replicated(system, report.initial, opts.sim,
-                             params.replications, &row.pre_total);
+                             params.replications, params.threads,
+                             &row.pre_total);
         row.post = replicated(system, report.best, opts.sim,
-                              params.replications, &row.post_total);
+                              params.replications, params.threads,
+                              &row.post_total);
         out.rows.push_back(std::move(row));
     }
     return out;

@@ -28,6 +28,10 @@ struct Figure3Params {
     /// threshold keeps the policy a competitive baseline. The sensitivity
     /// bench (bench_ablation_policies) sweeps this scale.
     double timeout_threshold_scale = 4.0;
+    /// Worker threads for the replications and the engine's subsystem
+    /// solves (0 = hardware concurrency). Results are bit-identical for
+    /// any value — every replication owns its RNG substream.
+    std::size_t threads = 1;
 };
 
 struct Figure3Result {
@@ -60,6 +64,8 @@ struct Table1Params {
     std::size_t replications = 10;
     std::uint64_t seed = 2005;
     int sizing_iterations = 10;
+    /// Worker threads (0 = hardware concurrency); see Figure3Params.
+    std::size_t threads = 1;
 };
 
 struct Table1Row {

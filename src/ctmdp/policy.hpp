@@ -26,7 +26,12 @@ public:
         return choice_;
     }
 
-    bool operator==(const DeterministicPolicy&) const = default;
+    bool operator==(const DeterministicPolicy& other) const {
+        return choice_ == other.choice_;
+    }
+    bool operator!=(const DeterministicPolicy& other) const {
+        return !(*this == other);
+    }
 
 private:
     std::vector<std::size_t> choice_;

@@ -1,0 +1,58 @@
+#include "exec/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+
+namespace socbuf::exec {
+
+void parallel_for_index(ThreadPool& pool, std::size_t n,
+                        const std::function<void(std::size_t)>& body) {
+    if (n == 0) return;
+    if (pool.size() <= 1 || n == 1) {
+        for (std::size_t i = 0; i < n; ++i) body(i);
+        return;
+    }
+
+    struct Shared {
+        std::atomic<std::size_t> cursor{0};
+        std::atomic<std::size_t> finished_workers{0};
+        std::mutex mutex;
+        std::condition_variable done;
+        std::exception_ptr error;
+        std::size_t worker_count = 0;
+        bool all_done = false;
+    } shared;
+    shared.worker_count = std::min(pool.size(), n);
+
+    const std::size_t total = n;
+    auto drive = [&shared, &body, total] {
+        for (;;) {
+            const std::size_t i =
+                shared.cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= total) break;
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(shared.mutex);
+                if (shared.error == nullptr)
+                    shared.error = std::current_exception();
+                // Stop claiming further indices everywhere.
+                shared.cursor.store(total, std::memory_order_relaxed);
+            }
+        }
+        std::lock_guard<std::mutex> lock(shared.mutex);
+        if (++shared.finished_workers == shared.worker_count) {
+            shared.all_done = true;
+            shared.done.notify_all();
+        }
+    };
+    for (std::size_t w = 0; w < shared.worker_count; ++w) pool.submit(drive);
+
+    std::unique_lock<std::mutex> lock(shared.mutex);
+    shared.done.wait(lock, [&shared] { return shared.all_done; });
+    if (shared.error != nullptr) std::rethrow_exception(shared.error);
+}
+
+}  // namespace socbuf::exec

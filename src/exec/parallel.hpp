@@ -1,0 +1,64 @@
+// Deterministic data-parallel helpers on top of exec::ThreadPool.
+//
+// parallel_map(pool, n, fn) evaluates fn(0..n-1) concurrently and returns
+// the results in index order. Each fn(i) must be independent of every
+// other index; under that contract the returned vector is **bit-identical
+// for any pool size, including 1**, because results are addressed by index
+// and the caller folds them in order. This is the backbone the sizing
+// engine uses for per-subsystem CTMDP solves and the experiment drivers
+// use for per-replication simulations (each replication already owns its
+// own RNG substream: seed = base seed + replication index).
+#pragma once
+
+#include "exec/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+namespace socbuf::exec {
+
+/// Run body(i) for every i in [0, n) on the pool's workers and block until
+/// all are done. Indices are claimed from a shared atomic cursor (dynamic
+/// load balancing, no stealing); the first exception thrown by any body is
+/// rethrown here after every worker has stopped.
+void parallel_for_index(ThreadPool& pool, std::size_t n,
+                        const std::function<void(std::size_t)>& body);
+
+/// Map fn over [0, n) and return results in index order. fn's result type
+/// must be default-constructible and movable. Runs inline (no locking)
+/// when the pool has a single worker or n <= 1.
+template <typename Fn>
+[[nodiscard]] auto parallel_map(ThreadPool& pool, std::size_t n, Fn&& fn)
+    -> std::vector<std::decay_t<decltype(fn(std::size_t{}))>> {
+    using Result = std::decay_t<decltype(fn(std::size_t{}))>;
+    std::vector<Result> out(n);
+    if (n == 0) return out;
+    if (pool.size() <= 1 || n == 1) {
+        for (std::size_t i = 0; i < n; ++i) out[i] = fn(i);
+        return out;
+    }
+    parallel_for_index(pool, n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+}
+
+/// Convenience overload: spin up a transient pool of `threads` workers
+/// (0 = hardware concurrency) for one map. Prefer the pool overload when
+/// mapping repeatedly.
+template <typename Fn>
+[[nodiscard]] auto parallel_map(std::size_t threads, std::size_t n, Fn&& fn)
+    -> std::vector<std::decay_t<decltype(fn(std::size_t{}))>> {
+    const std::size_t resolved = resolve_thread_count(threads);
+    if (resolved <= 1 || n <= 1) {
+        using Result = std::decay_t<decltype(fn(std::size_t{}))>;
+        std::vector<Result> out(n);
+        for (std::size_t i = 0; i < n; ++i) out[i] = fn(i);
+        return out;
+    }
+    ThreadPool pool(std::min(resolved, n));  // never spawn idle workers
+    return parallel_map(pool, n, std::forward<Fn>(fn));
+}
+
+}  // namespace socbuf::exec

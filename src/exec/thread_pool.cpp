@@ -1,0 +1,68 @@
+#include "exec/thread_pool.hpp"
+
+#include "util/contracts.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace socbuf::exec {
+
+std::size_t resolve_thread_count(std::size_t requested) {
+    if (requested != 0) return requested;
+    return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    const std::size_t n = resolve_thread_count(threads);
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    job_available_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+    SOCBUF_REQUIRE_MSG(job != nullptr, "cannot submit an empty job");
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        SOCBUF_REQUIRE_MSG(!stopping_,
+                           "cannot submit to a stopping thread pool");
+        queue_.push_back(std::move(job));
+    }
+    job_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            job_available_.wait(
+                lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stopping_ and nothing left
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            ++active_;
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --active_;
+            if (queue_.empty() && active_ == 0) idle_.notify_all();
+        }
+    }
+}
+
+}  // namespace socbuf::exec

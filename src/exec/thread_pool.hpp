@@ -1,0 +1,59 @@
+// A fixed-size thread pool: N workers draining one FIFO job queue.
+// Deliberately work-stealing-free — jobs are pulled from a single shared
+// queue, which keeps the pool small, predictable, and sufficient for the
+// coarse-grained work socbuf parallelizes (CTMDP solves, whole simulation
+// replications). Determinism is the job of exec::parallel_map, which
+// addresses results by index; the pool itself only promises that every
+// submitted job runs exactly once.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace socbuf::exec {
+
+/// Resolve a user-facing `threads` knob: 0 means "use the hardware"
+/// (std::thread::hardware_concurrency, at least 1), anything else is taken
+/// literally.
+[[nodiscard]] std::size_t resolve_thread_count(std::size_t requested);
+
+class ThreadPool {
+public:
+    /// Spawn `threads` workers (resolved via resolve_thread_count, so 0 =
+    /// hardware concurrency). A 1-thread pool is valid and still runs jobs
+    /// on its single worker.
+    explicit ThreadPool(std::size_t threads = 0);
+
+    /// Drains outstanding jobs, then joins every worker.
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+    /// Enqueue a job. Jobs must not throw out of the callable; wrap your
+    /// work and capture exceptions (parallel_map does this for you).
+    void submit(std::function<void()> job);
+
+    /// Block until the queue is empty and every worker is idle.
+    void wait_idle();
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    mutable std::mutex mutex_;
+    std::condition_variable job_available_;
+    std::condition_variable idle_;
+    std::size_t active_ = 0;
+    bool stopping_ = false;
+};
+
+}  // namespace socbuf::exec

@@ -2,6 +2,7 @@
 
 #include "des/scheduler.hpp"
 #include "des/stats.hpp"
+#include "exec/parallel.hpp"
 #include "traffic/arrivals.hpp"
 #include "traffic/routing.hpp"
 #include "util/contracts.hpp"
@@ -354,15 +355,22 @@ std::vector<double> calibrate_site_timeout_thresholds(
 
 ReplicatedLosses replicate_losses(const arch::TestSystem& system,
                                   const std::vector<long>& capacities,
-                                  const SimConfig& config, std::size_t runs) {
+                                  const SimConfig& config, std::size_t runs,
+                                  std::size_t threads) {
     SOCBUF_REQUIRE_MSG(runs > 0, "need at least one replication");
     const std::size_t n = system.architecture.processor_count();
+    // Each replication owns its RNG substream, so the runs are independent
+    // and can execute on any number of workers; the ordered fold below
+    // keeps the aggregate bit-identical for every thread count.
+    const std::vector<SimResult> results =
+        exec::parallel_map(threads, runs, [&](std::size_t r) {
+            SimConfig c = config;
+            c.seed = config.seed + r;
+            return simulate(system, capacities, c);
+        });
     std::vector<std::vector<double>> samples(n);
     ReplicatedLosses out;
-    for (std::size_t r = 0; r < runs; ++r) {
-        SimConfig c = config;
-        c.seed = config.seed + r;
-        const SimResult res = simulate(system, capacities, c);
+    for (const SimResult& res : results) {
         for (std::size_t p = 0; p < n; ++p)
             samples[p].push_back(static_cast<double>(res.lost[p]));
         out.mean_total_lost += static_cast<double>(res.total_lost());

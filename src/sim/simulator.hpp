@@ -37,7 +37,11 @@ namespace socbuf::sim {
 
 /// Average `runs` independent replications (seeds seed, seed+1, ...) and
 /// return per-processor mean loss counts; used by the experiment drivers
-/// for smoother Figure 3 / Table 1 rows.
+/// for smoother Figure 3 / Table 1 rows. Replications are independent —
+/// each owns its RNG substream (seed = base seed + replication index) —
+/// so they run on `threads` workers (0 = hardware concurrency) and are
+/// folded in replication order: the result is bit-identical for any
+/// thread count, including 1.
 struct ReplicatedLosses {
     std::vector<double> mean_lost_per_processor;
     std::vector<double> stddev_lost_per_processor;
@@ -46,6 +50,6 @@ struct ReplicatedLosses {
 };
 [[nodiscard]] ReplicatedLosses replicate_losses(
     const arch::TestSystem& system, const std::vector<long>& capacities,
-    const SimConfig& config, std::size_t runs);
+    const SimConfig& config, std::size_t runs, std::size_t threads = 1);
 
 }  // namespace socbuf::sim

@@ -5,12 +5,14 @@
 #include "core/subsystem_model.hpp"
 #include "ctmdp/lp_solver.hpp"
 #include "ctmdp/occupation.hpp"
+#include "ctmdp/solver.hpp"
 #include "split/splitter.hpp"
 #include "util/contracts.hpp"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 namespace sc = socbuf::core;
@@ -332,4 +334,89 @@ TEST(Engine, HistoryTracksBestAllocation) {
     for (const auto& rec : report.history)
         EXPECT_GE(rec.weighted_loss + 1e-9,
                   std::min(best_weighted, initial_weighted));
+}
+
+TEST(SolverLayer, RegistryAgreesOnSubsystemCtmdps) {
+    // LP, VI and PI must agree — gain and greedy policy — on small
+    // subsystem models, solved through the unified registry.
+    const auto& split = figure1_split();
+    socbuf::ctmdp::SolverRegistry registry;
+    for (const auto& sub : split.subsystems) {
+        std::vector<long> caps(sub.flows.size(), 2);
+        std::vector<double> rates;
+        for (const auto& f : sub.flows) rates.push_back(f.arrival_rate);
+        const sc::SubsystemCtmdp model(sub, caps, rates);
+
+        std::vector<socbuf::ctmdp::SubsystemSolution> sols;
+        for (const auto choice :
+             {sc::SolverChoice::kLp, sc::SolverChoice::kValueIteration,
+              sc::SolverChoice::kPolicyIteration}) {
+            socbuf::ctmdp::DispatchOptions d;
+            d.choice = choice;
+            sols.push_back(registry.solve(model.model(), d));
+        }
+        EXPECT_NEAR(sols[1].gain, sols[0].gain, 1e-6)
+            << "bus " << sub.bus_name;
+        EXPECT_NEAR(sols[2].gain, sols[0].gain, 1e-6)
+            << "bus " << sub.bus_name;
+        EXPECT_EQ(sols[1].policy.mode(), sols[2].policy.mode())
+            << "bus " << sub.bus_name;
+    }
+    const auto stats = registry.stats();
+    EXPECT_EQ(stats.lp_solves, split.subsystems.size());
+    EXPECT_EQ(stats.vi_solves, split.subsystems.size());
+    EXPECT_EQ(stats.pi_solves, split.subsystems.size());
+}
+
+TEST(Engine, PolicyIterationSelectableEndToEnd) {
+    sc::SizingOptions opts;
+    opts.total_budget = 36;
+    opts.iterations = 2;
+    opts.solver = sc::SolverChoice::kPolicyIteration;
+    opts.sim.horizon = 1000.0;
+    opts.sim.warmup = 100.0;
+    const auto report = sc::BufferSizingEngine(opts).run(figure1());
+    EXPECT_GT(report.pi_solves, 0u);
+    EXPECT_EQ(report.lp_solves, 0u);
+    EXPECT_EQ(report.vi_solves, 0u);
+    EXPECT_LE(report.after.total_lost(), report.before.total_lost());
+
+    // PI steers the sizing to the same place the LP does (the solvers
+    // agree, so the K-switching translation sees the same inputs).
+    sc::SizingOptions lp_opts = opts;
+    lp_opts.solver = sc::SolverChoice::kLp;
+    const auto lp_report = sc::BufferSizingEngine(lp_opts).run(figure1());
+    EXPECT_EQ(report.best, lp_report.best);
+}
+
+TEST(Engine, ThreadCountDoesNotChangeTheReport) {
+    auto run_with = [](std::size_t threads) {
+        sc::SizingOptions opts;
+        opts.total_budget = 36;
+        opts.iterations = 3;
+        opts.threads = threads;
+        opts.sim.horizon = 1000.0;
+        opts.sim.warmup = 100.0;
+        return sc::BufferSizingEngine(opts).run(figure1());
+    };
+    const auto serial = run_with(1);
+    for (const std::size_t threads : {2UL, 4UL}) {
+        const auto parallel = run_with(threads);
+        EXPECT_EQ(parallel.best, serial.best) << "threads " << threads;
+        EXPECT_EQ(parallel.after.total_lost(), serial.after.total_lost())
+            << "threads " << threads;
+        EXPECT_EQ(parallel.lp_solves, serial.lp_solves);
+        ASSERT_EQ(parallel.history.size(), serial.history.size());
+        for (std::size_t i = 0; i < serial.history.size(); ++i)
+            EXPECT_EQ(parallel.history[i].allocation,
+                      serial.history[i].allocation)
+                << "iteration " << i;
+    }
+}
+
+TEST(Engine, ImprovementIsZeroWhenBaselineLossIsZero) {
+    // A zero-loss baseline must not divide by zero (0, not NaN).
+    sc::SizingReport report;
+    EXPECT_EQ(report.improvement(), 0.0);
+    EXPECT_FALSE(std::isnan(report.improvement()));
 }

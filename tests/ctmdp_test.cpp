@@ -4,13 +4,17 @@
 #include "ctmdp/occupation.hpp"
 #include "ctmdp/policy.hpp"
 #include "ctmdp/policy_iteration.hpp"
+#include "ctmdp/solver.hpp"
 #include "ctmdp/value_iteration.hpp"
+#include "exec/parallel.hpp"
+#include "exec/thread_pool.hpp"
 #include "util/contracts.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <random>
+#include <utility>
 
 namespace sm = socbuf::ctmdp;
 
@@ -293,4 +297,126 @@ TEST(Occupation, MarginalsAndQuantiles) {
     EXPECT_EQ(sm::marginal_quantile(dist, 0.05), 2u);
     EXPECT_EQ(sm::marginal_quantile(dist, 0.0), 3u);
     EXPECT_EQ(sm::marginal_quantile(dist, 1.0), 0u);
+}
+
+TEST(SolverRegistry, ForcedChoicesRunTheRequestedAlgorithm) {
+    const auto m = two_state_toy();
+    sm::SolverRegistry registry;
+    for (const auto [choice, kind] :
+         {std::pair{sm::SolverChoice::kLp, sm::SolverKind::kLp},
+          std::pair{sm::SolverChoice::kValueIteration,
+                    sm::SolverKind::kValueIteration},
+          std::pair{sm::SolverChoice::kPolicyIteration,
+                    sm::SolverKind::kPolicyIteration}}) {
+        sm::DispatchOptions d;
+        d.choice = choice;
+        const auto sol = registry.solve(m, d);
+        EXPECT_EQ(sol.solved_by, kind);
+        EXPECT_TRUE(sol.converged);
+        EXPECT_NEAR(sol.gain, 1.0, 1e-8);  // known optimum of the toy
+    }
+    const auto stats = registry.stats();
+    EXPECT_EQ(stats.lp_solves, 1u);
+    EXPECT_EQ(stats.vi_solves, 1u);
+    EXPECT_EQ(stats.pi_solves, 1u);
+    EXPECT_EQ(stats.total_solves(), 3u);
+}
+
+TEST(SolverRegistry, AllSolversAgreeOnGainPolicyAndStationary) {
+    sm::SolverRegistry registry;
+    for (const unsigned seed : {1u, 2u, 3u, 4u, 5u}) {
+        const auto m = random_model(seed, 4 + seed % 3, 2);
+        std::vector<sm::SubsystemSolution> sols;
+        for (const auto choice :
+             {sm::SolverChoice::kLp, sm::SolverChoice::kValueIteration,
+              sm::SolverChoice::kPolicyIteration}) {
+            sm::DispatchOptions d;
+            d.choice = choice;
+            sols.push_back(registry.solve(m, d));
+        }
+        for (std::size_t i = 1; i < sols.size(); ++i) {
+            EXPECT_NEAR(sols[i].gain, sols[0].gain, 1e-6)
+                << "seed " << seed;
+            // Same greedy (modal) policy...
+            EXPECT_EQ(sols[i].policy.mode(), sols[0].policy.mode())
+                << "seed " << seed;
+            // ...hence the same stationary distribution.
+            ASSERT_EQ(sols[i].stationary.size(), sols[0].stationary.size());
+            for (std::size_t s = 0; s < sols[0].stationary.size(); ++s)
+                EXPECT_NEAR(sols[i].stationary[s], sols[0].stationary[s],
+                            1e-6)
+                    << "seed " << seed << " state " << s;
+        }
+    }
+}
+
+TEST(SolverRegistry, AutoEscalatesBySize) {
+    const auto m = random_model(7, 6, 2);  // 6 states, 12 pairs
+    sm::SolverRegistry registry;
+
+    sm::DispatchOptions lp_sized;  // pairs fit under the LP limit
+    EXPECT_EQ(registry.select(m, lp_sized), sm::SolverKind::kLp);
+
+    sm::DispatchOptions pi_sized;  // pairs too many, states fit for PI
+    pi_sized.lp_pair_limit = 4;
+    EXPECT_EQ(registry.select(m, pi_sized),
+              sm::SolverKind::kPolicyIteration);
+
+    sm::DispatchOptions vi_sized;  // both limits exceeded
+    vi_sized.lp_pair_limit = 4;
+    vi_sized.pi_state_limit = 3;
+    EXPECT_EQ(registry.select(m, vi_sized),
+              sm::SolverKind::kValueIteration);
+
+    // The escalated solves still land on the same gain.
+    const auto via_lp = registry.solve(m, lp_sized);
+    const auto via_pi = registry.solve(m, pi_sized);
+    const auto via_vi = registry.solve(m, vi_sized);
+    EXPECT_EQ(via_lp.solved_by, sm::SolverKind::kLp);
+    EXPECT_EQ(via_pi.solved_by, sm::SolverKind::kPolicyIteration);
+    EXPECT_EQ(via_vi.solved_by, sm::SolverKind::kValueIteration);
+    EXPECT_NEAR(via_pi.gain, via_lp.gain, 1e-6);
+    EXPECT_NEAR(via_vi.gain, via_lp.gain, 1e-6);
+}
+
+TEST(SolverRegistry, SolutionOccupationSumsToOne) {
+    const auto m = mm1k_model(0.8, 1.0, 4);
+    sm::SolverRegistry registry;
+    for (const auto choice :
+         {sm::SolverChoice::kLp, sm::SolverChoice::kValueIteration,
+          sm::SolverChoice::kPolicyIteration}) {
+        sm::DispatchOptions d;
+        d.choice = choice;
+        const auto sol = registry.solve(m, d);
+        double mass = 0.0;
+        for (const double x : sol.occupation) mass += x;
+        EXPECT_NEAR(mass, 1.0, 1e-8);
+        EXPECT_EQ(sol.switching_states, 0u);  // unconstrained => no mixing
+    }
+}
+
+TEST(SolverRegistry, StatsResetAndConcurrentSolvesCount) {
+    sm::SolverRegistry registry;
+    const auto m = two_state_toy();
+    sm::DispatchOptions d;
+    d.choice = sm::SolverChoice::kValueIteration;
+    socbuf::exec::ThreadPool pool(4);
+    socbuf::exec::parallel_for_index(
+        pool, 16, [&](std::size_t) { (void)registry.solve(m, d); });
+    EXPECT_EQ(registry.stats().vi_solves, 16u);
+    registry.reset_stats();
+    EXPECT_EQ(registry.stats().total_solves(), 0u);
+}
+
+TEST(MakeSolver, StandaloneSolversCarryTheirIdentity) {
+    for (const auto kind :
+         {sm::SolverKind::kLp, sm::SolverKind::kValueIteration,
+          sm::SolverKind::kPolicyIteration}) {
+        const auto solver = sm::make_solver(kind);
+        ASSERT_NE(solver, nullptr);
+        EXPECT_EQ(solver->kind(), kind);
+        const auto sol = solver->solve(two_state_toy(), {});
+        EXPECT_NEAR(sol.gain, 1.0, 1e-8);
+        EXPECT_EQ(sol.solved_by, kind);
+    }
 }

@@ -1,0 +1,109 @@
+#include "exec/parallel.hpp"
+#include "exec/thread_pool.hpp"
+#include "util/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace se = socbuf::exec;
+
+TEST(ThreadPool, ResolveThreadCount) {
+    EXPECT_EQ(se::resolve_thread_count(1), 1u);
+    EXPECT_EQ(se::resolve_thread_count(7), 7u);
+    // 0 = hardware concurrency, which is always at least one worker.
+    EXPECT_GE(se::resolve_thread_count(0), 1u);
+}
+
+TEST(ThreadPool, RunsEverySubmittedJobExactlyOnce) {
+    std::atomic<int> counter{0};
+    {
+        se::ThreadPool pool(4);
+        EXPECT_EQ(pool.size(), 4u);
+        for (int i = 0; i < 100; ++i)
+            pool.submit([&counter] { ++counter; });
+        pool.wait_idle();
+        EXPECT_EQ(counter.load(), 100);
+    }  // destructor drains and joins
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingJobs) {
+    std::atomic<int> counter{0};
+    {
+        se::ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i) pool.submit([&counter] { ++counter; });
+    }
+    EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, RejectsEmptyJobs) {
+    se::ThreadPool pool(1);
+    EXPECT_THROW(pool.submit(nullptr), socbuf::util::ContractViolation);
+}
+
+TEST(ParallelMap, OrderedResultsForAnyThreadCount) {
+    const std::size_t n = 257;
+    auto square = [](std::size_t i) { return i * i; };
+    const auto serial = se::parallel_map(std::size_t{1}, n, square);
+    ASSERT_EQ(serial.size(), n);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(serial[i], i * i);
+
+    for (const std::size_t threads : {2UL, 4UL, 8UL}) {
+        se::ThreadPool pool(threads);
+        const auto parallel = se::parallel_map(pool, n, square);
+        EXPECT_EQ(parallel, serial) << "threads=" << threads;
+    }
+}
+
+TEST(ParallelMap, EmptyAndSingleton) {
+    se::ThreadPool pool(3);
+    const auto none =
+        se::parallel_map(pool, 0, [](std::size_t i) { return i; });
+    EXPECT_TRUE(none.empty());
+    const auto one =
+        se::parallel_map(pool, 1, [](std::size_t i) { return i + 41; });
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0], 41u);
+}
+
+TEST(ParallelMap, PropagatesTheFirstException) {
+    se::ThreadPool pool(4);
+    EXPECT_THROW(
+        {
+            auto r = se::parallel_map(pool, 64, [](std::size_t i) {
+                if (i == 13) throw std::runtime_error("boom");
+                return i;
+            });
+            (void)r;
+        },
+        std::runtime_error);
+    // The pool survives a throwing map and keeps working.
+    const auto ok =
+        se::parallel_map(pool, 8, [](std::size_t i) { return i * 2; });
+    EXPECT_EQ(ok[7], 14u);
+}
+
+TEST(ParallelMap, PoolIsReusableAcrossManyMaps) {
+    se::ThreadPool pool(4);
+    std::size_t total = 0;
+    for (int round = 0; round < 20; ++round) {
+        const auto r =
+            se::parallel_map(pool, 32, [](std::size_t i) { return i; });
+        total += std::accumulate(r.begin(), r.end(), std::size_t{0});
+    }
+    EXPECT_EQ(total, 20u * (31u * 32u / 2u));
+}
+
+TEST(ParallelForIndex, VisitsEveryIndexOnce) {
+    se::ThreadPool pool(4);
+    std::vector<std::atomic<int>> visits(500);
+    se::parallel_for_index(pool, visits.size(),
+                           [&](std::size_t i) { ++visits[i]; });
+    for (std::size_t i = 0; i < visits.size(); ++i)
+        EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+}

@@ -124,3 +124,32 @@ TEST(Motivation, SplitYieldsFeasibleSolutionOfTheQuadraticSystem) {
         x.insert(x.end(), pi.begin(), pi.end());
     EXPECT_LT(socbuf::linalg::norm_inf(model.residual(x)), 1e-6);
 }
+
+TEST(Figure3, ThreadCountDoesNotChangeTheResult) {
+    // The determinism contract of the exec layer, end to end: every
+    // replication owns its RNG substream (seed = base + index) and results
+    // fold in index order, so thread count must not change a single total.
+    sc::Figure3Params p = small_fig3();
+    p.threads = 1;
+    const auto serial = sc::run_figure3(p);
+    for (const std::size_t threads : {2UL, 4UL}) {
+        p.threads = threads;
+        const auto parallel = sc::run_figure3(p);
+        EXPECT_EQ(parallel.constant_total, serial.constant_total)
+            << "threads " << threads;
+        EXPECT_EQ(parallel.resized_total, serial.resized_total)
+            << "threads " << threads;
+        EXPECT_EQ(parallel.timeout_total, serial.timeout_total)
+            << "threads " << threads;
+        EXPECT_EQ(parallel.resized_alloc, serial.resized_alloc)
+            << "threads " << threads;
+        EXPECT_EQ(parallel.constant_loss, serial.constant_loss)
+            << "threads " << threads;
+    }
+}
+
+TEST(Figure3, GainsAreZeroNotNanOnZeroBaselines) {
+    sc::Figure3Result empty;
+    EXPECT_EQ(empty.gain_vs_constant(), 0.0);
+    EXPECT_EQ(empty.gain_vs_timeout(), 0.0);
+}
