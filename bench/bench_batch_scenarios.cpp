@@ -1,0 +1,154 @@
+// B1 — the scenario & batch-execution layer, measured. Three claims:
+//
+//   1. cache — a Table 1-style budget sweep re-solves identical subsystem
+//      CTMDPs (the round-0 models coincide across budgets once caps clamp
+//      to model_cap, and sweep scenarios overlap); the batch-wide
+//      SolveCache turns those into hits, reported as a hit rate,
+//   2. scaling — the same batch gets faster with more workers on one
+//      shared pool (threads = 1/2/4 wall-clock and speedup),
+//   3. determinism — every thread count produces bit-identical batch
+//      reports (the exec-layer contract lifted to whole batches), shown
+//      in the table rather than assumed.
+#include "exec/executor.hpp"
+#include "scenario/batch_runner.hpp"
+#include "scenario/scenario.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+namespace {
+
+using socbuf::scenario::BatchOptions;
+using socbuf::scenario::BatchReport;
+using socbuf::scenario::BatchRunner;
+using socbuf::scenario::ScenarioSpec;
+
+/// The np-baseline budget sweep (Table 1's rows) at a bench-friendly
+/// horizon: 3 sizing jobs + 3 x reps evaluation jobs per run.
+ScenarioSpec sweep_spec() {
+    ScenarioSpec spec;
+    spec.name = "np-budget-sweep";
+    spec.budgets = {160, 320, 640};
+    spec.replications = 5;
+    spec.sizing_iterations = 6;
+    spec.sim.horizon = 2000.0;
+    spec.sim.warmup = 200.0;
+    spec.sim.seed = 2005;
+    return spec;
+}
+
+double seconds_of(const std::function<void()>& body) {
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(stop - start).count();
+}
+
+bool identical_runs(const BatchReport& a, const BatchReport& b) {
+    if (a.runs.size() != b.runs.size()) return false;
+    for (std::size_t i = 0; i < a.runs.size(); ++i) {
+        if (a.runs[i].pre_loss != b.runs[i].pre_loss) return false;
+        if (a.runs[i].post_loss != b.runs[i].post_loss) return false;
+        if (a.runs[i].pre_total != b.runs[i].pre_total) return false;
+        if (a.runs[i].post_total != b.runs[i].post_total) return false;
+        if (a.runs[i].resized_alloc != b.runs[i].resized_alloc) return false;
+    }
+    return true;
+}
+
+void print_batch_scaling() {
+    std::printf("\n=== B1: batch scenario execution (hardware threads: %zu) "
+                "===\n",
+                socbuf::exec::resolve_thread_count(0));
+    const ScenarioSpec spec = sweep_spec();
+
+    // Cache effect at fixed threads: the same sweep with and without the
+    // batch-wide solve cache.
+    double cached_s = 0.0;
+    BatchReport cached_report;
+    {
+        socbuf::exec::Executor executor(1);
+        BatchRunner runner(executor);
+        cached_s = seconds_of([&] { cached_report = runner.run(spec); });
+    }
+    double uncached_s = 0.0;
+    {
+        socbuf::exec::Executor executor(1);
+        BatchOptions options;
+        options.use_solve_cache = false;
+        BatchRunner runner(executor, options);
+        uncached_s = seconds_of([&] { (void)runner.run(spec); });
+    }
+    std::printf(
+        "budget sweep %ld/%ld/%ld: solve cache %zu hits / %zu misses "
+        "(%.0f%% hit rate); serial wall-clock %.3fs cached vs %.3fs "
+        "uncached\n",
+        spec.budgets[0], spec.budgets[1], spec.budgets[2],
+        cached_report.cache.hits, cached_report.cache.misses,
+        100.0 * cached_report.cache.hit_rate(), cached_s, uncached_s);
+
+    socbuf::util::Table table({"threads", "batch [s]", "speedup",
+                               "cache hit rate", "identical"});
+    double base_s = 0.0;
+    for (const std::size_t threads : {1UL, 2UL, 4UL}) {
+        socbuf::exec::Executor executor(threads);
+        BatchRunner runner(executor);
+        BatchReport report;
+        const double s = seconds_of([&] { report = runner.run(spec); });
+        if (threads == 1) base_s = s;
+        table.add_row(
+            {std::to_string(threads), socbuf::util::format_fixed(s, 3),
+             socbuf::util::format_fixed(base_s / s, 2) + "x",
+             socbuf::util::format_fixed(100.0 * report.cache.hit_rate(), 0) +
+                 "%",
+             identical_runs(report, cached_report) ? "yes" : "NO"});
+    }
+    std::printf("%s", table.to_string().c_str());
+}
+
+void BM_BatchBudgetSweep(benchmark::State& state) {
+    ScenarioSpec spec = sweep_spec();
+    spec.replications = 3;
+    spec.sim.horizon = 1000.0;
+    spec.sim.warmup = 100.0;
+    const auto threads = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        socbuf::exec::Executor executor(threads);
+        BatchRunner runner(executor);
+        auto report = runner.run(spec);
+        benchmark::DoNotOptimize(report);
+    }
+}
+BENCHMARK(BM_BatchBudgetSweep)->Arg(1)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
+
+void BM_SolveCacheOnOff(benchmark::State& state) {
+    ScenarioSpec spec = sweep_spec();
+    spec.replications = 1;
+    spec.sim.horizon = 1000.0;
+    spec.sim.warmup = 100.0;
+    const bool use_cache = state.range(0) != 0;
+    for (auto _ : state) {
+        socbuf::exec::Executor executor(1);
+        BatchOptions options;
+        options.use_solve_cache = use_cache;
+        BatchRunner runner(executor, options);
+        auto report = runner.run(spec);
+        benchmark::DoNotOptimize(report);
+    }
+}
+BENCHMARK(BM_SolveCacheOnOff)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_batch_scaling();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

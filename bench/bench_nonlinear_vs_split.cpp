@@ -8,6 +8,7 @@
 // (In our reconstruction Newton is more robust than the paper's Matlab 6.1
 // experience — see EXPERIMENTS.md for the discussion.)
 #include "arch/presets.hpp"
+#include "exec/executor.hpp"
 #include "nonlinear/coupled_model.hpp"
 #include "nonlinear/newton.hpp"
 #include "split/splitter.hpp"
@@ -17,6 +18,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <utility>
 
 namespace {
 
@@ -35,22 +37,38 @@ void print_robustness() {
     socbuf::util::Table t({"site cap", "unknowns", "bilinear terms",
                            "newton(full) ok/20", "newton(damped) ok/20",
                            "fixed point", "loss (split)"});
+    // One shared executor for every cap's trial sweep; the random starts
+    // are drawn serially (one RNG stream, same draws as the serial bench)
+    // and the independent Newton solves fan out, folded in trial order.
+    socbuf::exec::Executor executor(0);
     for (const long cap : {2L, 3L, 4L}) {
         socbuf::nonlinear::CoupledModelOptions mo;
         mo.site_cap = cap;
         const socbuf::nonlinear::CoupledBusModel model(figure1(),
                                                        figure1_split(), mo);
         socbuf::rng::RandomEngine eng(17);
+        std::vector<socbuf::linalg::Vector> starts;
+        starts.reserve(20);
+        for (int trial = 0; trial < 20; ++trial)
+            starts.push_back(model.initial_random(eng));
+        const auto outcomes =
+            executor.map(starts.size(), [&](std::size_t trial) {
+                socbuf::nonlinear::NewtonOptions plain;
+                plain.line_search = false;
+                const bool full =
+                    socbuf::nonlinear::solve_newton(model, starts[trial],
+                                                    plain)
+                        .usable();
+                const bool damped =
+                    socbuf::nonlinear::solve_newton(model, starts[trial])
+                        .usable();
+                return std::make_pair(full, damped);
+            });
         int full_ok = 0;
         int damped_ok = 0;
-        for (int trial = 0; trial < 20; ++trial) {
-            const auto x0 = model.initial_random(eng);
-            socbuf::nonlinear::NewtonOptions plain;
-            plain.line_search = false;
-            if (socbuf::nonlinear::solve_newton(model, x0, plain).usable())
-                ++full_ok;
-            if (socbuf::nonlinear::solve_newton(model, x0).usable())
-                ++damped_ok;
+        for (const auto& [full, damped] : outcomes) {
+            full_ok += full ? 1 : 0;
+            damped_ok += damped ? 1 : 0;
         }
         const auto fp = model.solve_fixed_point();
         t.add_row({std::to_string(cap), std::to_string(model.unknown_count()),

@@ -3,16 +3,15 @@
 #include "core/modulated_model.hpp"
 #include "core/subsystem_model.hpp"
 #include "ctmdp/occupation.hpp"
+#include "ctmdp/solve_cache.hpp"
 #include "ctmdp/solver.hpp"
-#include "exec/parallel.hpp"
-#include "exec/thread_pool.hpp"
+#include "exec/executor.hpp"
 #include "util/contracts.hpp"
 #include "util/log.hpp"
 #include "util/numeric.hpp"
 
 #include <algorithm>
 #include <cmath>
-#include <optional>
 
 namespace socbuf::core {
 
@@ -49,27 +48,41 @@ ctmdp::DispatchOptions make_dispatch(const SizingOptions& options) {
 /// Solve every subsystem model (in parallel — the solves are independent)
 /// and fold each solution, in subsystem order, into the K-switching scores
 /// and service weights; the ordered fold keeps the report bit-identical
-/// for any thread count. Generic over the model family (Poisson
+/// for any executor width. Generic over the model family (Poisson
 /// SubsystemCtmdp or burst-aware ModulatedSubsystemCtmdp), which share the
 /// same surface.
 template <typename ModelVector>
 void score_subsystems(const ModelVector& models,
                       const SizingOptions& options,
                       ctmdp::SolverRegistry& registry,
-                      exec::ThreadPool* pool,
+                      exec::Executor& executor,
+                      ctmdp::SolveCache* cache,
                       const std::vector<double>& measured_occ,
                       SizingReport& report) {
     const ctmdp::DispatchOptions dispatch = make_dispatch(options);
     const auto solve_one = [&](std::size_t i) {
+        if (cache != nullptr)
+            return cache->solve(registry, models[i].model(), dispatch);
         return registry.solve(models[i].model(), dispatch);
     };
-    const auto solutions =
-        pool != nullptr
-            ? exec::parallel_map(*pool, models.size(), solve_one)
-            : exec::parallel_map(std::size_t{1}, models.size(), solve_one);
+    const auto solutions = executor.map(models.size(), solve_one);
     for (std::size_t m = 0; m < models.size(); ++m) {
         const auto& sub_model = models[m];
         const ctmdp::SubsystemSolution& sol = solutions[m];
+        // Tally the algorithm behind every solution this run consumed —
+        // whether it was solved here or served by a shared cache — so the
+        // report's counts are deterministic for any executor width and
+        // batch composition.
+        switch (sol.solved_by) {
+            case ctmdp::SolverKind::kLp: ++report.lp_solves; break;
+            case ctmdp::SolverKind::kValueIteration:
+                ++report.vi_solves;
+                break;
+            case ctmdp::SolverKind::kPolicyIteration:
+                ++report.pi_solves;
+                break;
+        }
+        report.switching_states += sol.switching_states;
         const auto shares = sub_model.service_shares(sol.occupation);
         const auto& flows = sub_model.subsystem().flows;
         for (std::size_t f = 0; f < flows.size(); ++f) {
@@ -95,12 +108,16 @@ void score_subsystems(const ModelVector& models,
 }  // namespace
 
 SizingReport BufferSizingEngine::run(const arch::TestSystem& system) const {
+    // A private execution context for this run; a serial executor spawns
+    // no thread at all, so the legacy single-run path stays cheap.
+    exec::Executor executor(options_.threads);
+    return run(system, executor, nullptr);
+}
+
+SizingReport BufferSizingEngine::run(const arch::TestSystem& system,
+                                     exec::Executor& executor,
+                                     ctmdp::SolveCache* cache) const {
     ctmdp::SolverRegistry registry;
-    // Spin up workers only when they could actually be used; on the serial
-    // path parallel_map runs inline and no thread is ever spawned.
-    const std::size_t workers = exec::resolve_thread_count(options_.threads);
-    std::optional<exec::ThreadPool> pool;
-    if (workers > 1) pool.emplace(workers);
 
     SizingReport report;
     report.split = split::split_architecture(system);
@@ -135,16 +152,15 @@ SizingReport BufferSizingEngine::run(const arch::TestSystem& system) const {
     for (int iter = 0; iter < options_.iterations; ++iter) {
         // Solve every subsystem and translate occupancies into
         // K-switching scores.
-        exec::ThreadPool* workers_or_null = pool ? &*pool : nullptr;
         if (options_.use_modulated_models) {
             const auto models = build_modulated_models(
                 split, alloc, options_.model_cap, rates);
-            score_subsystems(models, options_, registry, workers_or_null,
+            score_subsystems(models, options_, registry, executor, cache,
                              measured_occ, report);
         } else {
             const auto models = build_subsystem_models(
                 split, alloc, options_.model_cap, rates);
-            score_subsystems(models, options_, registry, workers_or_null,
+            score_subsystems(models, options_, registry, executor, cache,
                              measured_occ, report);
         }
 
@@ -187,12 +203,6 @@ SizingReport BufferSizingEngine::run(const arch::TestSystem& system) const {
     }
 
     report.after = sim::simulate(system, report.best, options_.sim);
-
-    const ctmdp::SolverStatsSnapshot stats = registry.stats();
-    report.lp_solves = stats.lp_solves;
-    report.vi_solves = stats.vi_solves;
-    report.pi_solves = stats.pi_solves;
-    report.switching_states = stats.switching_states;
     return report;
 }
 

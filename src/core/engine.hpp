@@ -22,6 +22,13 @@
 #include <cstddef>
 #include <vector>
 
+namespace socbuf::exec {
+class Executor;
+}
+namespace socbuf::ctmdp {
+class SolveCache;
+}
+
 namespace socbuf::core {
 
 /// Solver selection lives in the ctmdp solver layer now; the alias keeps
@@ -42,6 +49,8 @@ struct SizingOptions {
     /// Worker threads for the per-subsystem CTMDP solves each round
     /// (0 = hardware concurrency). Results are bit-identical for any
     /// value — solves are independent and folded in subsystem order.
+    /// Only consulted by run(system); the executor overload uses the
+    /// workers of the executor it is handed.
     std::size_t threads = 1;
     /// Weight of the saturated-buffer correction: when mass piles up at the
     /// modeled cap, the true requirement exceeds the cap and the score is
@@ -80,9 +89,11 @@ struct SizingReport {
     std::vector<double> site_scores;
     /// CTMDP service shares per site (weights for a randomized arbiter).
     std::vector<double> site_service_weights;
-    // Per-solver counts, reported by the ctmdp::SolverRegistry that ran
-    // the subsystem solves (not hand-maintained).
-    std::size_t switching_states = 0;  // across all solves
+    // Per-algorithm counts of the subsystem solutions this run consumed,
+    // tallied from each solution's solved_by — the same whether a
+    // solution was computed here or served from a shared solve cache, so
+    // the counts are deterministic for any executor width.
+    std::size_t switching_states = 0;  // across all solutions
     std::size_t lp_solves = 0;
     std::size_t vi_solves = 0;
     std::size_t pi_solves = 0;
@@ -95,8 +106,21 @@ class BufferSizingEngine {
 public:
     explicit BufferSizingEngine(SizingOptions options);
 
-    /// Run the full pipeline on `system`.
+    /// Run the full pipeline on `system` with a private execution context
+    /// sized by SizingOptions::threads (workers are spawned and joined
+    /// inside this call).
     [[nodiscard]] SizingReport run(const arch::TestSystem& system) const;
+
+    /// Run the full pipeline on a *shared* execution context: the
+    /// subsystem solves of every round fan out on `executor`'s workers,
+    /// and — when `cache` is non-null — go through the batch-wide solve
+    /// cache, so identical CTMDPs (fixed-point rounds, sweep repeats) are
+    /// solved once. Results are bit-identical to run(system) for any
+    /// executor width; the report's lp/vi/pi counts reflect actual solver
+    /// work (cache hits do not advance them).
+    [[nodiscard]] SizingReport run(const arch::TestSystem& system,
+                                   exec::Executor& executor,
+                                   ctmdp::SolveCache* cache = nullptr) const;
 
     [[nodiscard]] const SizingOptions& options() const { return options_; }
 

@@ -1,9 +1,8 @@
 #include "core/experiments.hpp"
 
-#include "arch/presets.hpp"
+#include "exec/executor.hpp"
+#include "scenario/batch_runner.hpp"
 #include "util/contracts.hpp"
-
-#include <algorithm>
 
 namespace socbuf::core {
 
@@ -17,94 +16,85 @@ double Figure3Result::gain_vs_timeout() const {
 
 namespace {
 
-/// Mean per-processor losses over `reps` seeds for a fixed allocation,
-/// with the replications spread over `threads` workers.
-std::vector<double> replicated(const arch::TestSystem& system,
-                               const Allocation& alloc,
-                               const sim::SimConfig& config,
-                               std::size_t reps, std::size_t threads,
-                               double* total_out) {
-    const auto r =
-        sim::replicate_losses(system, alloc, config, reps, threads);
-    if (total_out != nullptr) *total_out = r.mean_total_lost;
-    return r.mean_lost_per_processor;
+/// The network-processor testbench as a one-off scenario spec; both
+/// drivers are just presets over the scenario layer now.
+scenario::ScenarioSpec np_spec(std::vector<long> budgets, double horizon,
+                               double warmup, std::uint64_t seed,
+                               std::size_t replications,
+                               int sizing_iterations) {
+    scenario::ScenarioSpec spec;
+    spec.name = "network-processor";
+    spec.testbench = scenario::Testbench::kNetworkProcessor;
+    spec.budgets = std::move(budgets);
+    spec.replications = replications;
+    spec.sizing_iterations = sizing_iterations;
+    spec.sim.horizon = horizon;
+    spec.sim.warmup = warmup;
+    spec.sim.seed = seed;
+    return spec;
 }
 
 }  // namespace
 
-Figure3Result run_figure3(const Figure3Params& params) {
+Figure3Result run_figure3(const Figure3Params& params,
+                          exec::Executor& executor) {
     SOCBUF_REQUIRE_MSG(params.replications >= 1, "need >= 1 replication");
-    const auto system = arch::network_processor_system();
+    scenario::ScenarioSpec spec =
+        np_spec({params.total_budget}, params.horizon, params.warmup,
+                params.seed, params.replications, params.sizing_iterations);
+    spec.evaluate_timeout_policy = true;
+    spec.timeout_threshold_scale = params.timeout_threshold_scale;
 
-    SizingOptions opts;
-    opts.total_budget = params.total_budget;
-    opts.iterations = params.sizing_iterations;
-    opts.threads = params.threads;
-    opts.sim.horizon = params.horizon;
-    opts.sim.warmup = params.warmup;
-    opts.sim.seed = params.seed;
-
-    const BufferSizingEngine engine(opts);
-    const SizingReport report = engine.run(system);
+    scenario::BatchRunner runner(executor);
+    const scenario::BatchReport report = runner.run(spec);
+    const scenario::ScenarioRunResult& run = report.runs.front();
 
     Figure3Result out;
-    out.constant_alloc = report.initial;
-    out.resized_alloc = report.best;
+    out.constant_alloc = run.constant_alloc;
+    out.resized_alloc = run.resized_alloc;
+    out.constant_loss = run.pre_loss;
+    out.constant_total = run.pre_total;
+    out.resized_loss = run.post_loss;
+    out.resized_total = run.post_total;
+    out.timeout_loss = run.timeout_loss;
+    out.timeout_total = run.timeout_total;
+    out.timeout_threshold = run.timeout_threshold;
+    return out;
+}
 
-    // Bar 1: constant (uniform) sizing. Bar 2: after CTMDP resizing.
-    out.constant_loss =
-        replicated(system, report.initial, opts.sim, params.replications,
-                   params.threads, &out.constant_total);
-    out.resized_loss =
-        replicated(system, report.best, opts.sim, params.replications,
-                   params.threads, &out.resized_total);
+Figure3Result run_figure3(const Figure3Params& params) {
+    exec::Executor executor(params.threads);
+    return run_figure3(params, executor);
+}
 
-    // Bar 3: timeout policy on the constant allocation; threshold = average
-    // time spent by a request in a buffer (calibrated without timeouts).
-    out.timeout_threshold =
-        params.timeout_threshold_scale *
-        sim::calibrate_timeout_threshold(system, report.initial, opts.sim);
-    sim::SimConfig timeout_cfg = opts.sim;
-    timeout_cfg.timeout_enabled = true;
-    timeout_cfg.timeout_threshold = std::max(out.timeout_threshold, 1e-6);
-    timeout_cfg.site_timeout_thresholds =
-        sim::calibrate_site_timeout_thresholds(
-            system, report.initial, opts.sim,
-            params.timeout_threshold_scale);
-    out.timeout_loss =
-        replicated(system, report.initial, timeout_cfg, params.replications,
-                   params.threads, &out.timeout_total);
+Table1Result run_table1(const Table1Params& params,
+                        exec::Executor& executor) {
+    SOCBUF_REQUIRE_MSG(!params.budgets.empty(), "need at least one budget");
+    const scenario::ScenarioSpec spec =
+        np_spec(params.budgets, params.horizon, params.warmup, params.seed,
+                params.replications, params.sizing_iterations);
+
+    // One sizing job per budget row; rows run concurrently on the
+    // executor and fold back in budget order.
+    scenario::BatchRunner runner(executor);
+    const scenario::BatchReport report = runner.run(spec);
+
+    Table1Result out;
+    for (const auto& run : report.runs) {
+        Table1Row row;
+        row.budget = run.budget;
+        row.pre = run.pre_loss;
+        row.post = run.post_loss;
+        row.pre_total = run.pre_total;
+        row.post_total = run.post_total;
+        out.rows.push_back(std::move(row));
+    }
     return out;
 }
 
 Table1Result run_table1(const Table1Params& params) {
-    SOCBUF_REQUIRE_MSG(!params.budgets.empty(), "need at least one budget");
-    const auto system = arch::network_processor_system();
-
-    Table1Result out;
-    for (const long budget : params.budgets) {
-        SizingOptions opts;
-        opts.total_budget = budget;
-        opts.iterations = params.sizing_iterations;
-        opts.threads = params.threads;
-        opts.sim.horizon = params.horizon;
-        opts.sim.warmup = params.warmup;
-        opts.sim.seed = params.seed;
-
-        const BufferSizingEngine engine(opts);
-        const SizingReport report = engine.run(system);
-
-        Table1Row row;
-        row.budget = budget;
-        row.pre = replicated(system, report.initial, opts.sim,
-                             params.replications, params.threads,
-                             &row.pre_total);
-        row.post = replicated(system, report.best, opts.sim,
-                              params.replications, params.threads,
-                              &row.post_total);
-        out.rows.push_back(std::move(row));
-    }
-    return out;
+    exec::Executor executor(params.threads);
+    return run_table1(params, executor);
 }
 
 }  // namespace socbuf::core

@@ -5,12 +5,24 @@
 //                    (Table 1).
 // Both are used by the bench binaries (full scale) and the integration
 // tests (reduced horizons).
+//
+// Both drivers run on the scenario layer's BatchRunner: Table 1's budget
+// rows are independent sizing runs and execute in parallel on a shared
+// executor, and every engine run in a driver shares one CTMDP solve
+// cache. The single-argument overloads construct a private executor from
+// the params' `threads` knob; the executor overloads join a caller-owned
+// context (one pool for a whole experiment suite). Either way the results
+// are bit-identical for any thread count.
 #pragma once
 
 #include "core/engine.hpp"
 
 #include <cstddef>
 #include <vector>
+
+namespace socbuf::exec {
+class Executor;
+}
 
 namespace socbuf::core {
 
@@ -57,6 +69,10 @@ struct Figure3Result {
 /// Regenerate Figure 3 on the network-processor testbench.
 [[nodiscard]] Figure3Result run_figure3(const Figure3Params& params = {});
 
+/// As above, on a shared execution context (params.threads is ignored).
+[[nodiscard]] Figure3Result run_figure3(const Figure3Params& params,
+                                        exec::Executor& executor);
+
 struct Table1Params {
     std::vector<long> budgets{160, 320, 640};
     double horizon = 4000.0;
@@ -83,6 +99,11 @@ struct Table1Result {
 };
 
 /// Regenerate Table 1 (budget sweep) on the network-processor testbench.
+/// The budget rows are independent and run in parallel on the executor.
 [[nodiscard]] Table1Result run_table1(const Table1Params& params = {});
+
+/// As above, on a shared execution context (params.threads is ignored).
+[[nodiscard]] Table1Result run_table1(const Table1Params& params,
+                                      exec::Executor& executor);
 
 }  // namespace socbuf::core

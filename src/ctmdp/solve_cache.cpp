@@ -1,0 +1,141 @@
+#include "ctmdp/solve_cache.hpp"
+
+#include <cstdint>
+#include <cstring>
+
+namespace socbuf::ctmdp {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+    char bytes[sizeof(v)];
+    std::memcpy(bytes, &v, sizeof(v));
+    out.append(bytes, sizeof(v));
+}
+
+void append_size(std::string& out, std::size_t v) {
+    append_u64(out, static_cast<std::uint64_t>(v));
+}
+
+/// Bit-exact double encoding: two rates that differ in the last ulp are
+/// different models and must not share a cache entry.
+void append_double(std::string& out, double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+    std::memcpy(&bits, &v, sizeof(bits));
+    append_u64(out, bits);
+}
+
+}  // namespace
+
+std::string solve_fingerprint(const CtmdpModel& model,
+                              const DispatchOptions& options) {
+    std::string key;
+    // Typical subsystem models are a few hundred pairs; reserve generously
+    // once instead of growing through reallocations.
+    key.reserve(64 + 32 * model.pair_count());
+
+    key.push_back('M');
+    append_size(key, model.state_count());
+    append_size(key, model.extra_cost_count());
+    for (std::size_t s = 0; s < model.state_count(); ++s) {
+        append_size(key, model.action_count(s));
+        for (std::size_t a = 0; a < model.action_count(s); ++a) {
+            const Action& action = model.action(s, a);
+            append_double(key, action.cost);
+            append_size(key, action.extra_costs.size());
+            for (const double c : action.extra_costs) append_double(key, c);
+            append_size(key, action.transitions.size());
+            for (const Transition& t : action.transitions) {
+                append_size(key, t.target);
+                append_double(key, t.rate);
+            }
+        }
+    }
+
+    key.push_back('D');
+    append_size(key, static_cast<std::size_t>(options.choice));
+    append_size(key, options.lp_pair_limit);
+    append_size(key, options.pi_state_limit);
+    const SolverOptions& so = options.solver;
+    append_double(key, so.lp.unvisited_state_tolerance);
+    append_double(key, so.lp.simplex.pivot_tolerance);
+    append_double(key, so.lp.simplex.cost_tolerance);
+    append_double(key, so.lp.simplex.feasibility_tolerance);
+    append_size(key, so.lp.simplex.max_iterations);
+    append_size(key, so.lp.simplex.stall_before_bland);
+    append_double(key, so.lp.simplex.rhs_perturbation);
+    append_double(key, so.vi.tolerance);
+    append_size(key, so.vi.max_iterations);
+    append_size(key, so.vi.reference_state);
+    append_size(key, so.pi.max_policy_updates);
+    append_size(key, so.pi.reference_state);
+    append_double(key, so.pi.improvement_tolerance);
+    return key;
+}
+
+SubsystemSolution SolveCache::solve(SolverRegistry& registry,
+                                    const CtmdpModel& model,
+                                    const DispatchOptions& options) {
+    const std::string key = solve_fingerprint(model, options);
+    std::unique_lock<std::mutex> lock(mutex_);
+    // The mapped reference stays valid across rehashes and concurrent
+    // inserts, so it can be held through the waits below.
+    Slot& slot = entries_[key];
+    for (;;) {
+        if (slot.state == Slot::kReady) {
+            ++hits_;
+            return slot.solution;
+        }
+        if (slot.state == Slot::kUnsolved) break;  // ours to claim
+        // Another thread is solving this key: wait and share its result
+        // instead of duplicating the work. Every lookup counts exactly
+        // one hit (served a solution) or one miss (claimed the solve), so
+        // the totals are independent of the thread interleaving.
+        slot_ready_.wait(lock, [&] { return slot.state != Slot::kSolving; });
+        // kReady: the loop returns it as a hit. kUnsolved: the solving
+        // thread failed, so claim the key ourselves (failures propagate
+        // from some requester either way).
+    }
+    slot.state = Slot::kSolving;
+    ++misses_;
+    lock.unlock();
+    try {
+        SubsystemSolution solution = registry.solve(model, options);
+        lock.lock();
+        slot.solution = solution;
+        slot.state = Slot::kReady;
+        slot_ready_.notify_all();
+        return solution;
+    } catch (...) {
+        lock.lock();
+        slot.state = Slot::kUnsolved;
+        slot_ready_.notify_all();
+        throw;
+    }
+}
+
+SolveCacheStats SolveCache::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SolveCacheStats out;
+    out.hits = hits_;
+    out.misses = misses_;
+    return out;
+}
+
+std::size_t SolveCache::size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t ready = 0;
+    for (const auto& entry : entries_)
+        if (entry.second.state == Slot::kReady) ++ready;
+    return ready;
+}
+
+void SolveCache::clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+}  // namespace socbuf::ctmdp

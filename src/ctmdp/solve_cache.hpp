@@ -1,0 +1,84 @@
+// A memoizing cache over SolverRegistry::solve, shared across a batch.
+//
+// Budget sweeps and replicated scenario runs keep rebuilding *identical*
+// subsystem CTMDPs — the engine's fixed point repeats its final round, a
+// replication re-sizes the same (system, budget), and sweep variants share
+// subsystems — and every one of those re-solves an LP / value iteration
+// that was already solved. The cache keys solutions by a canonical
+// fingerprint of (model, dispatch options): an exact byte-level encoding
+// of every state, action, cost and transition rate plus every
+// solve-relevant knob, so two keys collide only when the solves would be
+// bit-identical anyway. That makes a cache hit indistinguishable from a
+// fresh solve, which is what keeps BatchRunner's determinism contract
+// intact when many threads share one cache.
+//
+// Each key is solved exactly once: the first requester claims it and
+// solves *outside* the lock while later requesters wait on the in-flight
+// solve and share its result. No work is duplicated, and the counters are
+// scheduling-independent — for a fixed set of lookups, misses always
+// equal the number of distinct keys and hits the remainder, whatever the
+// thread interleaving (which is why batch reports can include them and
+// stay bit-identical across worker counts).
+#pragma once
+
+#include "ctmdp/solver.hpp"
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace socbuf::ctmdp {
+
+/// Canonical byte encoding of everything that determines a solve's result:
+/// the full model (states, actions, costs, transitions, rates — doubles
+/// encoded bit-exactly) and the dispatch/solver options. Equal fingerprints
+/// <=> registry.solve would return identical bits.
+[[nodiscard]] std::string solve_fingerprint(const CtmdpModel& model,
+                                            const DispatchOptions& options);
+
+struct SolveCacheStats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    [[nodiscard]] std::size_t lookups() const { return hits + misses; }
+    [[nodiscard]] double hit_rate() const {
+        return lookups() == 0
+                   ? 0.0
+                   : static_cast<double>(hits) / static_cast<double>(lookups());
+    }
+};
+
+/// Thread-safe memo table over a SolverRegistry. One instance is meant to
+/// live as long as a batch and be shared by every engine run in it.
+class SolveCache {
+public:
+    /// Return the cached solution for (model, options) or solve through
+    /// `registry` and remember the result. Registry counters only advance
+    /// on misses, so a SizingReport's lp/vi/pi counts reflect actual work.
+    [[nodiscard]] SubsystemSolution solve(SolverRegistry& registry,
+                                          const CtmdpModel& model,
+                                          const DispatchOptions& options);
+
+    [[nodiscard]] SolveCacheStats stats() const;
+    /// Number of solved entries held.
+    [[nodiscard]] std::size_t size() const;
+    /// Drop every entry and reset the counters. Must not race in-flight
+    /// solve() calls (call it between batches, not during one).
+    void clear();
+
+private:
+    struct Slot {
+        enum State { kUnsolved, kSolving, kReady };
+        State state = kUnsolved;
+        SubsystemSolution solution;
+    };
+
+    mutable std::mutex mutex_;
+    std::condition_variable slot_ready_;
+    std::unordered_map<std::string, Slot> entries_;
+    std::size_t hits_ = 0;
+    std::size_t misses_ = 0;
+};
+
+}  // namespace socbuf::ctmdp

@@ -1,0 +1,61 @@
+// The shared execution context of a batch or experiment.
+//
+// An Executor owns exactly one ThreadPool (spawned lazily: a serial
+// executor owns none) and is passed *down by reference* through the
+// layers — BatchRunner -> experiment drivers -> BufferSizingEngine — so
+// one set of workers serves an entire batch instead of every engine run
+// constructing and tearing down its own pool. map() is the deterministic
+// entry point: like exec::parallel_map it returns results in index order,
+// bit-identical for any worker count, including 1.
+//
+// Nesting rule: the pool's parallel_for_index blocks its caller until the
+// submitted indices drain, so code that *runs on* the executor's workers
+// (a BatchRunner job, a Table 1 budget row) must not map on the same
+// executor again — it would park a worker waiting on jobs only other
+// workers can run. Layers below a fan-out therefore run serially; the
+// BatchRunner encodes this by handing its jobs a serial context.
+#pragma once
+
+#include "exec/parallel.hpp"
+#include "exec/thread_pool.hpp"
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <utility>
+
+namespace socbuf::exec {
+
+class Executor {
+public:
+    /// `threads` as everywhere in socbuf: 0 = hardware concurrency,
+    /// otherwise taken literally. workers() == 1 never spawns a thread.
+    explicit Executor(std::size_t threads = 0);
+
+    Executor(const Executor&) = delete;
+    Executor& operator=(const Executor&) = delete;
+
+    [[nodiscard]] std::size_t workers() const { return workers_; }
+    [[nodiscard]] bool serial() const { return pool_ == nullptr; }
+
+    /// The underlying pool, or nullptr for a serial executor.
+    [[nodiscard]] ThreadPool* pool() { return pool_.get(); }
+
+    /// Map fn over [0, n) on this executor's workers; results in index
+    /// order, bit-identical for any worker count.
+    template <typename Fn>
+    [[nodiscard]] auto map(std::size_t n, Fn&& fn) {
+        if (pool_ == nullptr)
+            return parallel_map(std::size_t{1}, n, std::forward<Fn>(fn));
+        return parallel_map(*pool_, n, std::forward<Fn>(fn));
+    }
+
+    /// Run body(i) for every i in [0, n); no result collection.
+    void for_each(std::size_t n, const std::function<void(std::size_t)>& body);
+
+private:
+    std::size_t workers_ = 1;
+    std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace socbuf::exec

@@ -1,0 +1,291 @@
+#include "scenario/batch_runner.hpp"
+
+#include "core/engine.hpp"
+#include "sim/simulator.hpp"
+#include "util/json.hpp"
+#include "util/numeric.hpp"
+#include "util/strings.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace socbuf::scenario {
+
+namespace {
+
+/// Stage-1 work item: one (spec, variant, budget).
+struct SizingJob {
+    std::size_t spec = 0;
+    std::size_t variant = 0;
+    long budget = 0;
+};
+
+/// Stage-1 result: the sized system plus everything stage 2 needs.
+struct SizingOutcome {
+    arch::TestSystem system;
+    core::Allocation initial;
+    core::Allocation best;
+    std::size_t engine_rounds = 0;
+    std::size_t lp_solves = 0;
+    std::size_t vi_solves = 0;
+    std::size_t pi_solves = 0;
+    // Timeout policy calibration (only when the spec evaluates it).
+    double timeout_threshold = 0.0;
+    sim::SimConfig timeout_config;
+    bool timeout_evaluated = false;
+};
+
+/// Stage-2 result: one replication's loss counts under each policy.
+struct EvalSample {
+    std::vector<std::uint64_t> pre_lost;
+    std::vector<std::uint64_t> post_lost;
+    std::vector<std::uint64_t> timeout_lost;
+    std::uint64_t pre_total = 0;
+    std::uint64_t post_total = 0;
+    std::uint64_t timeout_total = 0;
+};
+
+SizingOutcome run_sizing(const ScenarioSpec& spec, const SizingJob& job,
+                         exec::Executor& executor,
+                         ctmdp::SolveCache* cache) {
+    SizingOutcome out;
+    out.system = spec.build_system(job.variant);
+    const core::SizingOptions options = spec.sizing_options(job.budget);
+    const core::BufferSizingEngine engine(options);
+    const core::SizingReport report = engine.run(out.system, executor, cache);
+    out.initial = report.initial;
+    out.best = report.best;
+    out.engine_rounds = report.history.size();
+    out.lp_solves = report.lp_solves;
+    out.vi_solves = report.vi_solves;
+    out.pi_solves = report.pi_solves;
+    if (spec.evaluate_timeout_policy) {
+        // Same calibration as core::run_figure3: the scaled mean buffer
+        // wait of the constant allocation, globally and per site.
+        out.timeout_threshold =
+            spec.timeout_threshold_scale *
+            sim::calibrate_timeout_threshold(out.system, out.initial,
+                                             options.sim);
+        out.timeout_config = options.sim;
+        out.timeout_config.timeout_enabled = true;
+        out.timeout_config.timeout_threshold =
+            std::max(out.timeout_threshold, 1e-6);
+        out.timeout_config.site_timeout_thresholds =
+            sim::calibrate_site_timeout_thresholds(
+                out.system, out.initial, options.sim,
+                spec.timeout_threshold_scale);
+        out.timeout_evaluated = true;
+    }
+    return out;
+}
+
+EvalSample run_eval(const ScenarioSpec& spec, const SizingOutcome& sized,
+                    std::size_t replication) {
+    sim::SimConfig config = spec.sim;
+    config.seed = spec.sim.seed + replication;
+    EvalSample sample;
+    const auto pre = sim::simulate(sized.system, sized.initial, config);
+    sample.pre_lost = pre.lost;
+    sample.pre_total = pre.total_lost();
+    const auto post = sim::simulate(sized.system, sized.best, config);
+    sample.post_lost = post.lost;
+    sample.post_total = post.total_lost();
+    if (sized.timeout_evaluated) {
+        sim::SimConfig timeout_config = sized.timeout_config;
+        timeout_config.seed = config.seed;
+        const auto timeout =
+            sim::simulate(sized.system, sized.initial, timeout_config);
+        sample.timeout_lost = timeout.lost;
+        sample.timeout_total = timeout.total_lost();
+    }
+    return sample;
+}
+
+/// Replication-mean fold, op-for-op the same as sim::replicate_losses so a
+/// batch row equals the legacy experiment drivers bit for bit.
+void fold_replications(
+    const std::vector<const std::vector<std::uint64_t>*>& per_rep_lost,
+    const std::vector<std::uint64_t>& totals, std::vector<double>& mean_out,
+    double& total_out) {
+    const std::size_t reps = per_rep_lost.size();
+    const std::size_t n = per_rep_lost.empty() ? 0 : per_rep_lost[0]->size();
+    std::vector<std::vector<double>> samples(n);
+    total_out = 0.0;
+    for (std::size_t r = 0; r < reps; ++r) {
+        for (std::size_t p = 0; p < n; ++p)
+            samples[p].push_back(static_cast<double>((*per_rep_lost[r])[p]));
+        total_out += static_cast<double>(totals[r]);
+    }
+    total_out /= static_cast<double>(reps);
+    mean_out.resize(n);
+    for (std::size_t p = 0; p < n; ++p) mean_out[p] = util::mean(samples[p]);
+}
+
+}  // namespace
+
+BatchRunner::BatchRunner(exec::Executor& executor, BatchOptions options)
+    : executor_(executor), options_(options) {}
+
+BatchReport BatchRunner::run(const ScenarioSpec& spec) {
+    return run(std::vector<ScenarioSpec>{spec});
+}
+
+BatchReport BatchRunner::run(const std::vector<ScenarioSpec>& specs) {
+    for (const auto& spec : specs) spec.validate();
+
+    // Expansion order defines result order: spec-major, variant, budget.
+    std::vector<SizingJob> jobs;
+    for (std::size_t s = 0; s < specs.size(); ++s)
+        for (std::size_t v = 0; v < specs[s].variants.size(); ++v)
+            for (const long budget : specs[s].budgets)
+                jobs.push_back({s, v, budget});
+
+    ctmdp::SolveCache cache;
+    ctmdp::SolveCache* cache_ptr = options_.use_solve_cache ? &cache : nullptr;
+
+    // Stage 1 — sizing runs. Jobs on the pool get the serial context (see
+    // the nesting rule); a lone job runs inline and keeps the shared
+    // executor for its subsystem solves.
+    std::vector<SizingOutcome> sized;
+    if (jobs.size() == 1) {
+        sized.push_back(run_sizing(specs[jobs[0].spec], jobs[0], executor_,
+                                   cache_ptr));
+    } else {
+        sized = executor_.map(jobs.size(), [&](std::size_t j) {
+            return run_sizing(specs[jobs[j].spec], jobs[j], serial_,
+                              cache_ptr);
+        });
+    }
+
+    // Stage 2 — evaluation replications, flattened job-major so every
+    // (sizing job, replication) pair is one schedulable unit.
+    std::vector<std::size_t> eval_offset(jobs.size() + 1, 0);
+    for (std::size_t j = 0; j < jobs.size(); ++j)
+        eval_offset[j + 1] =
+            eval_offset[j] + specs[jobs[j].spec].replications;
+    const std::size_t eval_count = eval_offset.back();
+    const auto samples = executor_.map(eval_count, [&](std::size_t e) {
+        const std::size_t j = static_cast<std::size_t>(
+            std::upper_bound(eval_offset.begin(), eval_offset.end(), e) -
+            eval_offset.begin() - 1);
+        return run_eval(specs[jobs[j].spec], sized[j], e - eval_offset[j]);
+    });
+
+    // Fold, in expansion order.
+    BatchReport report;
+    report.workers = executor_.workers();
+    report.runs.reserve(jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        const ScenarioSpec& spec = specs[jobs[j].spec];
+        const SizingOutcome& outcome = sized[j];
+        ScenarioRunResult run;
+        run.scenario = spec.name;
+        run.variant = spec.variants[jobs[j].variant].label;
+        run.budget = jobs[j].budget;
+        run.replications = spec.replications;
+        run.constant_alloc = outcome.initial;
+        run.resized_alloc = outcome.best;
+        run.engine_rounds = outcome.engine_rounds;
+        run.lp_solves = outcome.lp_solves;
+        run.vi_solves = outcome.vi_solves;
+        run.pi_solves = outcome.pi_solves;
+        run.timeout_threshold = outcome.timeout_threshold;
+
+        std::vector<const std::vector<std::uint64_t>*> pre, post, timeout;
+        std::vector<std::uint64_t> pre_totals, post_totals, timeout_totals;
+        for (std::size_t e = eval_offset[j]; e < eval_offset[j + 1]; ++e) {
+            pre.push_back(&samples[e].pre_lost);
+            post.push_back(&samples[e].post_lost);
+            pre_totals.push_back(samples[e].pre_total);
+            post_totals.push_back(samples[e].post_total);
+            if (outcome.timeout_evaluated) {
+                timeout.push_back(&samples[e].timeout_lost);
+                timeout_totals.push_back(samples[e].timeout_total);
+            }
+        }
+        fold_replications(pre, pre_totals, run.pre_loss, run.pre_total);
+        fold_replications(post, post_totals, run.post_loss, run.post_total);
+        if (outcome.timeout_evaluated)
+            fold_replications(timeout, timeout_totals, run.timeout_loss,
+                              run.timeout_total);
+        report.runs.push_back(std::move(run));
+    }
+    report.cache = cache.stats();
+    return report;
+}
+
+util::Table BatchReport::summary_table() const {
+    util::Table table({"scenario", "variant", "budget", "reps", "pre loss",
+                       "post loss", "gain", "rounds", "lp/vi/pi"});
+    for (const auto& run : runs) {
+        table.add_row(
+            {run.scenario, run.variant.empty() ? "-" : run.variant,
+             std::to_string(run.budget), std::to_string(run.replications),
+             util::format_fixed(run.pre_total, 2),
+             util::format_fixed(run.post_total, 2),
+             util::format_fixed(100.0 * run.improvement(), 1) + "%",
+             std::to_string(run.engine_rounds),
+             std::to_string(run.lp_solves) + "/" +
+                 std::to_string(run.vi_solves) + "/" +
+                 std::to_string(run.pi_solves)});
+    }
+    return table;
+}
+
+std::string BatchReport::to_csv() const { return summary_table().to_csv(); }
+
+namespace {
+
+util::JsonValue to_json_array(const std::vector<double>& values) {
+    util::JsonValue out = util::JsonValue::array();
+    for (const double v : values) out.push_back(v);
+    return out;
+}
+
+util::JsonValue to_json_array(const std::vector<long>& values) {
+    util::JsonValue out = util::JsonValue::array();
+    for (const long v : values) out.push_back(v);
+    return out;
+}
+
+}  // namespace
+
+std::string BatchReport::to_json(int indent) const {
+    util::JsonValue root = util::JsonValue::object();
+    root.set("workers", workers);
+    util::JsonValue cache_node = util::JsonValue::object();
+    cache_node.set("hits", cache.hits);
+    cache_node.set("misses", cache.misses);
+    cache_node.set("hit_rate", cache.hit_rate());
+    root.set("solve_cache", std::move(cache_node));
+
+    util::JsonValue runs_node = util::JsonValue::array();
+    for (const auto& run : runs) {
+        util::JsonValue node = util::JsonValue::object();
+        node.set("scenario", run.scenario);
+        if (!run.variant.empty()) node.set("variant", run.variant);
+        node.set("budget", run.budget);
+        node.set("replications", run.replications);
+        node.set("pre_total", run.pre_total);
+        node.set("post_total", run.post_total);
+        node.set("improvement", run.improvement());
+        node.set("pre_loss", to_json_array(run.pre_loss));
+        node.set("post_loss", to_json_array(run.post_loss));
+        if (!run.timeout_loss.empty()) {
+            node.set("timeout_total", run.timeout_total);
+            node.set("timeout_threshold", run.timeout_threshold);
+            node.set("timeout_loss", to_json_array(run.timeout_loss));
+        }
+        node.set("constant_alloc", to_json_array(run.constant_alloc));
+        node.set("resized_alloc", to_json_array(run.resized_alloc));
+        node.set("engine_rounds", run.engine_rounds);
+        node.set("lp_solves", run.lp_solves);
+        node.set("vi_solves", run.vi_solves);
+        node.set("pi_solves", run.pi_solves);
+        runs_node.push_back(std::move(node));
+    }
+    root.set("runs", std::move(runs_node));
+    return root.dump(indent);
+}
+
+}  // namespace socbuf::scenario

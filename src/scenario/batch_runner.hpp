@@ -1,0 +1,109 @@
+// Deterministic batch execution of scenarios on one shared executor.
+//
+// A batch expands its ScenarioSpecs into two deterministic job lists:
+//
+//   stage 1 — sizing jobs, one per (scenario, variant, budget): build the
+//     testbench, run the BufferSizingEngine (through the batch-wide
+//     ctmdp::SolveCache, so identical subsystem CTMDPs across rounds,
+//     budgets and replications are solved once), and calibrate the timeout
+//     policy when the spec asks for it;
+//   stage 2 — evaluation jobs, one per (sizing job, replication): simulate
+//     the constant and resized allocations (and optionally the timeout
+//     policy) with seed = spec.sim.seed + replication.
+//
+// Both stages fan across the shared exec::Executor and fold their results
+// in job-index order, so a BatchReport is **bit-identical for any worker
+// count, including 1** — the same contract the exec layer gives
+// parallel_map, lifted to whole experiment batches. That covers the runs
+// *and* the solve-cache counters (each key is solved exactly once, and
+// every run tallies the algorithm behind each solution it consumed, so
+// neither depends on scheduling); the only field that reflects the width
+// is `workers` itself. Jobs themselves run
+// serially (see the nesting rule in exec/executor.hpp); a single-job stage
+// instead runs inline on the caller with the shared executor, so a lone
+// sizing run still parallelizes its subsystem solves.
+#pragma once
+
+#include "core/allocation.hpp"
+#include "ctmdp/solve_cache.hpp"
+#include "exec/executor.hpp"
+#include "scenario/scenario.hpp"
+#include "util/table.hpp"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace socbuf::scenario {
+
+struct BatchOptions {
+    /// Share one solve cache across every engine run of the batch. Results
+    /// are identical either way; this is purely a work-avoidance knob
+    /// (and the thing bench_batch_scenarios measures).
+    bool use_solve_cache = true;
+};
+
+/// One (scenario, variant, budget) outcome with its replicated evaluation.
+struct ScenarioRunResult {
+    std::string scenario;
+    std::string variant;  // empty for single-variant scenarios
+    long budget = 0;
+    std::size_t replications = 0;
+
+    core::Allocation constant_alloc;  // uniform baseline
+    core::Allocation resized_alloc;   // engine's best
+
+    // Replication means, exactly as the experiment drivers compute them.
+    std::vector<double> pre_loss;      // per processor, constant sizing
+    std::vector<double> post_loss;     // per processor, after resizing
+    std::vector<double> timeout_loss;  // per processor, timeout policy
+    double pre_total = 0.0;
+    double post_total = 0.0;
+    double timeout_total = 0.0;  // 0 unless the spec evaluated timeouts
+    double timeout_threshold = 0.0;
+
+    std::size_t engine_rounds = 0;  // sizing iterations actually run
+    std::size_t lp_solves = 0;
+    std::size_t vi_solves = 0;
+    std::size_t pi_solves = 0;
+
+    /// Fractional loss reduction of resizing vs constant sizing.
+    [[nodiscard]] double improvement() const {
+        return pre_total > 0.0 ? 1.0 - post_total / pre_total : 0.0;
+    }
+};
+
+struct BatchReport {
+    /// Spec-major, then variant-major, then budget order — the expansion
+    /// order, independent of which worker finished first.
+    std::vector<ScenarioRunResult> runs;
+    ctmdp::SolveCacheStats cache;  // zeros when the cache was disabled
+    std::size_t workers = 1;
+
+    /// One row per run: totals, gain, solver work.
+    [[nodiscard]] util::Table summary_table() const;
+    /// The summary as RFC 4180 CSV.
+    [[nodiscard]] std::string to_csv() const;
+    /// Full structured report: per-processor means, allocations, cache
+    /// stats. Deterministic (ordered keys, round-trip numbers).
+    [[nodiscard]] std::string to_json(int indent = 2) const;
+};
+
+class BatchRunner {
+public:
+    explicit BatchRunner(exec::Executor& executor, BatchOptions options = {});
+
+    /// Run every spec (validated first) and fold the results in expansion
+    /// order. Deterministic for any executor width.
+    [[nodiscard]] BatchReport run(const std::vector<ScenarioSpec>& specs);
+    [[nodiscard]] BatchReport run(const ScenarioSpec& spec);
+
+private:
+    exec::Executor& executor_;
+    /// Context handed to jobs running *on* executor_'s workers: stateless
+    /// when serial, so concurrent use from many jobs is safe.
+    exec::Executor serial_{1};
+    BatchOptions options_;
+};
+
+}  // namespace socbuf::scenario

@@ -1,0 +1,205 @@
+#include "scenario/scenario.hpp"
+
+#include "util/contracts.hpp"
+#include "util/strings.hpp"
+
+namespace socbuf::scenario {
+
+const char* to_string(Testbench testbench) {
+    switch (testbench) {
+        case Testbench::kFigure1: return "figure1";
+        case Testbench::kNetworkProcessor: return "network-processor";
+    }
+    return "?";
+}
+
+arch::TestSystem ScenarioSpec::build_system(std::size_t variant) const {
+    SOCBUF_REQUIRE_MSG(variant < variants.size(), "variant out of range");
+    arch::TestSystem system =
+        testbench == Testbench::kFigure1
+            ? arch::figure1_system()
+            : arch::network_processor_system(variants[variant].np);
+    if (!variants[variant].label.empty())
+        system.name += " [" + variants[variant].label + "]";
+    return system;
+}
+
+core::SizingOptions ScenarioSpec::sizing_options(long budget) const {
+    core::SizingOptions options;
+    options.total_budget = budget;
+    options.iterations = sizing_iterations;
+    options.solver = solver;
+    options.use_modulated_models = use_modulated_models;
+    options.sim = sim;
+    return options;
+}
+
+void ScenarioSpec::validate() const {
+    SOCBUF_REQUIRE_MSG(!name.empty(), "a scenario needs a name");
+    SOCBUF_REQUIRE_MSG(!variants.empty(), "a scenario needs >= 1 variant");
+    SOCBUF_REQUIRE_MSG(!budgets.empty(), "a scenario needs >= 1 budget");
+    for (const long b : budgets)
+        SOCBUF_REQUIRE_MSG(b >= 1, "budgets must be >= 1");
+    SOCBUF_REQUIRE_MSG(replications >= 1, "need >= 1 replication");
+    SOCBUF_REQUIRE_MSG(sizing_iterations >= 1, "need >= 1 sizing iteration");
+    SOCBUF_REQUIRE_MSG(timeout_threshold_scale > 0.0,
+                       "timeout threshold scale must be positive");
+    for (const auto& v : variants) {
+        SOCBUF_REQUIRE_MSG(v.np.pe_per_cluster >= 1,
+                           "pe_per_cluster must be >= 1");
+        SOCBUF_REQUIRE_MSG(v.np.bus_rate_scale > 0.0 && v.np.load_scale > 0.0,
+                           "testbench scales must be positive");
+    }
+}
+
+namespace {
+
+/// Shared evaluation defaults of the paper's experiments: the Figure 3 /
+/// Table 1 horizon and the 2005 base seed.
+void paper_sim_defaults(ScenarioSpec& spec) {
+    spec.sim.horizon = 4000.0;
+    spec.sim.warmup = 400.0;
+    spec.sim.seed = 2005;
+}
+
+ScenarioSpec figure1_preset() {
+    ScenarioSpec spec;
+    spec.name = "figure1";
+    spec.description =
+        "The paper's Figure 1 sample architecture: four buses, two "
+        "bridges, sized at two modest budgets.";
+    spec.testbench = Testbench::kFigure1;
+    spec.budgets = {24, 48};
+    spec.replications = 5;
+    paper_sim_defaults(spec);
+    return spec;
+}
+
+ScenarioSpec np_baseline_preset() {
+    ScenarioSpec spec;
+    spec.name = "np-baseline";
+    spec.description =
+        "Network-processor testbench at nominal load — Table 1's budget "
+        "sweep (160/320/640) with the paper's 10 replications.";
+    spec.budgets = {160, 320, 640};
+    spec.replications = 10;
+    paper_sim_defaults(spec);
+    return spec;
+}
+
+ScenarioSpec np_load_sweep_preset() {
+    ScenarioSpec spec;
+    spec.name = "np-load-sweep";
+    spec.description =
+        "Offered-load sweep on the network processor: every flow rate "
+        "scaled to 80% / 100% / 125% of nominal at budget 320.";
+    spec.variants.clear();
+    for (const double scale : {0.8, 1.0, 1.25}) {
+        ScenarioVariant v;
+        v.label = "load=" + util::format_fixed(scale, 2);
+        v.np.load_scale = scale;
+        spec.variants.push_back(v);
+    }
+    spec.budgets = {320};
+    spec.replications = 5;
+    paper_sim_defaults(spec);
+    return spec;
+}
+
+ScenarioSpec np_bus_speed_sweep_preset() {
+    ScenarioSpec spec;
+    spec.name = "np-bus-speed-sweep";
+    spec.description =
+        "Bus-speed sweep on the network processor: every bus service rate "
+        "scaled to 80% / 100% / 125% of nominal at budget 320.";
+    spec.variants.clear();
+    for (const double scale : {0.8, 1.0, 1.25}) {
+        ScenarioVariant v;
+        v.label = "bus=" + util::format_fixed(scale, 2);
+        v.np.bus_rate_scale = scale;
+        spec.variants.push_back(v);
+    }
+    spec.budgets = {320};
+    spec.replications = 5;
+    paper_sim_defaults(spec);
+    return spec;
+}
+
+ScenarioSpec np_cluster_scaling_preset() {
+    ScenarioSpec spec;
+    spec.name = "np-cluster-scaling";
+    spec.description =
+        "Architecture-size sweep: 2/4/6 processing elements per cluster "
+        "(9/17/25 processors) under the same 320-unit budget.";
+    spec.variants.clear();
+    for (const std::size_t pe : {std::size_t{2}, std::size_t{4},
+                                 std::size_t{6}}) {
+        ScenarioVariant v;
+        v.label = "pe=" + std::to_string(pe);
+        v.np.pe_per_cluster = pe;
+        spec.variants.push_back(v);
+    }
+    spec.budgets = {320};
+    spec.replications = 5;
+    paper_sim_defaults(spec);
+    return spec;
+}
+
+ScenarioSpec np_bursty_heavy_preset() {
+    ScenarioSpec spec;
+    spec.name = "np-bursty-heavy";
+    spec.description =
+        "Overloaded bursty regime: 115% load with burst-aware (MMPP) "
+        "subsystem models, at tight and nominal budgets.";
+    spec.variants[0].label = "load=1.15";
+    spec.variants[0].np.load_scale = 1.15;
+    spec.budgets = {160, 320};
+    spec.replications = 5;
+    spec.use_modulated_models = true;
+    paper_sim_defaults(spec);
+    return spec;
+}
+
+}  // namespace
+
+ScenarioRegistry::ScenarioRegistry() {
+    add(figure1_preset());
+    add(np_baseline_preset());
+    add(np_load_sweep_preset());
+    add(np_bus_speed_sweep_preset());
+    add(np_cluster_scaling_preset());
+    add(np_bursty_heavy_preset());
+}
+
+void ScenarioRegistry::add(ScenarioSpec spec) {
+    spec.validate();
+    for (auto& existing : specs_) {
+        if (existing.name == spec.name) {
+            existing = std::move(spec);
+            return;
+        }
+    }
+    specs_.push_back(std::move(spec));
+}
+
+bool ScenarioRegistry::contains(const std::string& name) const {
+    for (const auto& spec : specs_)
+        if (spec.name == name) return true;
+    return false;
+}
+
+const ScenarioSpec& ScenarioRegistry::get(const std::string& name) const {
+    for (const auto& spec : specs_)
+        if (spec.name == name) return spec;
+    util::raise_contract_violation("registry.contains(name)", __FILE__,
+                                   __LINE__, "unknown scenario: " + name);
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+    std::vector<std::string> out;
+    out.reserve(specs_.size());
+    for (const auto& spec : specs_) out.push_back(spec.name);
+    return out;
+}
+
+}  // namespace socbuf::scenario

@@ -1,0 +1,105 @@
+// Declarative scenario descriptions — the layer that turns "two hard-coded
+// experiments" into a catalog of runnable workloads.
+//
+// A ScenarioSpec names a testbench preset (Figure 1 sample or the
+// network-processor testbench), the parameter variants to build it at
+// (NetworkProcessorParams scales: offered load, bus speed, cluster size),
+// the buffer budgets to size under, how many evaluation replications to
+// average, and the solver / model / simulation knobs of the sizing engine.
+// A spec therefore expands into (variants x budgets) sizing runs and
+// (variants x budgets x replications) evaluation jobs — the unit of work
+// scenario::BatchRunner fans across a shared exec::Executor.
+//
+// ScenarioRegistry is the named-preset catalog (figure1, np-baseline, the
+// np-* sweeps); tools (socbuf_cli) and benches look scenarios up by name
+// instead of hard-coding parameters.
+#pragma once
+
+#include "arch/presets.hpp"
+#include "core/engine.hpp"
+#include "sim/config.hpp"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace socbuf::scenario {
+
+/// Which reconstructed system a scenario runs on.
+enum class Testbench { kFigure1, kNetworkProcessor };
+
+[[nodiscard]] const char* to_string(Testbench testbench);
+
+/// One parameterization of the testbench. The label names the point in a
+/// sweep ("load=0.8"); `np` is ignored by Testbench::kFigure1, which has
+/// no free parameters.
+struct ScenarioVariant {
+    std::string label;
+    arch::NetworkProcessorParams np;
+};
+
+struct ScenarioSpec {
+    std::string name;
+    std::string description;
+    Testbench testbench = Testbench::kNetworkProcessor;
+    /// At least one; single-variant scenarios use one empty-labeled entry.
+    std::vector<ScenarioVariant> variants{{std::string{}, {}}};
+    /// Total buffer budgets to size under (one sizing run per budget).
+    std::vector<long> budgets{320};
+    /// Evaluation replications per (variant, budget); replication r
+    /// simulates with seed sim.seed + r, exactly like the experiment
+    /// drivers, so means are comparable across scenarios.
+    std::size_t replications = 1;
+    int sizing_iterations = 10;
+    core::SolverChoice solver = core::SolverChoice::kAuto;
+    /// Burst-aware (MMPP) subsystem CTMDPs instead of Poisson models.
+    bool use_modulated_models = false;
+    /// Also evaluate the paper's timeout-drop policy on the constant
+    /// allocation (the third bar of Figure 3).
+    bool evaluate_timeout_policy = false;
+    double timeout_threshold_scale = 4.0;
+    sim::SimConfig sim;
+
+    /// Build the testbench system for `variant` (index into variants).
+    [[nodiscard]] arch::TestSystem build_system(std::size_t variant) const;
+
+    /// Engine options for one budget. threads is left at 1: inside a batch
+    /// the fan-out happens *across* jobs, on the shared executor.
+    [[nodiscard]] core::SizingOptions sizing_options(long budget) const;
+
+    /// variants x budgets — the number of sizing runs the spec expands to.
+    [[nodiscard]] std::size_t run_count() const {
+        return variants.size() * budgets.size();
+    }
+    /// run_count x replications — the number of evaluation jobs.
+    [[nodiscard]] std::size_t job_count() const {
+        return run_count() * replications;
+    }
+
+    /// Structural checks (non-empty variants/budgets, positive budgets and
+    /// replications, ...). Throws util::ContractViolation.
+    void validate() const;
+};
+
+/// The named-preset catalog. Default construction registers the built-in
+/// presets; add() lets callers define their own (same-name replaces).
+class ScenarioRegistry {
+public:
+    ScenarioRegistry();
+
+    void add(ScenarioSpec spec);
+    [[nodiscard]] bool contains(const std::string& name) const;
+    /// Throws util::ContractViolation for unknown names.
+    [[nodiscard]] const ScenarioSpec& get(const std::string& name) const;
+    /// Registered names in registration order (presets first).
+    [[nodiscard]] std::vector<std::string> names() const;
+    [[nodiscard]] std::size_t size() const { return specs_.size(); }
+    [[nodiscard]] const std::vector<ScenarioSpec>& specs() const {
+        return specs_;
+    }
+
+private:
+    std::vector<ScenarioSpec> specs_;
+};
+
+}  // namespace socbuf::scenario

@@ -1,6 +1,7 @@
 #include "util/table.hpp"
 
 #include "util/contracts.hpp"
+#include "util/json.hpp"
 #include "util/strings.hpp"
 
 #include <algorithm>
@@ -53,10 +54,51 @@ std::string Table::to_string() const {
     return out;
 }
 
-std::string Table::to_csv() const {
-    std::string out = join(headers_, ",") + "\n";
-    for (const auto& row : rows_) out += join(row, ",") + "\n";
+namespace {
+
+/// RFC 4180 field encoding: quote when the cell contains a comma, quote
+/// or line break, doubling embedded quotes; everything else passes as-is.
+std::string csv_escape(const std::string& cell) {
+    if (cell.find_first_of(",\"\r\n") == std::string::npos) return cell;
+    std::string out;
+    out.reserve(cell.size() + 2);
+    out.push_back('"');
+    for (const char c : cell) {
+        if (c == '"') out.push_back('"');
+        out.push_back(c);
+    }
+    out.push_back('"');
     return out;
+}
+
+std::string csv_row(const std::vector<std::string>& cells) {
+    std::vector<std::string> escaped;
+    escaped.reserve(cells.size());
+    for (const auto& cell : cells) escaped.push_back(csv_escape(cell));
+    return join(escaped, ",");
+}
+
+}  // namespace
+
+std::string Table::to_csv() const {
+    std::string out = csv_row(headers_) + "\n";
+    for (const auto& row : rows_) out += csv_row(row) + "\n";
+    return out;
+}
+
+std::string Table::to_json(int indent) const {
+    JsonValue headers = JsonValue::array();
+    for (const auto& h : headers_) headers.push_back(h);
+    JsonValue rows = JsonValue::array();
+    for (const auto& row : rows_) {
+        JsonValue cells = JsonValue::array();
+        for (const auto& cell : row) cells.push_back(cell);
+        rows.push_back(std::move(cells));
+    }
+    JsonValue out = JsonValue::object();
+    out.set("headers", std::move(headers));
+    out.set("rows", std::move(rows));
+    return out.dump(indent);
 }
 
 }  // namespace socbuf::util

@@ -1,6 +1,6 @@
-// Column-aligned text tables and CSV emission. The bench binaries use this
-// to print the paper's tables/figures as plain rows, so outputs are easy to
-// diff against EXPERIMENTS.md.
+// Column-aligned text tables with CSV (RFC 4180) and JSON emission. The
+// bench binaries use this to print the paper's tables/figures as plain
+// rows, so outputs are easy to diff against EXPERIMENTS.md.
 #pragma once
 
 #include <string>
@@ -25,8 +25,13 @@ public:
     /// Render with aligned columns, a separator under the header.
     [[nodiscard]] std::string to_string() const;
 
-    /// Render as CSV (no quoting; cells must not contain commas).
+    /// Render as CSV per RFC 4180: cells containing commas, quotes or
+    /// newlines are quoted, with embedded quotes doubled.
     [[nodiscard]] std::string to_csv() const;
+
+    /// Render as a JSON object: {"headers": [...], "rows": [[...], ...]}
+    /// with every cell kept as a string. `indent` as in JsonValue::dump.
+    [[nodiscard]] std::string to_json(int indent = -1) const;
 
 private:
     std::vector<std::string> headers_;

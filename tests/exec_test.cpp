@@ -1,3 +1,4 @@
+#include "exec/executor.hpp"
 #include "exec/parallel.hpp"
 #include "exec/thread_pool.hpp"
 #include "util/contracts.hpp"
@@ -97,6 +98,49 @@ TEST(ParallelMap, PoolIsReusableAcrossManyMaps) {
         total += std::accumulate(r.begin(), r.end(), std::size_t{0});
     }
     EXPECT_EQ(total, 20u * (31u * 32u / 2u));
+}
+
+TEST(Executor, SerialExecutorOwnsNoPool) {
+    se::Executor exec(1);
+    EXPECT_EQ(exec.workers(), 1u);
+    EXPECT_TRUE(exec.serial());
+    EXPECT_EQ(exec.pool(), nullptr);
+    const auto r = exec.map(5, [](std::size_t i) { return i * 3; });
+    ASSERT_EQ(r.size(), 5u);
+    EXPECT_EQ(r[4], 12u);
+}
+
+TEST(Executor, ParallelExecutorMatchesSerialBitForBit) {
+    se::Executor serial(1);
+    const auto expected =
+        serial.map(113, [](std::size_t i) { return 1.0 / (1.0 + i); });
+    for (const std::size_t threads : {2UL, 4UL}) {
+        se::Executor exec(threads);
+        EXPECT_EQ(exec.workers(), threads);
+        EXPECT_FALSE(exec.serial());
+        ASSERT_NE(exec.pool(), nullptr);
+        const auto got =
+            exec.map(113, [](std::size_t i) { return 1.0 / (1.0 + i); });
+        EXPECT_EQ(got, expected) << "threads=" << threads;
+    }
+}
+
+TEST(Executor, IsReusableAcrossManyMaps) {
+    se::Executor exec(4);
+    std::size_t total = 0;
+    for (int round = 0; round < 10; ++round) {
+        const auto r = exec.map(32, [](std::size_t i) { return i; });
+        total += std::accumulate(r.begin(), r.end(), std::size_t{0});
+    }
+    EXPECT_EQ(total, 10u * (31u * 32u / 2u));
+}
+
+TEST(Executor, ForEachVisitsEveryIndex) {
+    se::Executor exec(3);
+    std::vector<std::atomic<int>> visits(200);
+    exec.for_each(visits.size(), [&](std::size_t i) { ++visits[i]; });
+    for (std::size_t i = 0; i < visits.size(); ++i)
+        EXPECT_EQ(visits[i].load(), 1) << "index " << i;
 }
 
 TEST(ParallelForIndex, VisitsEveryIndexOnce) {

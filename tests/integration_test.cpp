@@ -148,6 +148,37 @@ TEST(Figure3, ThreadCountDoesNotChangeTheResult) {
     }
 }
 
+TEST(Table1, ThreadCountDoesNotChangeTheResult) {
+    // Table 1's budget rows now fan out on the shared executor (one
+    // sizing job per row, one eval job per replication); the fold is in
+    // expansion order, so every row must be bit-identical for any worker
+    // count.
+    sc::Table1Params p;
+    p.horizon = 800.0;
+    p.warmup = 80.0;
+    p.replications = 2;
+    p.sizing_iterations = 3;
+    p.threads = 1;
+    const auto serial = sc::run_table1(p);
+    ASSERT_EQ(serial.rows.size(), 3u);
+    for (const std::size_t threads : {2UL, 4UL}) {
+        p.threads = threads;
+        const auto parallel = sc::run_table1(p);
+        ASSERT_EQ(parallel.rows.size(), serial.rows.size());
+        for (std::size_t r = 0; r < serial.rows.size(); ++r) {
+            EXPECT_EQ(parallel.rows[r].budget, serial.rows[r].budget);
+            EXPECT_EQ(parallel.rows[r].pre, serial.rows[r].pre)
+                << "threads " << threads << " row " << r;
+            EXPECT_EQ(parallel.rows[r].post, serial.rows[r].post)
+                << "threads " << threads << " row " << r;
+            EXPECT_EQ(parallel.rows[r].pre_total, serial.rows[r].pre_total)
+                << "threads " << threads << " row " << r;
+            EXPECT_EQ(parallel.rows[r].post_total, serial.rows[r].post_total)
+                << "threads " << threads << " row " << r;
+        }
+    }
+}
+
 TEST(Figure3, GainsAreZeroNotNanOnZeroBaselines) {
     sc::Figure3Result empty;
     EXPECT_EQ(empty.gain_vs_constant(), 0.0);

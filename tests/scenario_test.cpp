@@ -1,0 +1,211 @@
+#include "core/experiments.hpp"
+#include "exec/executor.hpp"
+#include "scenario/batch_runner.hpp"
+#include "scenario/scenario.hpp"
+#include "util/contracts.hpp"
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ss = socbuf::scenario;
+
+namespace {
+
+/// A fast two-run scenario on the Figure 1 sample (tiny system, short
+/// horizon) for the determinism and cache tests.
+ss::ScenarioSpec small_figure1() {
+    ss::ScenarioSpec spec;
+    spec.name = "figure1-small";
+    spec.testbench = ss::Testbench::kFigure1;
+    spec.budgets = {12, 18};
+    spec.replications = 2;
+    spec.sizing_iterations = 3;
+    spec.sim.horizon = 600.0;
+    spec.sim.warmup = 60.0;
+    spec.sim.seed = 7;
+    return spec;
+}
+
+void expect_identical(const ss::BatchReport& a, const ss::BatchReport& b) {
+    ASSERT_EQ(a.runs.size(), b.runs.size());
+    for (std::size_t i = 0; i < a.runs.size(); ++i) {
+        const auto& ra = a.runs[i];
+        const auto& rb = b.runs[i];
+        EXPECT_EQ(ra.scenario, rb.scenario) << "run " << i;
+        EXPECT_EQ(ra.variant, rb.variant) << "run " << i;
+        EXPECT_EQ(ra.budget, rb.budget) << "run " << i;
+        EXPECT_EQ(ra.constant_alloc, rb.constant_alloc) << "run " << i;
+        EXPECT_EQ(ra.resized_alloc, rb.resized_alloc) << "run " << i;
+        EXPECT_EQ(ra.pre_loss, rb.pre_loss) << "run " << i;
+        EXPECT_EQ(ra.post_loss, rb.post_loss) << "run " << i;
+        EXPECT_EQ(ra.pre_total, rb.pre_total) << "run " << i;
+        EXPECT_EQ(ra.post_total, rb.post_total) << "run " << i;
+        EXPECT_EQ(ra.engine_rounds, rb.engine_rounds) << "run " << i;
+        EXPECT_EQ(ra.lp_solves, rb.lp_solves) << "run " << i;
+        EXPECT_EQ(ra.vi_solves, rb.vi_solves) << "run " << i;
+        EXPECT_EQ(ra.pi_solves, rb.pi_solves) << "run " << i;
+    }
+}
+
+}  // namespace
+
+TEST(ScenarioRegistry, OffersTheNamedPresets) {
+    const ss::ScenarioRegistry registry;
+    for (const char* name :
+         {"figure1", "np-baseline", "np-load-sweep", "np-bus-speed-sweep",
+          "np-cluster-scaling", "np-bursty-heavy"}) {
+        EXPECT_TRUE(registry.contains(name)) << name;
+        const auto& spec = registry.get(name);
+        EXPECT_EQ(spec.name, name);
+        EXPECT_FALSE(spec.description.empty()) << name;
+        EXPECT_NO_THROW(spec.validate()) << name;
+    }
+    EXPECT_EQ(registry.size(), 6u);
+    EXPECT_FALSE(registry.contains("no-such-scenario"));
+    EXPECT_THROW((void)registry.get("no-such-scenario"),
+                 socbuf::util::ContractViolation);
+}
+
+TEST(ScenarioRegistry, SweepPresetsExpandToTheRightJobCounts) {
+    const ss::ScenarioRegistry registry;
+    const auto& load = registry.get("np-load-sweep");
+    EXPECT_EQ(load.variants.size(), 3u);
+    EXPECT_EQ(load.run_count(), 3u);
+    EXPECT_EQ(load.job_count(), 15u);
+    const auto& baseline = registry.get("np-baseline");
+    EXPECT_EQ(baseline.run_count(), 3u);  // three budgets
+    const auto& bursty = registry.get("np-bursty-heavy");
+    EXPECT_TRUE(bursty.use_modulated_models);
+}
+
+TEST(ScenarioRegistry, AddReplacesByName) {
+    ss::ScenarioRegistry registry;
+    ss::ScenarioSpec custom = small_figure1();
+    registry.add(custom);
+    EXPECT_EQ(registry.size(), 7u);
+    custom.replications = 9;
+    registry.add(custom);
+    EXPECT_EQ(registry.size(), 7u);
+    EXPECT_EQ(registry.get("figure1-small").replications, 9u);
+}
+
+TEST(ScenarioSpec, BuildsVariantSystems) {
+    const ss::ScenarioRegistry registry;
+    const auto& scaling = registry.get("np-cluster-scaling");
+    const auto small = scaling.build_system(0);   // pe=2
+    const auto medium = scaling.build_system(1);  // pe=4
+    EXPECT_EQ(small.architecture.processor_count(), 9u);
+    EXPECT_EQ(medium.architecture.processor_count(), 17u);
+    EXPECT_NE(small.name.find("pe=2"), std::string::npos);
+    EXPECT_THROW((void)scaling.build_system(99),
+                 socbuf::util::ContractViolation);
+}
+
+TEST(ScenarioSpec, ValidateRejectsBrokenSpecs) {
+    ss::ScenarioSpec spec = small_figure1();
+    spec.budgets = {};
+    EXPECT_THROW(spec.validate(), socbuf::util::ContractViolation);
+    spec = small_figure1();
+    spec.replications = 0;
+    EXPECT_THROW(spec.validate(), socbuf::util::ContractViolation);
+    spec = small_figure1();
+    spec.variants[0].np.load_scale = 0.0;
+    EXPECT_THROW(spec.validate(), socbuf::util::ContractViolation);
+}
+
+TEST(BatchRunner, BitIdenticalForAnyWorkerCount) {
+    socbuf::exec::Executor serial(1);
+    ss::BatchRunner runner(serial);
+    const auto reference = runner.run(small_figure1());
+    ASSERT_EQ(reference.runs.size(), 2u);
+    for (const std::size_t threads : {2UL, 4UL}) {
+        socbuf::exec::Executor exec(threads);
+        ss::BatchRunner parallel(exec);
+        const auto got = parallel.run(small_figure1());
+        EXPECT_EQ(got.workers, threads);
+        expect_identical(got, reference);
+        // The cache counters are part of the contract too: one solve per
+        // distinct key, whatever the interleaving.
+        EXPECT_EQ(got.cache.hits, reference.cache.hits);
+        EXPECT_EQ(got.cache.misses, reference.cache.misses);
+    }
+}
+
+TEST(BatchRunner, SharedSolveCacheHitsWithoutChangingResults) {
+    // Two scenarios whose (testbench, budget, sim) coincide produce
+    // identical subsystem CTMDPs; the batch-wide cache must solve each
+    // once and serve the second scenario entirely from memory.
+    ss::ScenarioSpec first = small_figure1();
+    ss::ScenarioSpec second = small_figure1();
+    second.name = "figure1-small-again";
+
+    socbuf::exec::Executor serial(1);
+    ss::BatchRunner cached(serial);
+    const auto with_cache = cached.run({first, second});
+    ASSERT_EQ(with_cache.runs.size(), 4u);
+    EXPECT_GT(with_cache.cache.hits, 0u);
+    EXPECT_GT(with_cache.cache.misses, 0u);
+    EXPECT_GT(with_cache.cache.hit_rate(), 0.0);
+    EXPECT_LT(with_cache.cache.hit_rate(), 1.0);
+    // Twin scenarios, twin results.
+    EXPECT_EQ(with_cache.runs[0].resized_alloc,
+              with_cache.runs[2].resized_alloc);
+
+    ss::BatchOptions no_cache;
+    no_cache.use_solve_cache = false;
+    ss::BatchRunner uncached(serial, no_cache);
+    const auto without_cache = uncached.run({first, second});
+    EXPECT_EQ(without_cache.cache.lookups(), 0u);
+    expect_identical(with_cache, without_cache);
+}
+
+TEST(BatchRunner, RunsMultipleSpecsInExpansionOrder) {
+    ss::ScenarioSpec a = small_figure1();
+    a.name = "a";
+    a.budgets = {10};
+    ss::ScenarioSpec b = small_figure1();
+    b.name = "b";
+    b.budgets = {14, 16};
+    socbuf::exec::Executor exec(2);
+    ss::BatchRunner runner(exec);
+    const auto report = runner.run({a, b});
+    ASSERT_EQ(report.runs.size(), 3u);
+    EXPECT_EQ(report.runs[0].scenario, "a");
+    EXPECT_EQ(report.runs[0].budget, 10);
+    EXPECT_EQ(report.runs[1].scenario, "b");
+    EXPECT_EQ(report.runs[1].budget, 14);
+    EXPECT_EQ(report.runs[2].budget, 16);
+    // Every run carries a full evaluation.
+    for (const auto& run : report.runs) {
+        EXPECT_EQ(run.replications, 2u);
+        EXPECT_FALSE(run.pre_loss.empty());
+        EXPECT_EQ(run.pre_loss.size(), run.post_loss.size());
+        EXPECT_GT(run.engine_rounds, 0u);
+        EXPECT_GT(run.lp_solves + run.vi_solves + run.pi_solves, 0u);
+    }
+}
+
+TEST(BatchReport, SerializesToJsonAndCsv) {
+    socbuf::exec::Executor serial(1);
+    ss::BatchRunner runner(serial);
+    const auto report = runner.run(small_figure1());
+
+    const auto parsed = socbuf::util::JsonValue::parse(report.to_json());
+    EXPECT_EQ(parsed.at("workers").as_number(), 1.0);
+    EXPECT_EQ(parsed.at("runs").size(), 2u);
+    const auto& first = parsed.at("runs").at(0);
+    EXPECT_EQ(first.at("scenario").as_string(), "figure1-small");
+    EXPECT_EQ(first.at("budget").as_number(), 12.0);
+    EXPECT_EQ(first.at("pre_total").as_number(),
+              report.runs[0].pre_total);
+    EXPECT_EQ(first.at("pre_loss").size(), report.runs[0].pre_loss.size());
+    EXPECT_TRUE(parsed.at("solve_cache").contains("hit_rate"));
+
+    const std::string csv = report.to_csv();
+    EXPECT_NE(csv.find("scenario,variant,budget"), std::string::npos);
+    EXPECT_NE(csv.find("figure1-small"), std::string::npos);
+    // Two runs + header = three lines.
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}

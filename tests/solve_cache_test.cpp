@@ -1,0 +1,132 @@
+#include "ctmdp/model.hpp"
+#include "ctmdp/solve_cache.hpp"
+#include "ctmdp/solver.hpp"
+#include "exec/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+namespace sm = socbuf::ctmdp;
+
+namespace {
+
+/// Small controlled queue: serve fast (cost 3) or slow (cost 1); the
+/// optimum is size-dependent enough that solvers do real work.
+sm::CtmdpModel queue_model(std::size_t cap, double lambda) {
+    sm::CtmdpModel m;
+    for (std::size_t i = 0; i <= cap; ++i)
+        m.add_state("q" + std::to_string(i));
+    for (std::size_t i = 0; i <= cap; ++i) {
+        sm::Action slow;
+        slow.name = "slow";
+        if (i < cap) slow.transitions.push_back({i + 1, lambda});
+        if (i > 0) slow.transitions.push_back({i - 1, 1.0});
+        slow.cost = static_cast<double>(i) + (i == cap ? lambda : 0.0);
+        m.add_action(i, slow);
+        sm::Action fast;
+        fast.name = "fast";
+        if (i < cap) fast.transitions.push_back({i + 1, lambda});
+        if (i > 0) fast.transitions.push_back({i - 1, 3.0});
+        fast.cost = static_cast<double>(i) + 2.0 + (i == cap ? lambda : 0.0);
+        m.add_action(i, fast);
+    }
+    return m;
+}
+
+}  // namespace
+
+TEST(SolveFingerprint, IdenticalModelsShareAKey) {
+    const auto a = queue_model(4, 0.8);
+    const auto b = queue_model(4, 0.8);
+    const sm::DispatchOptions opts;
+    EXPECT_EQ(sm::solve_fingerprint(a, opts), sm::solve_fingerprint(b, opts));
+}
+
+TEST(SolveFingerprint, RateAndOptionChangesChangeTheKey) {
+    const auto base = queue_model(4, 0.8);
+    const sm::DispatchOptions opts;
+    const std::string key = sm::solve_fingerprint(base, opts);
+
+    // A one-ulp rate change is a different model.
+    const auto nudged = queue_model(4, 0.8 + 1e-16);
+    EXPECT_NE(sm::solve_fingerprint(nudged, opts), key);
+
+    // A different size is a different model.
+    EXPECT_NE(sm::solve_fingerprint(queue_model(5, 0.8), opts), key);
+
+    // Solve-relevant options are part of the key...
+    sm::DispatchOptions forced = opts;
+    forced.choice = sm::SolverChoice::kValueIteration;
+    EXPECT_NE(sm::solve_fingerprint(base, forced), key);
+    sm::DispatchOptions tighter = opts;
+    tighter.solver.vi.tolerance = 1e-8;
+    EXPECT_NE(sm::solve_fingerprint(base, tighter), key);
+}
+
+TEST(SolveCache, CountsHitsAndMissesAndReturnsIdenticalBits) {
+    sm::SolverRegistry registry;
+    sm::SolveCache cache;
+    const sm::DispatchOptions opts;
+    const auto model = queue_model(5, 0.9);
+
+    const auto direct = registry.solve(model, opts);
+    const auto first = cache.solve(registry, model, opts);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.size(), 1u);
+
+    const auto second = cache.solve(registry, model, opts);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.5);
+
+    // The cached copy is bit-identical to both the first pass and a direct
+    // registry solve — a hit is indistinguishable from solving.
+    EXPECT_EQ(second.gain, first.gain);
+    EXPECT_EQ(second.gain, direct.gain);
+    EXPECT_EQ(second.stationary, first.stationary);
+    EXPECT_EQ(second.occupation, first.occupation);
+    EXPECT_EQ(second.solved_by, first.solved_by);
+
+    // Registry counters advanced once for the direct solve and once for
+    // the miss; the hit did no solver work.
+    EXPECT_EQ(registry.stats().total_solves(), 2u);
+}
+
+TEST(SolveCache, DistinctModelsGetDistinctEntries) {
+    sm::SolverRegistry registry;
+    sm::SolveCache cache;
+    const sm::DispatchOptions opts;
+    const auto a = cache.solve(registry, queue_model(4, 0.7), opts);
+    const auto b = cache.solve(registry, queue_model(4, 1.4), opts);
+    EXPECT_EQ(cache.stats().misses, 2u);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_NE(a.gain, b.gain);
+
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.stats().lookups(), 0u);
+}
+
+TEST(SolveCache, IsSafeToShareAcrossWorkers) {
+    sm::SolverRegistry registry;
+    sm::SolveCache cache;
+    const sm::DispatchOptions opts;
+    // Eight distinct models, each solved from four concurrent lookups.
+    socbuf::exec::Executor exec(4);
+    const auto gains = exec.map(32, [&](std::size_t i) {
+        const auto model = queue_model(3 + i % 8, 0.8);
+        return cache.solve(registry, model, opts).gain;
+    });
+    EXPECT_EQ(cache.size(), 8u);
+    // Each key is solved exactly once (concurrent requesters wait and
+    // share the in-flight solve), so the counters are exact whatever the
+    // interleaving: 8 misses, 24 hits.
+    EXPECT_EQ(cache.stats().lookups(), 32u);
+    EXPECT_EQ(cache.stats().misses, 8u);
+    EXPECT_EQ(cache.stats().hits, 24u);
+    EXPECT_EQ(registry.stats().total_solves(), 8u);
+    for (std::size_t i = 8; i < 32; ++i) EXPECT_EQ(gains[i], gains[i % 8]);
+}

@@ -1,4 +1,5 @@
 #include "util/contracts.hpp"
+#include "util/json.hpp"
 #include "util/log.hpp"
 #include "util/numeric.hpp"
 #include "util/strings.hpp"
@@ -6,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <numeric>
 
 namespace su = socbuf::util;
@@ -183,4 +185,91 @@ TEST(Table, CsvOutput) {
 TEST(Table, RejectsMismatchedRow) {
     su::Table t({"a", "b"});
     EXPECT_THROW(t.add_row({"only-one"}), su::ContractViolation);
+}
+
+TEST(Table, CsvEscapesCommasQuotesAndNewlinesPerRfc4180) {
+    // Regression: cells with commas used to be emitted unquoted, silently
+    // shifting every following column.
+    su::Table t({"name", "note"});
+    t.add_row({"np-load-sweep", "load 0.8, 1.0, 1.25"});
+    t.add_row({"quoted", "he said \"go\""});
+    t.add_row({"multiline", "a\nb"});
+    EXPECT_EQ(t.to_csv(),
+              "name,note\n"
+              "np-load-sweep,\"load 0.8, 1.0, 1.25\"\n"
+              "quoted,\"he said \"\"go\"\"\"\n"
+              "multiline,\"a\nb\"\n");
+}
+
+TEST(Table, JsonEmissionKeepsHeadersAndCells) {
+    su::Table t({"a", "b"});
+    t.add_row({"x,y", "2"});
+    const auto parsed = su::JsonValue::parse(t.to_json());
+    EXPECT_EQ(parsed.at("headers").at(1).as_string(), "b");
+    EXPECT_EQ(parsed.at("rows").at(0).at(0).as_string(), "x,y");
+}
+
+TEST(Json, DumpParseRoundTripIsAFixedPoint) {
+    su::JsonValue root = su::JsonValue::object();
+    root.set("name", "np-baseline");
+    root.set("ok", true);
+    root.set("nothing", su::JsonValue());
+    root.set("pi", 3.141592653589793);
+    root.set("tiny", 4.9e-324);
+    root.set("count", std::size_t{640});
+    su::JsonValue arr = su::JsonValue::array();
+    arr.push_back(-1.5);
+    arr.push_back("quote \" backslash \\ newline \n tab \t");
+    arr.push_back(su::JsonValue::array());
+    root.set("items", std::move(arr));
+
+    const std::string compact = root.dump();
+    const su::JsonValue reparsed = su::JsonValue::parse(compact);
+    EXPECT_EQ(reparsed, root);
+    EXPECT_EQ(reparsed.dump(), compact);
+    // Pretty output parses back to the same value too.
+    EXPECT_EQ(su::JsonValue::parse(root.dump(2)), root);
+}
+
+TEST(Json, NumbersSurviveWithFullPrecision) {
+    const double v = 0.1 + 0.2;  // not representable as a short decimal
+    su::JsonValue n(v);
+    EXPECT_EQ(su::JsonValue::parse(n.dump()).as_number(), v);
+}
+
+TEST(Json, ObjectKeepsInsertionOrderAndSupportsLookup) {
+    su::JsonValue o = su::JsonValue::object();
+    o.set("z", 1);
+    o.set("a", 2);
+    o.set("z", 3);  // assign keeps the original slot
+    EXPECT_EQ(o.size(), 2u);
+    EXPECT_EQ(o.members()[0].first, "z");
+    EXPECT_EQ(o.at("z").as_number(), 3.0);
+    EXPECT_TRUE(o.contains("a"));
+    EXPECT_FALSE(o.contains("b"));
+    EXPECT_THROW((void)o.at("missing"), su::JsonError);
+}
+
+TEST(Json, NumbersAreLocaleIndependent) {
+    // A comma-decimal locale must not leak into emission or parsing
+    // (to_chars/from_chars ignore LC_NUMERIC; printf/strtod would not).
+    const char* previous = std::setlocale(LC_NUMERIC, nullptr);
+    const std::string saved = previous != nullptr ? previous : "C";
+    if (std::setlocale(LC_NUMERIC, "de_DE.UTF-8") == nullptr)
+        GTEST_SKIP() << "no comma-decimal locale installed";
+    const su::JsonValue n(1.5);
+    const std::string emitted = n.dump();
+    const double parsed = su::JsonValue::parse("2.25").as_number();
+    std::setlocale(LC_NUMERIC, saved.c_str());
+    EXPECT_EQ(emitted, "1.5");
+    EXPECT_EQ(parsed, 2.25);
+}
+
+TEST(Json, ParserRejectsMalformedDocuments) {
+    EXPECT_THROW((void)su::JsonValue::parse(""), su::JsonError);
+    EXPECT_THROW((void)su::JsonValue::parse("{\"a\":1"), su::JsonError);
+    EXPECT_THROW((void)su::JsonValue::parse("[1,2] trailing"), su::JsonError);
+    EXPECT_THROW((void)su::JsonValue::parse("\"unterminated"), su::JsonError);
+    EXPECT_THROW((void)su::JsonValue::parse("1.2.3"), su::JsonError);
+    EXPECT_THROW((void)su::JsonValue::parse("nul"), su::JsonError);
 }

@@ -1,0 +1,253 @@
+// socbuf_cli — list and run the scenario catalog from the command line.
+//
+//   socbuf_cli list
+//       One line per registered scenario: name, testbench, job counts.
+//   socbuf_cli show <scenario>
+//       Full parameterization of one scenario.
+//   socbuf_cli run <scenario> [<scenario> ...] [options]
+//       Execute scenarios as one batch on a shared executor and print the
+//       summary table.
+//
+// Run options:
+//   --threads N        worker threads (0 = hardware concurrency; default 0)
+//   --budgets A,B,...  override every selected scenario's budget list
+//   --replications R   override the evaluation replication count
+//   --horizon H        override the simulation horizon (time units); the
+//                      warmup is reduced to H/10 only if it would
+//                      otherwise reach past the horizon
+//   --warmup W         override the statistics warmup explicitly
+//   --seed S           override the base RNG seed
+//   --no-cache         disable the batch-wide CTMDP solve cache
+//   --json FILE        write the full structured report ("-" = stdout)
+//   --csv FILE         write the summary as CSV ("-" = stdout)
+//
+// Results are bit-identical for any --threads value.
+#include "exec/executor.hpp"
+#include "scenario/batch_runner.hpp"
+#include "scenario/scenario.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using socbuf::scenario::BatchOptions;
+using socbuf::scenario::BatchReport;
+using socbuf::scenario::BatchRunner;
+using socbuf::scenario::ScenarioRegistry;
+using socbuf::scenario::ScenarioSpec;
+
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  %s list\n"
+                 "  %s show <scenario>\n"
+                 "  %s run <scenario> [<scenario> ...] [--threads N]\n"
+                 "      [--budgets A,B,...] [--replications R] [--horizon H]\n"
+                 "      [--warmup W] [--seed S] [--no-cache] [--json FILE]\n"
+                 "      [--csv FILE]\n",
+                 argv0, argv0, argv0);
+    return 2;
+}
+
+std::vector<long> parse_budgets(const std::string& csv) {
+    std::vector<long> out;
+    std::string token;
+    for (const char c : csv + ",") {
+        if (c != ',') {
+            token.push_back(c);
+            continue;
+        }
+        if (token.empty()) continue;
+        out.push_back(std::stol(token));
+        token.clear();
+    }
+    return out;
+}
+
+int list_scenarios() {
+    const ScenarioRegistry registry;
+    socbuf::util::Table table(
+        {"name", "testbench", "variants", "budgets", "reps", "jobs"});
+    for (const auto& spec : registry.specs()) {
+        std::vector<std::string> budgets;
+        for (const long b : spec.budgets) budgets.push_back(std::to_string(b));
+        table.add_row({spec.name, socbuf::scenario::to_string(spec.testbench),
+                       std::to_string(spec.variants.size()),
+                       socbuf::util::join(budgets, "/"),
+                       std::to_string(spec.replications),
+                       std::to_string(spec.job_count())});
+    }
+    std::printf("%s", table.to_string().c_str());
+    return 0;
+}
+
+int show_scenario(const std::string& name) {
+    const ScenarioRegistry registry;
+    if (!registry.contains(name)) {
+        std::fprintf(stderr, "unknown scenario '%s' (try: list)\n",
+                     name.c_str());
+        return 1;
+    }
+    const ScenarioSpec& spec = registry.get(name);
+    std::printf("%s — %s\n", spec.name.c_str(), spec.description.c_str());
+    std::printf("  testbench:    %s\n",
+                socbuf::scenario::to_string(spec.testbench));
+    for (const auto& variant : spec.variants)
+        std::printf("  variant:      %s\n",
+                    variant.label.empty() ? "(default)"
+                                          : variant.label.c_str());
+    std::vector<std::string> budgets;
+    for (const long b : spec.budgets) budgets.push_back(std::to_string(b));
+    std::printf("  budgets:      %s\n",
+                socbuf::util::join(budgets, ", ").c_str());
+    std::printf("  replications: %zu\n", spec.replications);
+    std::printf("  iterations:   %d\n", spec.sizing_iterations);
+    std::printf("  models:       %s\n",
+                spec.use_modulated_models ? "modulated (MMPP)" : "poisson");
+    std::printf("  sim:          horizon %.0f, warmup %.0f, seed %llu\n",
+                spec.sim.horizon, spec.sim.warmup,
+                static_cast<unsigned long long>(spec.sim.seed));
+    std::printf("  jobs:         %zu sizing, %zu evaluation\n",
+                spec.run_count(), spec.job_count());
+    return 0;
+}
+
+bool write_output(const std::string& path, const std::string& content,
+                  const char* what) {
+    if (path == "-") {
+        std::printf("%s", content.c_str());
+        return true;
+    }
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s for %s output\n", path.c_str(),
+                     what);
+        return false;
+    }
+    out << content;
+    std::printf("wrote %s report to %s\n", what, path.c_str());
+    return true;
+}
+
+int run_scenarios(const std::vector<std::string>& args) {
+    const ScenarioRegistry registry;
+    std::vector<ScenarioSpec> specs;
+    std::size_t threads = 0;
+    bool use_cache = true;
+    std::string json_path;
+    std::string csv_path;
+    // Overrides are collected first and applied to every selected
+    // scenario, so flag order and name order don't matter.
+    std::vector<long> budgets_override;
+    std::size_t replications_override = 0;
+    double horizon_override = 0.0;
+    double warmup_override = -1.0;
+    std::uint64_t seed_override = 0;
+    bool has_seed_override = false;
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string& arg = args[i];
+        const auto next_value = [&]() -> const std::string& {
+            if (i + 1 >= args.size()) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return args[++i];
+        };
+        if (arg == "--threads") {
+            threads = static_cast<std::size_t>(std::stoul(next_value()));
+        } else if (arg == "--budgets") {
+            budgets_override = parse_budgets(next_value());
+        } else if (arg == "--replications") {
+            replications_override =
+                static_cast<std::size_t>(std::stoul(next_value()));
+        } else if (arg == "--horizon") {
+            horizon_override = std::stod(next_value());
+        } else if (arg == "--warmup") {
+            warmup_override = std::stod(next_value());
+        } else if (arg == "--seed") {
+            seed_override =
+                static_cast<std::uint64_t>(std::stoull(next_value()));
+            has_seed_override = true;
+        } else if (arg == "--no-cache") {
+            use_cache = false;
+        } else if (arg == "--json") {
+            json_path = next_value();
+        } else if (arg == "--csv") {
+            csv_path = next_value();
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            return 2;
+        } else {
+            if (!registry.contains(arg)) {
+                std::fprintf(stderr, "unknown scenario '%s' (try: list)\n",
+                             arg.c_str());
+                return 1;
+            }
+            specs.push_back(registry.get(arg));
+        }
+    }
+    if (specs.empty()) {
+        std::fprintf(stderr, "run needs at least one scenario name\n");
+        return 2;
+    }
+    for (auto& spec : specs) {
+        if (!budgets_override.empty()) spec.budgets = budgets_override;
+        if (replications_override > 0)
+            spec.replications = replications_override;
+        if (horizon_override > 0.0) {
+            spec.sim.horizon = horizon_override;
+            // Keep the preset warmup unless it would reach past the new
+            // horizon; --warmup below still takes precedence.
+            if (spec.sim.warmup >= horizon_override)
+                spec.sim.warmup = horizon_override / 10.0;
+        }
+        if (warmup_override >= 0.0) spec.sim.warmup = warmup_override;
+        if (has_seed_override) spec.sim.seed = seed_override;
+    }
+
+    socbuf::exec::Executor executor(threads);
+    BatchOptions options;
+    options.use_solve_cache = use_cache;
+    BatchRunner runner(executor, options);
+    const BatchReport report = runner.run(specs);
+
+    std::printf("%s", report.summary_table().to_string().c_str());
+    std::printf(
+        "workers: %zu · solve cache: %zu hits / %zu misses (%.0f%% hit "
+        "rate)\n",
+        report.workers, report.cache.hits, report.cache.misses,
+        100.0 * report.cache.hit_rate());
+
+    bool ok = true;
+    if (!json_path.empty())
+        ok = write_output(json_path, report.to_json() + "\n", "json") && ok;
+    if (!csv_path.empty())
+        ok = write_output(csv_path, report.to_csv(), "csv") && ok;
+    return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage(argv[0]);
+    const std::string command = argv[1];
+    std::vector<std::string> rest(argv + 2, argv + argc);
+    try {
+        if (command == "list") return list_scenarios();
+        if (command == "show")
+            return rest.size() == 1 ? show_scenario(rest[0]) : usage(argv[0]);
+        if (command == "run") return run_scenarios(rest);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return usage(argv[0]);
+}
