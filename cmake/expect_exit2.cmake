@@ -1,0 +1,20 @@
+# CTest helper: run ${CMD} with ${ARGS} (a ;-list) and require the usage
+# error contract — exit code 2 plus a diagnostic on stderr. Used to pin
+# socbuf_cli's handling of malformed flag values (which once escaped as an
+# uncaught std::stoul exception, i.e. std::terminate).
+#
+#   cmake -DCMD=<exe> "-DARGS=run;figure1;--threads;abc" -P expect_exit2.cmake
+execute_process(COMMAND ${CMD} ${ARGS}
+                RESULT_VARIABLE exit_code
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+if(NOT exit_code EQUAL 2)
+    message(FATAL_ERROR
+            "expected exit code 2 from '${CMD} ${ARGS}', got '${exit_code}'"
+            " (stderr: ${err})")
+endif()
+if(NOT err MATCHES "invalid|needs")
+    message(FATAL_ERROR
+            "expected a diagnostic naming the bad flag on stderr, got:"
+            " ${err}")
+endif()

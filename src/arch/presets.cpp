@@ -116,17 +116,29 @@ TestSystem network_processor_system(const NetworkProcessorParams& params) {
     // Egress schedulers emit the final aggregated wire streams to the MAC
     // PEs on the same bus: heavy and deeply bursty, the workload whose
     // buffer demand uniform sizing underestimates most (the paper's
-    // processors 15 and 16).
-    flow(egress[pe - 2], egress[0], 1.6, 3.0, 1.5);
-    flow(egress[pe - 1], egress[1], 2.2, 4.0, 2.0);
+    // processors 15 and 16). At pe == 2 the scheduler and MAC roles fall
+    // on the same two PEs, so the streams cross the pair instead of
+    // degenerating into self-flows (routing rejects source ==
+    // destination).
+    if (pe >= 3) {
+        flow(egress[pe - 2], egress[0], 1.6, 3.0, 1.5);
+        flow(egress[pe - 1], egress[1], 2.2, 4.0, 2.0);
+    } else {
+        flow(egress[1], egress[0], 1.6, 3.0, 1.5);
+        flow(egress[0], egress[1], 2.2, 4.0, 2.0);
+    }
 
-    // Light intra-cluster chatter keeps every bus busy.
-    flow(ingress[1], ingress[2], 0.2);
-    flow(ingress[2], ingress[1], 0.2);
-    flow(classify[1], classify[2], 0.2);
-    flow(classify[2], classify[1], 0.2);
-    flow(crypto[1], crypto[2], 0.15);
-    flow(crypto[2], crypto[1], 0.15);
+    // Light intra-cluster chatter keeps every bus busy. The [1] <-> [2]
+    // pairs only exist at pe >= 3 (the contract above guarantees pe >= 2,
+    // where the chatter reduces to the egress pair).
+    if (pe >= 3) {
+        flow(ingress[1], ingress[2], 0.2);
+        flow(ingress[2], ingress[1], 0.2);
+        flow(classify[1], classify[2], 0.2);
+        flow(classify[2], classify[1], 0.2);
+        flow(crypto[1], crypto[2], 0.15);
+        flow(crypto[2], crypto[1], 0.15);
+    }
     flow(egress[0], egress[1], 0.25);
     flow(egress[1], egress[0], 0.25);
 

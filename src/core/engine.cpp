@@ -29,6 +29,8 @@ BufferSizingEngine::BufferSizingEngine(SizingOptions options)
     SOCBUF_REQUIRE_MSG(
         options_.tail_mass > 0.0 && options_.tail_mass < 1.0,
         "tail mass must be in (0,1)");
+    SOCBUF_REQUIRE_MSG(options_.eval_replications >= 1,
+                       "need >= 1 evaluation replication per round");
 }
 
 namespace {
@@ -105,6 +107,74 @@ void score_subsystems(const ModelVector& models,
     }
 }
 
+/// Everything one round's evaluation feeds back into the loop.
+struct RoundEval {
+    double total_lost = 0.0;
+    double weighted_loss = 0.0;
+    std::vector<double> site_observed_rate;
+    std::vector<double> site_mean_occupancy;
+};
+
+/// Evaluate `alloc` for one round. One replication (the default) is the
+/// legacy single-sim path, op for op; more replications fan independent
+/// sims (seed + r) across the executor — nested fan-outs are safe, see
+/// the executor's nesting rule — and fold their per-site statistics in
+/// replication order, so the result is bit-identical for any worker
+/// count. A caller that already simulated replication 0 at the base
+/// seed (the uniform baseline reuses `report.before`) passes it as
+/// `first_replication`; only seeds seed + 1 ... are simulated then, with
+/// an identical fold.
+RoundEval evaluate_round(const arch::TestSystem& system,
+                         const Allocation& alloc,
+                         const SizingOptions& options,
+                         const std::vector<double>& flow_weights,
+                         exec::Executor& executor,
+                         const sim::SimResult* first_replication = nullptr) {
+    RoundEval out;
+    const std::size_t reps = options.eval_replications;
+    sim::SimResult first_local;
+    if (reps == 1) {
+        if (first_replication == nullptr) {
+            first_local = sim::simulate(system, alloc, options.sim);
+            first_replication = &first_local;
+        }
+        out.total_lost = static_cast<double>(first_replication->total_lost());
+        out.weighted_loss = first_replication->weighted_loss(flow_weights);
+        out.site_observed_rate = first_replication->site_observed_rate;
+        out.site_mean_occupancy = first_replication->site_mean_occupancy;
+        return out;
+    }
+    // With a supplied replication 0 only the remainder is simulated; a
+    // fresh round fans all replications at once.
+    const std::size_t base = first_replication == nullptr ? 0 : 1;
+    const auto evals = executor.map(reps - base, [&](std::size_t r) {
+        sim::SimConfig config = options.sim;
+        config.seed = options.sim.seed + base + r;
+        return sim::simulate(system, alloc, config);
+    });
+    std::vector<const sim::SimResult*> ordered;
+    ordered.reserve(reps);
+    if (first_replication != nullptr) ordered.push_back(first_replication);
+    for (const auto& eval : evals) ordered.push_back(&eval);
+    out.site_observed_rate.assign(ordered[0]->site_observed_rate.size(), 0.0);
+    out.site_mean_occupancy.assign(ordered[0]->site_mean_occupancy.size(),
+                                   0.0);
+    for (const sim::SimResult* eval : ordered) {
+        out.total_lost += static_cast<double>(eval->total_lost());
+        out.weighted_loss += eval->weighted_loss(flow_weights);
+        for (std::size_t s = 0; s < out.site_observed_rate.size(); ++s)
+            out.site_observed_rate[s] += eval->site_observed_rate[s];
+        for (std::size_t s = 0; s < out.site_mean_occupancy.size(); ++s)
+            out.site_mean_occupancy[s] += eval->site_mean_occupancy[s];
+    }
+    const double n = static_cast<double>(reps);
+    out.total_lost /= n;
+    out.weighted_loss /= n;
+    for (double& v : out.site_observed_rate) v /= n;
+    for (double& v : out.site_mean_occupancy) v /= n;
+    return out;
+}
+
 }  // namespace
 
 SizingReport BufferSizingEngine::run(const arch::TestSystem& system) const {
@@ -133,12 +203,19 @@ SizingReport BufferSizingEngine::run(const arch::TestSystem& system,
 
     Allocation alloc = report.initial;
     report.best = report.initial;
-    double best_weighted = report.before.weighted_loss(flow_weights);
-    std::vector<double> rates =
-        options_.use_measured_rates
-            ? report.before.site_observed_rate
-            : std::vector<double>{};
-    std::vector<double> measured_occ = report.before.site_mean_occupancy;
+    // The baseline must be scored at the same fidelity as the rounds it
+    // competes with: replicated rounds against a single-sim baseline
+    // would let one lucky (or unlucky) baseline seed bias which
+    // allocation wins. `before` is replication 0 at the base seed, so it
+    // is folded in rather than re-simulated (with one replication this
+    // reuses it outright — no extra simulation, identical bits).
+    const RoundEval baseline =
+        evaluate_round(system, report.initial, options_, flow_weights,
+                       executor, &report.before);
+    double best_weighted = baseline.weighted_loss;
+    std::vector<double> rates;
+    if (options_.use_measured_rates) rates = baseline.site_observed_rate;
+    std::vector<double> measured_occ = baseline.site_mean_occupancy;
 
     report.site_scores.assign(n_sites, 0.0);
     report.site_service_weights.assign(n_sites, 0.0);
@@ -174,12 +251,14 @@ SizingReport BufferSizingEngine::run(const arch::TestSystem& system,
         for (std::size_t i = 0; i < active.size(); ++i)
             next[active[i]] = shares[i];
 
-        // Resimulate with the new buffer lengths and compare losses.
-        const auto eval = sim::simulate(system, next, options_.sim);
+        // Resimulate with the new buffer lengths and compare losses
+        // (replicated and fanned when eval_replications > 1).
+        const RoundEval eval =
+            evaluate_round(system, next, options_, flow_weights, executor);
         IterationRecord rec;
         rec.allocation = next;
-        rec.total_lost = static_cast<double>(eval.total_lost());
-        rec.weighted_loss = eval.weighted_loss(flow_weights);
+        rec.total_lost = eval.total_lost;
+        rec.weighted_loss = eval.weighted_loss;
         report.history.push_back(rec);
         util::log(util::LogLevel::kInfo, "sizing iteration ", iter + 1,
                   ": total lost ", rec.total_lost, " (weighted ",

@@ -46,12 +46,21 @@ struct SizingOptions {
     std::size_t lp_pair_limit = ctmdp::DispatchOptions{}.lp_pair_limit;
     std::size_t pi_state_limit = ctmdp::DispatchOptions{}.pi_state_limit;
     SolverChoice solver = SolverChoice::kAuto;
-    /// Worker threads for the per-subsystem CTMDP solves each round
-    /// (0 = hardware concurrency). Results are bit-identical for any
-    /// value — solves are independent and folded in subsystem order.
-    /// Only consulted by run(system); the executor overload uses the
-    /// workers of the executor it is handed.
+    /// Worker threads for the per-subsystem CTMDP solves and per-round
+    /// evaluation sims (0 = hardware concurrency). Results are
+    /// bit-identical for any value — the fanned units are independent and
+    /// folded in index order. Only consulted by run(system); the executor
+    /// overload uses the workers of the executor it is handed.
     std::size_t threads = 1;
+    /// Replications of each round's evaluation simulation (seeds
+    /// sim.seed, sim.seed + 1, ...), fanned across the executor and
+    /// folded in replication order: every round — and the uniform
+    /// baseline it competes with — is scored, and the measured rates /
+    /// occupancies refreshed, on the replication *means*, which smooths
+    /// the fixed point on noisy short horizons. 1 (the default) keeps
+    /// the single-sim path bit for bit. `before`/`after` in the report
+    /// stay single-sim results either way.
+    std::size_t eval_replications = 1;
     /// Weight of the saturated-buffer correction: when mass piles up at the
     /// modeled cap, the true requirement exceeds the cap and the score is
     /// extrapolated by boost * P(k = cap) * cap.

@@ -74,25 +74,65 @@ std::string solve_fingerprint(const CtmdpModel& model,
     return key;
 }
 
+SolveCache::SolveCache(std::size_t capacity) : capacity_(capacity) {}
+
+void SolveCache::touch(EntryIter pos) {
+    entries_.splice(entries_.begin(), entries_, pos);
+}
+
+void SolveCache::evict_over_capacity() {
+    if (capacity_ == 0) return;
+    auto candidate = entries_.end();
+    while (entries_.size() > capacity_) {
+        if (candidate == entries_.begin()) break;
+        --candidate;
+        // The front entry is the one the completing solve just touched;
+        // when pinned entries crowd the back the scan could otherwise
+        // reach it, and every solve would self-evict at tight
+        // capacities. Sparing it means residency can transiently exceed
+        // the budget instead — the documented best-effort trade.
+        if (candidate == entries_.begin()) break;
+        const Slot& slot = candidate->second;
+        // Only settled, unwatched entries may go; in-flight solves and
+        // slots other threads hold references into are pinned.
+        if (slot.state != Slot::kReady || slot.waiters != 0) continue;
+        index_.erase(candidate->first);
+        candidate = entries_.erase(candidate);
+        ++evictions_;
+    }
+}
+
 SubsystemSolution SolveCache::solve(SolverRegistry& registry,
                                     const CtmdpModel& model,
                                     const DispatchOptions& options) {
     const std::string key = solve_fingerprint(model, options);
     std::unique_lock<std::mutex> lock(mutex_);
-    // The mapped reference stays valid across rehashes and concurrent
-    // inserts, so it can be held through the waits below.
-    Slot& slot = entries_[key];
+    auto mapped = index_.find(key);
+    if (mapped == index_.end()) {
+        entries_.emplace_front(key, Slot{});
+        mapped = index_.emplace(key, entries_.begin()).first;
+    }
+    // The list iterator (and the Slot it points to) stays valid across
+    // concurrent inserts and evictions of *other* entries, and this entry
+    // is pinned below (kSolving or waiters > 0) whenever the lock is
+    // dropped, so it can be held through the waits.
+    const EntryIter pos = mapped->second;
+    Slot& slot = pos->second;
     for (;;) {
         if (slot.state == Slot::kReady) {
             ++hits_;
+            touch(pos);
             return slot.solution;
         }
         if (slot.state == Slot::kUnsolved) break;  // ours to claim
         // Another thread is solving this key: wait and share its result
         // instead of duplicating the work. Every lookup counts exactly
         // one hit (served a solution) or one miss (claimed the solve), so
-        // the totals are independent of the thread interleaving.
+        // with an unlimited capacity the totals are independent of the
+        // thread interleaving.
+        ++slot.waiters;
         slot_ready_.wait(lock, [&] { return slot.state != Slot::kSolving; });
+        --slot.waiters;
         // kReady: the loop returns it as a hit. kUnsolved: the solving
         // thread failed, so claim the key ourselves (failures propagate
         // from some requester either way).
@@ -105,11 +145,20 @@ SubsystemSolution SolveCache::solve(SolverRegistry& registry,
         lock.lock();
         slot.solution = solution;
         slot.state = Slot::kReady;
+        touch(pos);
+        evict_over_capacity();
         slot_ready_.notify_all();
         return solution;
     } catch (...) {
         lock.lock();
         slot.state = Slot::kUnsolved;
+        if (slot.waiters == 0) {
+            // Nobody is watching the failed slot: drop the husk so a
+            // failed key costs no residency. Waiters, if any, re-claim
+            // it instead (the slot must stay alive for them).
+            index_.erase(pos->first);
+            entries_.erase(pos);
+        }
         slot_ready_.notify_all();
         throw;
     }
@@ -120,6 +169,7 @@ SolveCacheStats SolveCache::stats() const {
     SolveCacheStats out;
     out.hits = hits_;
     out.misses = misses_;
+    out.evictions = evictions_;
     return out;
 }
 
@@ -134,8 +184,10 @@ std::size_t SolveCache::size() const {
 void SolveCache::clear() {
     std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
+    index_.clear();
     hits_ = 0;
     misses_ = 0;
+    evictions_ = 0;
 }
 
 }  // namespace socbuf::ctmdp

@@ -12,22 +12,36 @@
 // fresh solve, which is what keeps BatchRunner's determinism contract
 // intact when many threads share one cache.
 //
-// Each key is solved exactly once: the first requester claims it and
-// solves *outside* the lock while later requesters wait on the in-flight
-// solve and share its result. No work is duplicated, and the counters are
+// Each key is solved exactly once while it is resident: the first
+// requester claims it and solves *outside* the lock while later
+// requesters wait on the in-flight solve and share its result. No work is
+// duplicated, and with an unlimited capacity the counters are
 // scheduling-independent — for a fixed set of lookups, misses always
 // equal the number of distinct keys and hits the remainder, whatever the
 // thread interleaving (which is why batch reports can include them and
 // stay bit-identical across worker counts).
+//
+// Size budget: construct with a positive `capacity` to bound the number
+// of resident entries; the least-recently-used unpinned entry is evicted
+// whenever a solve completes over budget (entries another thread is
+// solving or waiting on are pinned, and the most-recently-used entry —
+// the one the completing solve just touched — is never the victim, so
+// residency can exceed the budget transiently rather than thrash). Eviction never changes *results* — a re-solve of an
+// evicted key returns identical bits — but under concurrency it makes
+// the hit/miss/eviction split depend on which entry completed first, so
+// counter determinism is only guaranteed when capacity is 0 (unlimited)
+// or at least the number of distinct keys.
 #pragma once
 
 #include "ctmdp/solver.hpp"
 
 #include <condition_variable>
 #include <cstddef>
+#include <list>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 namespace socbuf::ctmdp {
 
@@ -41,6 +55,7 @@ namespace socbuf::ctmdp {
 struct SolveCacheStats {
     std::size_t hits = 0;
     std::size_t misses = 0;
+    std::size_t evictions = 0;  // 0 unless a capacity is set
     [[nodiscard]] std::size_t lookups() const { return hits + misses; }
     [[nodiscard]] double hit_rate() const {
         return lookups() == 0
@@ -53,9 +68,19 @@ struct SolveCacheStats {
 /// live as long as a batch and be shared by every engine run in it.
 class SolveCache {
 public:
+    /// `capacity` bounds the number of resident entries (LRU eviction);
+    /// 0 means unlimited, the default and the only setting under which
+    /// the hit/miss counters are scheduling-independent for every
+    /// workload (see the header comment).
+    explicit SolveCache(std::size_t capacity = 0);
+
     /// Return the cached solution for (model, options) or solve through
     /// `registry` and remember the result. Registry counters only advance
     /// on misses, so a SizingReport's lp/vi/pi counts reflect actual work.
+    /// A solver failure propagates to the claiming requester and leaves
+    /// the slot reclaimable: concurrent waiters retry the solve instead
+    /// of hanging, and the counters stay consistent (every lookup is
+    /// exactly one hit or one miss).
     [[nodiscard]] SubsystemSolution solve(SolverRegistry& registry,
                                           const CtmdpModel& model,
                                           const DispatchOptions& options);
@@ -63,6 +88,8 @@ public:
     [[nodiscard]] SolveCacheStats stats() const;
     /// Number of solved entries held.
     [[nodiscard]] std::size_t size() const;
+    /// The entry budget this cache was constructed with (0 = unlimited).
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
     /// Drop every entry and reset the counters. Must not race in-flight
     /// solve() calls (call it between batches, not during one).
     void clear();
@@ -71,14 +98,30 @@ private:
     struct Slot {
         enum State { kUnsolved, kSolving, kReady };
         State state = kUnsolved;
+        /// Threads blocked on this slot's in-flight solve; a slot with
+        /// waiters (or in kSolving) is pinned against eviction, so every
+        /// held reference stays valid — std::list storage keeps it
+        /// stable across unrelated inserts and evictions.
+        std::size_t waiters = 0;
         SubsystemSolution solution;
     };
+    using Entry = std::pair<std::string, Slot>;
+    using EntryIter = std::list<Entry>::iterator;
+
+    /// Move `pos` to the front of the recency list. Caller holds mutex_.
+    void touch(EntryIter pos);
+    /// Evict LRU unpinned entries until within capacity (best effort —
+    /// pinned entries are skipped). Caller holds mutex_.
+    void evict_over_capacity();
 
     mutable std::mutex mutex_;
     std::condition_variable slot_ready_;
-    std::unordered_map<std::string, Slot> entries_;
+    std::list<Entry> entries_;  // front = most recently used
+    std::unordered_map<std::string, EntryIter> index_;
+    std::size_t capacity_ = 0;
     std::size_t hits_ = 0;
     std::size_t misses_ = 0;
+    std::size_t evictions_ = 0;
 };
 
 }  // namespace socbuf::ctmdp

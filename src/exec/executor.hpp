@@ -8,12 +8,16 @@
 // entry point: like exec::parallel_map it returns results in index order,
 // bit-identical for any worker count, including 1.
 //
-// Nesting rule: the pool's parallel_for_index blocks its caller until the
-// submitted indices drain, so code that *runs on* the executor's workers
-// (a BatchRunner job, a Table 1 budget row) must not map on the same
-// executor again — it would park a worker waiting on jobs only other
-// workers can run. Layers below a fan-out therefore run serially; the
-// BatchRunner encodes this by handing its jobs a serial context.
+// Nesting rule: map() may be called from *inside* a job that is itself
+// running on this executor's workers. parallel_for_index makes its caller
+// participate in the claim-and-run loop, so a nested fan-out always makes
+// progress on the calling worker and recruits other workers only when
+// they are free — no deadlock for any nesting depth. A BatchRunner sizing
+// job therefore fans its subsystem solves on the same shared executor it
+// runs on (the old rule — hand pool jobs a serial context — is gone).
+// The one remaining restriction: blocking *waits* that only another
+// worker can satisfy (exec::TaskGraph::wait) must stay off the workers;
+// see task_graph.hpp.
 #pragma once
 
 #include "exec/parallel.hpp"

@@ -1,11 +1,54 @@
 #include "exec/parallel.hpp"
 
-#include <atomic>
 #include <condition_variable>
 #include <exception>
+#include <memory>
 #include <mutex>
 
 namespace socbuf::exec {
+
+namespace {
+
+/// State of one parallel_for_index call. Heap-allocated and co-owned by
+/// the helper jobs so stragglers dequeued after the call has returned
+/// find an exhausted cursor instead of a dead stack frame; the body is
+/// copied in for the same reason.
+struct ForIndexState {
+    std::function<void(std::size_t)> body;
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t next = 0;       // next unclaimed index
+    std::size_t total = 0;
+    std::size_t in_flight = 0;  // claimed indices whose body is running
+    bool abort = false;         // set by the first exception
+    std::exception_ptr error;
+};
+
+/// Claim-and-run loop shared by the caller and every helper job: claim
+/// one index at a time under the lock, run the body outside it. Exits
+/// when the cursor is exhausted or a body threw; the last exiting driver
+/// (in_flight back to zero) wakes the waiting caller.
+void drive(ForIndexState& state) {
+    std::unique_lock<std::mutex> lock(state.mutex);
+    while (!state.abort && state.next < state.total) {
+        const std::size_t i = state.next++;
+        ++state.in_flight;
+        lock.unlock();
+        try {
+            state.body(i);
+            lock.lock();
+        } catch (...) {
+            lock.lock();
+            if (state.error == nullptr)
+                state.error = std::current_exception();
+            state.abort = true;  // stop claiming further indices everywhere
+        }
+        --state.in_flight;
+    }
+    if (state.in_flight == 0) state.done.notify_all();
+}
+
+}  // namespace
 
 void parallel_for_index(ThreadPool& pool, std::size_t n,
                         const std::function<void(std::size_t)>& body) {
@@ -15,44 +58,28 @@ void parallel_for_index(ThreadPool& pool, std::size_t n,
         return;
     }
 
-    struct Shared {
-        std::atomic<std::size_t> cursor{0};
-        std::atomic<std::size_t> finished_workers{0};
-        std::mutex mutex;
-        std::condition_variable done;
-        std::exception_ptr error;
-        std::size_t worker_count = 0;
-        bool all_done = false;
-    } shared;
-    shared.worker_count = std::min(pool.size(), n);
+    auto state = std::make_shared<ForIndexState>();
+    state->body = body;
+    state->total = n;
 
-    const std::size_t total = n;
-    auto drive = [&shared, &body, total] {
-        for (;;) {
-            const std::size_t i =
-                shared.cursor.fetch_add(1, std::memory_order_relaxed);
-            if (i >= total) break;
-            try {
-                body(i);
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(shared.mutex);
-                if (shared.error == nullptr)
-                    shared.error = std::current_exception();
-                // Stop claiming further indices everywhere.
-                shared.cursor.store(total, std::memory_order_relaxed);
-            }
-        }
-        std::lock_guard<std::mutex> lock(shared.mutex);
-        if (++shared.finished_workers == shared.worker_count) {
-            shared.all_done = true;
-            shared.done.notify_all();
-        }
-    };
-    for (std::size_t w = 0; w < shared.worker_count; ++w) pool.submit(drive);
+    // Helpers let idle workers join in; the caller drives its own loop
+    // below, so completion never depends on a worker being free — which
+    // is what makes this safe to call *from* one of the pool's workers
+    // (the nested fan-out case). A straggler helper that only gets
+    // dequeued after the call returned sees an exhausted cursor and
+    // exits immediately.
+    const std::size_t helpers = std::min(pool.size(), n);
+    for (std::size_t w = 0; w < helpers; ++w)
+        pool.submit([state] { drive(*state); });
 
-    std::unique_lock<std::mutex> lock(shared.mutex);
-    shared.done.wait(lock, [&shared] { return shared.all_done; });
-    if (shared.error != nullptr) std::rethrow_exception(shared.error);
+    drive(*state);
+
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done.wait(lock, [&] {
+        return state->in_flight == 0 &&
+               (state->abort || state->next >= state->total);
+    });
+    if (state->error != nullptr) std::rethrow_exception(state->error);
 }
 
 }  // namespace socbuf::exec

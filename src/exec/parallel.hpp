@@ -21,9 +21,15 @@
 namespace socbuf::exec {
 
 /// Run body(i) for every i in [0, n) on the pool's workers and block until
-/// all are done. Indices are claimed from a shared atomic cursor (dynamic
-/// load balancing, no stealing); the first exception thrown by any body is
-/// rethrown here after every worker has stopped.
+/// all are done. Indices are claimed one at a time from a shared cursor
+/// (dynamic load balancing, no stealing); the first exception thrown by
+/// any body is rethrown here once every claimed index has finished.
+///
+/// The *caller participates*: it runs the same claim-and-run loop as the
+/// pool's workers, so the call always makes progress even when every
+/// worker is busy — which makes it safe to call from *inside* a job that
+/// is itself running on the pool (a nested fan-out never deadlocks; at
+/// worst the inner indices all run on the calling worker).
 void parallel_for_index(ThreadPool& pool, std::size_t n,
                         const std::function<void(std::size_t)>& body);
 

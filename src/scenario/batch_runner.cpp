@@ -1,12 +1,14 @@
 #include "scenario/batch_runner.hpp"
 
 #include "core/engine.hpp"
+#include "exec/task_graph.hpp"
 #include "sim/simulator.hpp"
 #include "util/json.hpp"
 #include "util/numeric.hpp"
 #include "util/strings.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
 namespace socbuf::scenario {
@@ -140,40 +142,53 @@ BatchReport BatchRunner::run(const std::vector<ScenarioSpec>& specs) {
             for (const long budget : specs[s].budgets)
                 jobs.push_back({s, v, budget});
 
-    ctmdp::SolveCache cache;
-    ctmdp::SolveCache* cache_ptr = options_.use_solve_cache ? &cache : nullptr;
-
-    // Stage 1 — sizing runs. Jobs on the pool get the serial context (see
-    // the nesting rule); a lone job runs inline and keeps the shared
-    // executor for its subsystem solves.
-    std::vector<SizingOutcome> sized;
-    if (jobs.size() == 1) {
-        sized.push_back(run_sizing(specs[jobs[0].spec], jobs[0], executor_,
-                                   cache_ptr));
-    } else {
-        sized = executor_.map(jobs.size(), [&](std::size_t j) {
-            return run_sizing(specs[jobs[j].spec], jobs[j], serial_,
-                              cache_ptr);
-        });
-    }
-
-    // Stage 2 — evaluation replications, flattened job-major so every
-    // (sizing job, replication) pair is one schedulable unit.
     std::vector<std::size_t> eval_offset(jobs.size() + 1, 0);
     for (std::size_t j = 0; j < jobs.size(); ++j)
         eval_offset[j + 1] =
             eval_offset[j] + specs[jobs[j].spec].replications;
-    const std::size_t eval_count = eval_offset.back();
-    const auto samples = executor_.map(eval_count, [&](std::size_t e) {
-        const std::size_t j = static_cast<std::size_t>(
-            std::upper_bound(eval_offset.begin(), eval_offset.end(), e) -
-            eval_offset.begin() - 1);
-        return run_eval(specs[jobs[j].spec], sized[j], e - eval_offset[j]);
-    });
+
+    ctmdp::SolveCache cache(options_.cache_capacity);
+    ctmdp::SolveCache* cache_ptr = options_.use_solve_cache ? &cache : nullptr;
+
+    // One dependency-aware fan-out, no stage barrier: every sizing job is
+    // submitted up front and submits its own evaluation replications the
+    // moment it finishes, so evaluation work starts while other sizing
+    // jobs are still running. Sizing jobs keep the shared executor for
+    // their nested fan-outs (subsystem solves, per-round eval sims) —
+    // nested maps are deadlock-free by the executor's nesting rule.
+    // Every job writes an index-addressed slot; the fold below reads them
+    // in expansion order, which is what keeps the report bit-identical
+    // for any worker count.
+    std::vector<SizingOutcome> sized(jobs.size());
+    std::vector<EvalSample> samples(eval_offset.back());
+    std::atomic<std::size_t> sizing_in_flight{0};
+    std::atomic<std::size_t> overlap{0};
+    exec::TaskGraph graph(executor_);
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        graph.submit([&, j] {
+            ++sizing_in_flight;
+            sized[j] = run_sizing(specs[jobs[j].spec], jobs[j], executor_,
+                                  cache_ptr);
+            --sizing_in_flight;
+            for (std::size_t e = eval_offset[j]; e < eval_offset[j + 1];
+                 ++e) {
+                graph.submit([&, j, e] {
+                    // Pipelining diagnostic only — results never read it.
+                    if (sizing_in_flight.load(std::memory_order_relaxed) >
+                        0)
+                        overlap.fetch_add(1, std::memory_order_relaxed);
+                    samples[e] = run_eval(specs[jobs[j].spec], sized[j],
+                                          e - eval_offset[j]);
+                });
+            }
+        });
+    }
+    graph.wait();
 
     // Fold, in expansion order.
     BatchReport report;
     report.workers = executor_.workers();
+    report.eval_overlap = overlap.load();
     report.runs.reserve(jobs.size());
     for (std::size_t j = 0; j < jobs.size(); ++j) {
         const ScenarioSpec& spec = specs[jobs[j].spec];
@@ -211,6 +226,8 @@ BatchReport BatchRunner::run(const std::vector<ScenarioSpec>& specs) {
         report.runs.push_back(std::move(run));
     }
     report.cache = cache.stats();
+    report.cache_enabled = options_.use_solve_cache;
+    report.cache_capacity = options_.cache_capacity;
     return report;
 }
 
@@ -253,10 +270,17 @@ util::JsonValue to_json_array(const std::vector<long>& values) {
 std::string BatchReport::to_json(int indent) const {
     util::JsonValue root = util::JsonValue::object();
     root.set("workers", workers);
+    // A disabled cache serializes as {"enabled": false} only — zeroed
+    // counters would be indistinguishable from "enabled but cold".
     util::JsonValue cache_node = util::JsonValue::object();
-    cache_node.set("hits", cache.hits);
-    cache_node.set("misses", cache.misses);
-    cache_node.set("hit_rate", cache.hit_rate());
+    cache_node.set("enabled", cache_enabled);
+    if (cache_enabled) {
+        cache_node.set("capacity", cache_capacity);
+        cache_node.set("hits", cache.hits);
+        cache_node.set("misses", cache.misses);
+        cache_node.set("evictions", cache.evictions);
+        cache_node.set("hit_rate", cache.hit_rate());
+    }
     root.set("solve_cache", std::move(cache_node));
 
     util::JsonValue runs_node = util::JsonValue::array();

@@ -1,27 +1,42 @@
-// Deterministic batch execution of scenarios on one shared executor.
+// Deterministic, pipelined batch execution of scenarios on one shared
+// executor.
 //
 // A batch expands its ScenarioSpecs into two deterministic job lists:
 //
-//   stage 1 — sizing jobs, one per (scenario, variant, budget): build the
+//   sizing jobs, one per (scenario, variant, budget): build the
 //     testbench, run the BufferSizingEngine (through the batch-wide
 //     ctmdp::SolveCache, so identical subsystem CTMDPs across rounds,
-//     budgets and replications are solved once), and calibrate the timeout
-//     policy when the spec asks for it;
-//   stage 2 — evaluation jobs, one per (sizing job, replication): simulate
-//     the constant and resized allocations (and optionally the timeout
+//     budgets and replications are solved once), and calibrate the
+//     timeout policy when the spec asks for it;
+//   evaluation jobs, one per (sizing job, replication): simulate the
+//     constant and resized allocations (and optionally the timeout
 //     policy) with seed = spec.sim.seed + replication.
 //
-// Both stages fan across the shared exec::Executor and fold their results
-// in job-index order, so a BatchReport is **bit-identical for any worker
+// There is **no stage barrier** between the two: the runner submits every
+// sizing job to one exec::TaskGraph up front, and each sizing job submits
+// its own evaluation replications the moment it finishes — so evaluation
+// work overlaps the remaining sizing work (BatchReport::eval_overlap
+// counts how often) instead of the whole batch idling until the slowest
+// sizing run completes. Sizing jobs keep the *shared* executor for their
+// per-subsystem solves and per-round evaluation sims: nested fan-outs on
+// one pool are safe (the caller drives its own loop — see the nesting
+// rule in exec/executor.hpp), so a lone sizing run still parallelizes
+// internally.
+//
+// Every job writes an index-addressed slot and the runner folds the slots
+// in expansion order, so a BatchReport is **bit-identical for any worker
 // count, including 1** — the same contract the exec layer gives
 // parallel_map, lifted to whole experiment batches. That covers the runs
-// *and* the solve-cache counters (each key is solved exactly once, and
-// every run tallies the algorithm behind each solution it consumed, so
-// neither depends on scheduling); the only field that reflects the width
-// is `workers` itself. Jobs themselves run
-// serially (see the nesting rule in exec/executor.hpp); a single-job stage
-// instead runs inline on the caller with the shared executor, so a lone
-// sizing run still parallelizes its subsystem solves.
+// *and* the solve-cache counters (each resident key is solved exactly
+// once, and every run tallies the algorithm behind each solution it
+// consumed, so neither depends on scheduling). Two fields reflect the
+// execution rather than the workload by design: `workers` records the
+// width, and `eval_overlap` is a scheduling-dependent pipelining
+// diagnostic; neither is serialized into the run data. A finite
+// `cache_capacity` smaller than the batch's distinct-model count can
+// additionally make the cache *counters* (never the results) depend on
+// eviction order under concurrency — leave it 0 where counter
+// determinism matters.
 #pragma once
 
 #include "core/allocation.hpp"
@@ -41,6 +56,12 @@ struct BatchOptions {
     /// are identical either way; this is purely a work-avoidance knob
     /// (and the thing bench_batch_scenarios measures).
     bool use_solve_cache = true;
+    /// Entry budget for the batch-wide solve cache: 0 = unlimited (every
+    /// entry lives for the batch), otherwise the least-recently-used
+    /// entries are evicted beyond this many (ctmdp::SolveCache's LRU).
+    /// Results are bit-identical for any value; see the header comment
+    /// for what a tight budget does to the cache *counters*.
+    std::size_t cache_capacity = 0;
 };
 
 /// One (scenario, variant, budget) outcome with its replicated evaluation.
@@ -78,7 +99,17 @@ struct BatchReport {
     /// order, independent of which worker finished first.
     std::vector<ScenarioRunResult> runs;
     ctmdp::SolveCacheStats cache;  // zeros when the cache was disabled
+    /// Whether the batch ran with the solve cache at all — lets report
+    /// consumers tell "disabled" apart from "enabled but cold".
+    bool cache_enabled = true;
+    /// The cache's entry budget (0 = unlimited), echoed for the report.
+    std::size_t cache_capacity = 0;
     std::size_t workers = 1;
+    /// Pipelining diagnostic: evaluation jobs that *started* while some
+    /// other job's sizing run was still in flight — 0 under a serial
+    /// executor, > 0 once the task graph overlaps the stages. Depends on
+    /// scheduling by nature, so it is excluded from to_json()/to_csv().
+    std::size_t eval_overlap = 0;
 
     /// One row per run: totals, gain, solver work.
     [[nodiscard]] util::Table summary_table() const;
@@ -100,9 +131,6 @@ public:
 
 private:
     exec::Executor& executor_;
-    /// Context handed to jobs running *on* executor_'s workers: stateless
-    /// when serial, so concurrent use from many jobs is safe.
-    exec::Executor serial_{1};
     BatchOptions options_;
 };
 

@@ -28,6 +28,7 @@ core::SizingOptions ScenarioSpec::sizing_options(long budget) const {
     core::SizingOptions options;
     options.total_budget = budget;
     options.iterations = sizing_iterations;
+    options.eval_replications = sizing_eval_replications;
     options.solver = solver;
     options.use_modulated_models = use_modulated_models;
     options.sim = sim;
@@ -41,6 +42,8 @@ void ScenarioSpec::validate() const {
     for (const long b : budgets)
         SOCBUF_REQUIRE_MSG(b >= 1, "budgets must be >= 1");
     SOCBUF_REQUIRE_MSG(replications >= 1, "need >= 1 replication");
+    SOCBUF_REQUIRE_MSG(sizing_eval_replications >= 1,
+                       "need >= 1 sizing evaluation replication");
     SOCBUF_REQUIRE_MSG(sizing_iterations >= 1, "need >= 1 sizing iteration");
     SOCBUF_REQUIRE_MSG(timeout_threshold_scale > 0.0,
                        "timeout threshold scale must be positive");

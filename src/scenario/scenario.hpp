@@ -51,6 +51,11 @@ struct ScenarioSpec {
     /// drivers, so means are comparable across scenarios.
     std::size_t replications = 1;
     int sizing_iterations = 10;
+    /// Replications of each sizing round's evaluation sim inside the
+    /// engine (SizingOptions::eval_replications): > 1 smooths the
+    /// measured-rate feedback and fans the sims across the shared
+    /// executor; 1 keeps the classic single-sim rounds.
+    std::size_t sizing_eval_replications = 1;
     core::SolverChoice solver = core::SolverChoice::kAuto;
     /// Burst-aware (MMPP) subsystem CTMDPs instead of Poisson models.
     bool use_modulated_models = false;

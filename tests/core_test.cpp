@@ -414,6 +414,59 @@ TEST(Engine, ThreadCountDoesNotChangeTheReport) {
     }
 }
 
+TEST(Engine, EvalReplicationOptionValidationAndDefaultPath) {
+    sc::SizingOptions bad;
+    bad.eval_replications = 0;
+    EXPECT_THROW(sc::BufferSizingEngine{bad},
+                 socbuf::util::ContractViolation);
+
+    // eval_replications = 1 (the default) is the legacy single-sim round,
+    // op for op.
+    auto run_with = [](std::size_t eval_replications) {
+        sc::SizingOptions opts;
+        opts.total_budget = 36;
+        opts.iterations = 3;
+        opts.eval_replications = eval_replications;
+        opts.sim.horizon = 1000.0;
+        opts.sim.warmup = 100.0;
+        return sc::BufferSizingEngine(opts).run(figure1());
+    };
+    const auto legacy = run_with(1);
+    const auto replicated = run_with(3);
+    EXPECT_EQ(legacy.best, run_with(1).best);
+    ASSERT_FALSE(replicated.history.empty());
+    // Replicated rounds score on means — a different (smoother) signal,
+    // but still a budget-exhausting allocation.
+    EXPECT_EQ(sc::allocation_total(replicated.best), 36);
+}
+
+TEST(Engine, ReplicatedRoundEvalsAreBitIdenticalForAnyWorkerCount) {
+    auto run_with = [](std::size_t threads) {
+        sc::SizingOptions opts;
+        opts.total_budget = 36;
+        opts.iterations = 3;
+        opts.eval_replications = 4;  // fans the round sims across workers
+        opts.threads = threads;
+        opts.sim.horizon = 800.0;
+        opts.sim.warmup = 80.0;
+        return sc::BufferSizingEngine(opts).run(figure1());
+    };
+    const auto serial = run_with(1);
+    for (const std::size_t threads : {2UL, 4UL}) {
+        const auto parallel = run_with(threads);
+        EXPECT_EQ(parallel.best, serial.best) << "threads " << threads;
+        ASSERT_EQ(parallel.history.size(), serial.history.size());
+        for (std::size_t i = 0; i < serial.history.size(); ++i) {
+            EXPECT_EQ(parallel.history[i].allocation,
+                      serial.history[i].allocation)
+                << "iteration " << i;
+            EXPECT_EQ(parallel.history[i].weighted_loss,
+                      serial.history[i].weighted_loss)
+                << "iteration " << i;
+        }
+    }
+}
+
 TEST(Engine, ImprovementIsZeroWhenBaselineLossIsZero) {
     // A zero-loss baseline must not divide by zero (0, not NaN).
     sc::SizingReport report;

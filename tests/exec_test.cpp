@@ -1,5 +1,6 @@
 #include "exec/executor.hpp"
 #include "exec/parallel.hpp"
+#include "exec/task_graph.hpp"
 #include "exec/thread_pool.hpp"
 #include "util/contracts.hpp"
 
@@ -150,4 +151,110 @@ TEST(ParallelForIndex, VisitsEveryIndexOnce) {
                            [&](std::size_t i) { ++visits[i]; });
     for (std::size_t i = 0; i < visits.size(); ++i)
         EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelForIndex, NestedFanOutOnTheSamePoolCompletes) {
+    // Every outer index occupies a worker and fans again on the same
+    // pool — under the old blocking scheme this parked all workers on
+    // waits only other workers could satisfy (deadlock); the caller-
+    // driving loop guarantees progress instead.
+    se::ThreadPool pool(2);
+    std::vector<std::size_t> sums(8, 0);
+    se::parallel_for_index(pool, sums.size(), [&](std::size_t i) {
+        const auto inner = se::parallel_map(
+            pool, 16, [i](std::size_t k) { return i * 100 + k; });
+        sums[i] = std::accumulate(inner.begin(), inner.end(), std::size_t{0});
+    });
+    for (std::size_t i = 0; i < sums.size(); ++i)
+        EXPECT_EQ(sums[i], i * 1600 + 120) << "outer index " << i;
+}
+
+TEST(Executor, NestedMapMatchesSerialBitForBit) {
+    const auto run_with = [](se::Executor& exec) {
+        return exec.map(6, [&](std::size_t i) {
+            const auto inner = exec.map(
+                10, [i](std::size_t k) { return 1.0 / (1.0 + i + k); });
+            double total = 0.0;
+            for (const double v : inner) total += v;
+            return total;
+        });
+    };
+    se::Executor serial(1);
+    const auto expected = run_with(serial);
+    for (const std::size_t threads : {2UL, 4UL}) {
+        se::Executor exec(threads);
+        const auto got = run_with(exec);
+        EXPECT_EQ(got, expected) << "threads=" << threads;
+    }
+}
+
+TEST(TaskGraph, RunsEverySubmittedTask) {
+    se::Executor exec(4);
+    se::TaskGraph graph(exec);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i)
+        graph.submit([&counter] { ++counter; });
+    graph.wait();
+    EXPECT_EQ(counter.load(), 100);
+    EXPECT_EQ(graph.submitted(), 100u);
+}
+
+TEST(TaskGraph, TasksMaySubmitContinuations) {
+    // The BatchRunner shape: parents submit their children from inside
+    // their own bodies; wait() covers the whole cascade.
+    se::Executor exec(3);
+    se::TaskGraph graph(exec);
+    std::vector<std::atomic<int>> child_runs(10);
+    for (std::size_t p = 0; p < child_runs.size(); ++p) {
+        graph.submit([&graph, &child_runs, p] {
+            for (int c = 0; c < 4; ++c)
+                graph.submit([&child_runs, p] { ++child_runs[p]; });
+        });
+    }
+    graph.wait();
+    for (std::size_t p = 0; p < child_runs.size(); ++p)
+        EXPECT_EQ(child_runs[p].load(), 4) << "parent " << p;
+    EXPECT_EQ(graph.submitted(), 50u);
+}
+
+TEST(TaskGraph, SerialExecutorRunsInlineDepthFirst) {
+    se::Executor serial(1);
+    se::TaskGraph graph(serial);
+    std::vector<int> order;
+    for (int p = 0; p < 3; ++p) {
+        graph.submit([&graph, &order, p] {
+            order.push_back(10 * p);
+            graph.submit([&order, p] { order.push_back(10 * p + 1); });
+        });
+    }
+    graph.wait();
+    // Each parent's continuation runs before the next parent — the
+    // serial reference order the parallel runs must reproduce through
+    // index-addressed slots.
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 10, 11, 20, 21}));
+}
+
+TEST(TaskGraph, WaitRethrowsTheFirstErrorAndSkipsPendingTasks) {
+    se::Executor exec(2);
+    se::TaskGraph graph(exec);
+    std::atomic<int> ran{0};
+    graph.submit([] { throw std::runtime_error("boom"); });
+    for (int i = 0; i < 50; ++i)
+        graph.submit([&ran] { ++ran; });
+    EXPECT_THROW(graph.wait(), std::runtime_error);
+    // Skipped or ran, every slot drained; the graph stays usable.
+    EXPECT_LE(ran.load(), 50);
+    graph.submit([&ran] { ++ran; });
+    EXPECT_NO_THROW(graph.wait());
+}
+
+TEST(TaskGraph, SerialErrorsAreAlsoDeferredToWait) {
+    se::Executor serial(1);
+    se::TaskGraph graph(serial);
+    std::vector<int> ran;
+    graph.submit([&ran] { ran.push_back(1); });
+    graph.submit([] { throw std::runtime_error("boom"); });
+    graph.submit([&ran] { ran.push_back(2); });  // skipped: cancelled
+    EXPECT_THROW(graph.wait(), std::runtime_error);
+    EXPECT_EQ(ran, std::vector<int>{1});
 }

@@ -2,6 +2,7 @@
 #include "exec/executor.hpp"
 #include "scenario/batch_runner.hpp"
 #include "scenario/scenario.hpp"
+#include "traffic/routing.hpp"
 #include "util/contracts.hpp"
 #include "util/json.hpp"
 
@@ -103,6 +104,22 @@ TEST(ScenarioSpec, BuildsVariantSystems) {
                  socbuf::util::ContractViolation);
 }
 
+TEST(ScenarioSpec, EveryClusterScalingVariantIsRoutable) {
+    // pe=2 once produced out-of-range chatter endpoints and egress
+    // self-flows (which traffic routing rejects) — every preset variant
+    // must expand into a fully routable flow set.
+    const ss::ScenarioRegistry registry;
+    const auto& scaling = registry.get("np-cluster-scaling");
+    for (std::size_t v = 0; v < scaling.variants.size(); ++v) {
+        const auto system = scaling.build_system(v);
+        std::vector<socbuf::traffic::FlowRoute> routes;
+        EXPECT_NO_THROW(routes = socbuf::traffic::compute_routes(system))
+            << scaling.variants[v].label;
+        EXPECT_EQ(routes.size(), system.flows.size())
+            << scaling.variants[v].label;
+    }
+}
+
 TEST(ScenarioSpec, ValidateRejectsBrokenSpecs) {
     ss::ScenarioSpec spec = small_figure1();
     spec.budgets = {};
@@ -113,6 +130,110 @@ TEST(ScenarioSpec, ValidateRejectsBrokenSpecs) {
     spec = small_figure1();
     spec.variants[0].np.load_scale = 0.0;
     EXPECT_THROW(spec.validate(), socbuf::util::ContractViolation);
+}
+
+TEST(BatchRunner, MixedSpecBatchBitIdenticalForAnyWorkerCount) {
+    // The pipelined task graph must fold identically however the sizing
+    // and evaluation jobs interleave: a mixed batch with *different*
+    // replication counts, budgets and per-round engine replications per
+    // spec, compared as full JSON (everything serialized, cache counters
+    // included) across worker counts.
+    ss::ScenarioSpec a = small_figure1();
+    a.name = "mixed-a";
+    a.budgets = {12, 18};
+    a.replications = 2;
+    ss::ScenarioSpec b = small_figure1();
+    b.name = "mixed-b";
+    b.budgets = {16};
+    b.replications = 3;
+    b.sizing_eval_replications = 2;  // engine fans its round sims too
+    const std::vector<ss::ScenarioSpec> specs{a, b};
+
+    socbuf::exec::Executor serial(1);
+    ss::BatchRunner runner(serial);
+    ss::BatchReport reference = runner.run(specs);
+    ASSERT_EQ(reference.runs.size(), 3u);
+    for (const std::size_t threads : {2UL, 4UL}) {
+        socbuf::exec::Executor exec(threads);
+        ss::BatchRunner parallel(exec);
+        ss::BatchReport got = parallel.run(specs);
+        EXPECT_EQ(got.workers, threads);
+        got.workers = reference.workers;  // the one width-reflecting field
+        EXPECT_EQ(got.to_json(), reference.to_json())
+            << "threads=" << threads;
+    }
+}
+
+TEST(BatchRunner, PipelinedEvaluationOverlapsSizing) {
+    // Six sizing jobs on four workers: the first finisher's evaluation
+    // replications are queued (and start) while later sizing jobs are
+    // still in flight — the stage barrier is gone. Serial execution, by
+    // contrast, never has a sizing run in flight when an eval starts.
+    ss::ScenarioSpec spec = small_figure1();
+    spec.budgets = {10, 12, 14, 16, 18, 20};
+    spec.replications = 4;
+
+    socbuf::exec::Executor serial(1);
+    ss::BatchRunner serial_runner(serial);
+    const auto serial_report = serial_runner.run(spec);
+    EXPECT_EQ(serial_report.eval_overlap, 0u);
+
+    socbuf::exec::Executor exec(4);
+    ss::BatchRunner parallel_runner(exec);
+    const auto parallel_report = parallel_runner.run(spec);
+    EXPECT_GT(parallel_report.eval_overlap, 0u);
+    // Overlap is a diagnostic, never part of the serialized report.
+    ss::BatchReport normalized = parallel_report;
+    normalized.workers = serial_report.workers;
+    normalized.eval_overlap = serial_report.eval_overlap;
+    EXPECT_EQ(normalized.to_json(), serial_report.to_json());
+}
+
+TEST(BatchRunner, CacheCapacityBoundsEntriesWithoutChangingResults) {
+    const ss::ScenarioSpec spec = small_figure1();
+    socbuf::exec::Executor serial(1);
+
+    ss::BatchRunner unlimited(serial);
+    const auto reference = unlimited.run(spec);
+    // Precondition for the eviction claim below: the batch has more
+    // distinct subsystem models than the tight capacity.
+    ASSERT_GT(reference.cache.misses, 2u);
+    EXPECT_EQ(reference.cache.evictions, 0u);
+    EXPECT_EQ(reference.cache_capacity, 0u);
+
+    ss::BatchOptions tight;
+    tight.cache_capacity = 2;
+    ss::BatchRunner bounded(serial, tight);
+    const auto got = bounded.run(spec);
+    EXPECT_EQ(got.cache_capacity, 2u);
+    EXPECT_GT(got.cache.evictions, 0u);
+    // Eviction costs extra solves, never different answers.
+    EXPECT_GE(got.cache.misses, reference.cache.misses);
+    expect_identical(got, reference);
+}
+
+TEST(BatchReport, CacheDisabledIsMarkedInJson) {
+    socbuf::exec::Executor serial(1);
+
+    ss::BatchRunner cached(serial);
+    const auto with_cache = cached.run(small_figure1());
+    const auto enabled_json =
+        socbuf::util::JsonValue::parse(with_cache.to_json());
+    EXPECT_TRUE(enabled_json.at("solve_cache").at("enabled").as_bool());
+    EXPECT_TRUE(enabled_json.at("solve_cache").contains("hit_rate"));
+    EXPECT_TRUE(enabled_json.at("solve_cache").contains("evictions"));
+
+    ss::BatchOptions options;
+    options.use_solve_cache = false;
+    ss::BatchRunner uncached(serial, options);
+    const auto without_cache = uncached.run(small_figure1());
+    EXPECT_FALSE(without_cache.cache_enabled);
+    const auto disabled_json =
+        socbuf::util::JsonValue::parse(without_cache.to_json());
+    // "disabled" must not masquerade as "enabled but cold".
+    EXPECT_FALSE(disabled_json.at("solve_cache").at("enabled").as_bool());
+    EXPECT_FALSE(disabled_json.at("solve_cache").contains("hits"));
+    EXPECT_FALSE(disabled_json.at("solve_cache").contains("hit_rate"));
 }
 
 TEST(BatchRunner, BitIdenticalForAnyWorkerCount) {

@@ -2,9 +2,12 @@
 #include "ctmdp/solve_cache.hpp"
 #include "ctmdp/solver.hpp"
 #include "exec/executor.hpp"
+#include "exec/thread_pool.hpp"
+#include "util/contracts.hpp"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstddef>
 #include <string>
 
@@ -108,6 +111,138 @@ TEST(SolveCache, DistinctModelsGetDistinctEntries) {
     cache.clear();
     EXPECT_EQ(cache.size(), 0u);
     EXPECT_EQ(cache.stats().lookups(), 0u);
+}
+
+namespace {
+
+/// A model every solver rejects (a state with no actions fails
+/// CtmdpModel::validate inside each algorithm) — the cache's view of a
+/// "solver that throws".
+sm::CtmdpModel unsolvable_model() {
+    sm::CtmdpModel m;
+    m.add_state("dead-end");
+    return m;
+}
+
+}  // namespace
+
+TEST(SolveCache, EvictsLeastRecentlyUsedBeyondCapacity) {
+    sm::SolverRegistry registry;
+    sm::SolveCache cache(2);
+    EXPECT_EQ(cache.capacity(), 2u);
+    const sm::DispatchOptions opts;
+    const auto model_a = queue_model(3, 0.7);
+    const auto model_b = queue_model(4, 0.7);
+    const auto model_c = queue_model(5, 0.7);
+
+    (void)cache.solve(registry, model_a, opts);  // A
+    (void)cache.solve(registry, model_b, opts);  // B A — at capacity
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+
+    (void)cache.solve(registry, model_a, opts);  // touch: A B
+    (void)cache.solve(registry, model_c, opts);  // C A — evicts B
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+
+    // A survived (hit, no new registry work); B was the victim (re-miss).
+    const std::size_t solves_before = registry.stats().total_solves();
+    (void)cache.solve(registry, model_a, opts);
+    EXPECT_EQ(registry.stats().total_solves(), solves_before);
+    (void)cache.solve(registry, model_b, opts);
+    EXPECT_EQ(registry.stats().total_solves(), solves_before + 1);
+    // Serial access keeps the counters exact: 3 compulsory misses + 1
+    // eviction re-miss, hits for the touch and the surviving-A lookup.
+    EXPECT_EQ(cache.stats().misses, 4u);
+    EXPECT_EQ(cache.stats().hits, 2u);
+    EXPECT_EQ(cache.stats().evictions, 2u);  // B again displaced A or C
+}
+
+TEST(SolveCache, JustSolvedEntryIsNeverTheEvictionVictim) {
+    // At the tightest budget the freshly completed entry must stay
+    // resident (the LRU victim is taken from the back, never the front),
+    // otherwise every solve would evict itself and the cache could never
+    // serve a hit.
+    sm::SolverRegistry registry;
+    sm::SolveCache cache(1);
+    const sm::DispatchOptions opts;
+    (void)cache.solve(registry, queue_model(3, 0.7), opts);
+    (void)cache.solve(registry, queue_model(4, 0.7), opts);  // evicts first
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    const std::size_t solves = registry.stats().total_solves();
+    (void)cache.solve(registry, queue_model(4, 0.7), opts);  // resident: hit
+    EXPECT_EQ(registry.stats().total_solves(), solves);
+    EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(SolveCache, CapacityCoveringAllKeysKeepsCountersSchedulingIndependent) {
+    // With capacity >= distinct keys nothing is ever evicted, so the
+    // unlimited-cache counter contract holds unchanged under concurrency.
+    sm::SolverRegistry registry;
+    sm::SolveCache cache(8);
+    const sm::DispatchOptions opts;
+    socbuf::exec::Executor exec(4);
+    const auto gains = exec.map(32, [&](std::size_t i) {
+        const auto model = queue_model(3 + i % 8, 0.8);
+        return cache.solve(registry, model, opts).gain;
+    });
+    EXPECT_EQ(cache.size(), 8u);
+    EXPECT_EQ(cache.stats().misses, 8u);
+    EXPECT_EQ(cache.stats().hits, 24u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+    for (std::size_t i = 8; i < 32; ++i) EXPECT_EQ(gains[i], gains[i % 8]);
+}
+
+TEST(SolveCache, FailedSolveLeavesTheSlotReclaimable) {
+    sm::SolverRegistry registry;
+    sm::SolveCache cache;
+    const sm::DispatchOptions opts;
+    const auto bad = unsolvable_model();
+
+    EXPECT_THROW((void)cache.solve(registry, bad, opts), std::exception);
+    // The failed slot is gone, not wedged: no ready entry, and the next
+    // requester re-claims (a fresh miss) instead of hanging or reading a
+    // stale solution.
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_THROW((void)cache.solve(registry, bad, opts), std::exception);
+    EXPECT_EQ(cache.stats().misses, 2u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+
+    // A failure never poisons the cache for solvable keys.
+    const auto good = queue_model(4, 0.8);
+    EXPECT_NO_THROW((void)cache.solve(registry, good, opts));
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SolveCache, ConcurrentFailuresAllPropagateWithoutHangingWaiters) {
+    // Many pool jobs race on one unsolvable key: whoever claims the slot
+    // fails and must wake the waiters, who re-claim and fail in turn —
+    // every lookup ends in an exception (a miss), nobody hangs, and the
+    // counters stay consistent.
+    sm::SolverRegistry registry;
+    sm::SolveCache cache;
+    const sm::DispatchOptions opts;
+    const auto bad = unsolvable_model();
+    constexpr std::size_t kLookups = 16;
+
+    std::atomic<std::size_t> threw{0};
+    socbuf::exec::ThreadPool pool(4);
+    for (std::size_t i = 0; i < kLookups; ++i) {
+        pool.submit([&] {
+            try {
+                (void)cache.solve(registry, bad, opts);
+            } catch (const std::exception&) {
+                ++threw;
+            }
+        });
+    }
+    pool.wait_idle();
+
+    EXPECT_EQ(threw.load(), kLookups);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.stats().misses, kLookups);
+    EXPECT_EQ(cache.stats().hits, 0u);
 }
 
 TEST(SolveCache, IsSafeToShareAcrossWorkers) {

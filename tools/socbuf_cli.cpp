@@ -5,33 +5,41 @@
 //   socbuf_cli show <scenario>
 //       Full parameterization of one scenario.
 //   socbuf_cli run <scenario> [<scenario> ...] [options]
-//       Execute scenarios as one batch on a shared executor and print the
-//       summary table.
+//       Execute scenarios as one pipelined batch on a shared executor and
+//       print the summary table.
 //
 // Run options:
-//   --threads N        worker threads (0 = hardware concurrency; default 0)
-//   --budgets A,B,...  override every selected scenario's budget list
-//   --replications R   override the evaluation replication count
-//   --horizon H        override the simulation horizon (time units); the
-//                      warmup is reduced to H/10 only if it would
-//                      otherwise reach past the horizon
-//   --warmup W         override the statistics warmup explicitly
-//   --seed S           override the base RNG seed
-//   --no-cache         disable the batch-wide CTMDP solve cache
-//   --json FILE        write the full structured report ("-" = stdout)
-//   --csv FILE         write the summary as CSV ("-" = stdout)
+//   --threads N          worker threads (0 = hardware concurrency;
+//                        default 0)
+//   --budgets A,B,...    override every selected scenario's budget list
+//                        (at least one value, each >= 1)
+//   --replications R     override the evaluation replication count (>= 1)
+//   --horizon H          override the simulation horizon (> 0 time
+//                        units); the warmup is reduced to H/10 only if it
+//                        would otherwise reach past the horizon
+//   --warmup W           override the statistics warmup explicitly (>= 0)
+//   --seed S             override the base RNG seed
+//   --no-cache           disable the batch-wide CTMDP solve cache
+//   --cache-capacity N   bound the solve cache to N entries with LRU
+//                        eviction (0 = unlimited, the default)
+//   --json FILE          write the full structured report ("-" = stdout)
+//   --csv FILE           write the summary as CSV ("-" = stdout)
 //
-// Results are bit-identical for any --threads value.
+// Results are bit-identical for any --threads value. Malformed or
+// out-of-range option values are a usage error: exit code 2 with a
+// diagnostic naming the flag (never an uncaught parse exception).
 #include "exec/executor.hpp"
 #include "scenario/batch_runner.hpp"
 #include "scenario/scenario.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -50,14 +58,68 @@ int usage(const char* argv0) {
                  "  %s show <scenario>\n"
                  "  %s run <scenario> [<scenario> ...] [--threads N]\n"
                  "      [--budgets A,B,...] [--replications R] [--horizon H]\n"
-                 "      [--warmup W] [--seed S] [--no-cache] [--json FILE]\n"
-                 "      [--csv FILE]\n",
+                 "      [--warmup W] [--seed S] [--no-cache]\n"
+                 "      [--cache-capacity N] [--json FILE] [--csv FILE]\n",
                  argv0, argv0, argv0);
     return 2;
 }
 
-std::vector<long> parse_budgets(const std::string& csv) {
-    std::vector<long> out;
+// ------------------------------------------------------------------------
+// Checked numeric parsing. std::stoul & friends throw on garbage and
+// silently accept trailing junk ("4x") or negative unsigneds ("-1" wraps);
+// every flag value goes through these instead, so a bad value is a usage
+// error (exit 2 naming the flag), never an uncaught exception.
+
+bool parse_unsigned(const std::string& text, unsigned long long& out) {
+    if (text.empty() || text[0] == '-' || text[0] == '+') return false;
+    try {
+        std::size_t pos = 0;
+        out = std::stoull(text, &pos);
+        return pos == text.size();
+    } catch (const std::exception&) {
+        return false;
+    }
+}
+
+bool parse_number(const std::string& text, std::size_t& out) {
+    unsigned long long v = 0;
+    if (!parse_unsigned(text, v) ||
+        v > std::numeric_limits<std::size_t>::max())
+        return false;
+    out = static_cast<std::size_t>(v);
+    return true;
+}
+
+bool parse_number(const std::string& text, long& out) {
+    if (text.empty()) return false;
+    try {
+        std::size_t pos = 0;
+        out = std::stol(text, &pos);
+        return pos == text.size();
+    } catch (const std::exception&) {
+        return false;
+    }
+}
+
+bool parse_number(const std::string& text, double& out) {
+    if (text.empty()) return false;
+    try {
+        std::size_t pos = 0;
+        out = std::stod(text, &pos);
+        // "nan"/"inf" parse but would sail through every range guard
+        // (NaN compares false to everything) and silently fall back to
+        // the preset values — reject them as malformed instead.
+        return pos == text.size() && std::isfinite(out);
+    } catch (const std::exception&) {
+        return false;
+    }
+}
+
+/// Parse a comma-separated budget list. Every token must be a whole
+/// number >= 1 and at least one token must be present (so "--budgets ,"
+/// cannot silently fall through to the preset values).
+bool parse_budgets(const std::string& csv, std::vector<long>& out) {
+    out.clear();
     std::string token;
     for (const char c : csv + ",") {
         if (c != ',') {
@@ -65,10 +127,19 @@ std::vector<long> parse_budgets(const std::string& csv) {
             continue;
         }
         if (token.empty()) continue;
-        out.push_back(std::stol(token));
+        long value = 0;
+        if (!parse_number(token, value) || value < 1) return false;
+        out.push_back(value);
         token.clear();
     }
-    return out;
+    return !out.empty();
+}
+
+int bad_value(const std::string& flag, const std::string& value,
+              const char* requirement) {
+    std::fprintf(stderr, "invalid value '%s' for %s (%s)\n", value.c_str(),
+                 flag.c_str(), requirement);
+    return 2;
 }
 
 int list_scenarios() {
@@ -141,10 +212,14 @@ int run_scenarios(const std::vector<std::string>& args) {
     std::vector<ScenarioSpec> specs;
     std::size_t threads = 0;
     bool use_cache = true;
+    std::size_t cache_capacity = 0;
     std::string json_path;
     std::string csv_path;
     // Overrides are collected first and applied to every selected
-    // scenario, so flag order and name order don't matter.
+    // scenario, so flag order and name order don't matter. Out-of-range
+    // values (--replications 0, --horizon 0, an empty --budgets list) are
+    // rejected right here rather than silently falling through to the
+    // preset values.
     std::vector<long> budgets_override;
     std::size_t replications_override = 0;
     double horizon_override = 0.0;
@@ -154,34 +229,65 @@ int run_scenarios(const std::vector<std::string>& args) {
 
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string& arg = args[i];
-        const auto next_value = [&]() -> const std::string& {
+        const auto next_value = [&]() -> const std::string* {
             if (i + 1 >= args.size()) {
                 std::fprintf(stderr, "%s needs a value\n", arg.c_str());
-                std::exit(2);
+                return nullptr;
             }
-            return args[++i];
+            return &args[++i];
         };
         if (arg == "--threads") {
-            threads = static_cast<std::size_t>(std::stoul(next_value()));
+            const std::string* v = next_value();
+            if (v == nullptr) return 2;
+            if (!parse_number(*v, threads))
+                return bad_value(arg, *v, "expected a whole number >= 0");
         } else if (arg == "--budgets") {
-            budgets_override = parse_budgets(next_value());
+            const std::string* v = next_value();
+            if (v == nullptr) return 2;
+            if (!parse_budgets(*v, budgets_override))
+                return bad_value(
+                    arg, *v,
+                    "expected a comma-separated list of whole numbers >= 1");
         } else if (arg == "--replications") {
-            replications_override =
-                static_cast<std::size_t>(std::stoul(next_value()));
+            const std::string* v = next_value();
+            if (v == nullptr) return 2;
+            if (!parse_number(*v, replications_override) ||
+                replications_override < 1)
+                return bad_value(arg, *v, "expected a whole number >= 1");
         } else if (arg == "--horizon") {
-            horizon_override = std::stod(next_value());
+            const std::string* v = next_value();
+            if (v == nullptr) return 2;
+            if (!parse_number(*v, horizon_override) || horizon_override <= 0.0)
+                return bad_value(arg, *v, "expected a number > 0");
         } else if (arg == "--warmup") {
-            warmup_override = std::stod(next_value());
+            const std::string* v = next_value();
+            if (v == nullptr) return 2;
+            if (!parse_number(*v, warmup_override) || warmup_override < 0.0)
+                return bad_value(arg, *v, "expected a number >= 0");
         } else if (arg == "--seed") {
-            seed_override =
-                static_cast<std::uint64_t>(std::stoull(next_value()));
+            const std::string* v = next_value();
+            if (v == nullptr) return 2;
+            unsigned long long seed_value = 0;
+            if (!parse_unsigned(*v, seed_value))
+                return bad_value(arg, *v, "expected a whole number >= 0");
+            seed_override = static_cast<std::uint64_t>(seed_value);
             has_seed_override = true;
         } else if (arg == "--no-cache") {
             use_cache = false;
+        } else if (arg == "--cache-capacity") {
+            const std::string* v = next_value();
+            if (v == nullptr) return 2;
+            if (!parse_number(*v, cache_capacity))
+                return bad_value(
+                    arg, *v, "expected a whole number >= 0 (0 = unlimited)");
         } else if (arg == "--json") {
-            json_path = next_value();
+            const std::string* v = next_value();
+            if (v == nullptr) return 2;
+            json_path = *v;
         } else if (arg == "--csv") {
-            csv_path = next_value();
+            const std::string* v = next_value();
+            if (v == nullptr) return 2;
+            csv_path = *v;
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             return 2;
@@ -211,20 +317,38 @@ int run_scenarios(const std::vector<std::string>& args) {
         }
         if (warmup_override >= 0.0) spec.sim.warmup = warmup_override;
         if (has_seed_override) spec.sim.seed = seed_override;
+        // Catch the cross-flag range error here, as a usage error naming
+        // the flags, instead of letting the simulator's contract check
+        // blow up mid-batch (presets always satisfy warmup < horizon, so
+        // this can only arise from overrides).
+        if (spec.sim.warmup >= spec.sim.horizon) {
+            std::fprintf(stderr,
+                         "invalid --warmup/--horizon combination for "
+                         "scenario '%s': warmup %g must be below the "
+                         "simulation horizon %g\n",
+                         spec.name.c_str(), spec.sim.warmup,
+                         spec.sim.horizon);
+            return 2;
+        }
     }
 
     socbuf::exec::Executor executor(threads);
     BatchOptions options;
     options.use_solve_cache = use_cache;
+    options.cache_capacity = cache_capacity;
     BatchRunner runner(executor, options);
     const BatchReport report = runner.run(specs);
 
     std::printf("%s", report.summary_table().to_string().c_str());
-    std::printf(
-        "workers: %zu · solve cache: %zu hits / %zu misses (%.0f%% hit "
-        "rate)\n",
-        report.workers, report.cache.hits, report.cache.misses,
-        100.0 * report.cache.hit_rate());
+    if (report.cache_enabled) {
+        std::printf(
+            "workers: %zu · solve cache: %zu hits / %zu misses / %zu "
+            "evictions (%.0f%% hit rate)\n",
+            report.workers, report.cache.hits, report.cache.misses,
+            report.cache.evictions, 100.0 * report.cache.hit_rate());
+    } else {
+        std::printf("workers: %zu · solve cache: disabled\n", report.workers);
+    }
 
     bool ok = true;
     if (!json_path.empty())
