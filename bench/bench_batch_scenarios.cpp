@@ -12,9 +12,13 @@
 //   4. determinism — every thread count produces bit-identical batch
 //      reports (the exec-layer contract lifted to whole batches), shown
 //      in the table rather than assumed.
+//
+// Everything runs through the socbuf::Session facade (one object owning
+// the executor, the batch-wide solve cache and the registry) — the same
+// entry point socbuf_cli and the experiment drivers use.
 #include "exec/executor.hpp"
-#include "scenario/batch_runner.hpp"
-#include "scenario/scenario.hpp"
+#include "scenario/builder.hpp"
+#include "session/session.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -26,23 +30,22 @@
 
 namespace {
 
-using socbuf::scenario::BatchOptions;
+using socbuf::Session;
+using socbuf::SessionOptions;
 using socbuf::scenario::BatchReport;
-using socbuf::scenario::BatchRunner;
+using socbuf::scenario::ScenarioBuilder;
 using socbuf::scenario::ScenarioSpec;
 
 /// The np-baseline budget sweep (Table 1's rows) at a bench-friendly
 /// horizon: 3 sizing jobs + 3 x reps evaluation jobs per run.
 ScenarioSpec sweep_spec() {
-    ScenarioSpec spec;
-    spec.name = "np-budget-sweep";
-    spec.budgets = {160, 320, 640};
-    spec.replications = 5;
-    spec.sizing_iterations = 6;
-    spec.sim.horizon = 2000.0;
-    spec.sim.warmup = 200.0;
-    spec.sim.seed = 2005;
-    return spec;
+    return ScenarioBuilder("np-budget-sweep")
+        .budgets({160, 320, 640})
+        .replications(5)
+        .sizing_iterations(6)
+        .horizon(2000.0, 200.0)
+        .seed(2005)
+        .build();
 }
 
 double seconds_of(const std::function<void()>& body) {
@@ -71,21 +74,20 @@ void print_batch_scaling() {
     const ScenarioSpec spec = sweep_spec();
 
     // Cache effect at fixed threads: the same sweep with and without the
-    // batch-wide solve cache.
+    // session's batch-wide solve cache.
     double cached_s = 0.0;
     BatchReport cached_report;
     {
-        socbuf::exec::Executor executor(1);
-        BatchRunner runner(executor);
-        cached_s = seconds_of([&] { cached_report = runner.run(spec); });
+        Session session({1});
+        cached_s = seconds_of([&] { cached_report = session.run(spec); });
     }
     double uncached_s = 0.0;
     {
-        socbuf::exec::Executor executor(1);
-        BatchOptions options;
+        SessionOptions options;
+        options.threads = 1;
         options.use_solve_cache = false;
-        BatchRunner runner(executor, options);
-        uncached_s = seconds_of([&] { (void)runner.run(spec); });
+        Session session(options);
+        uncached_s = seconds_of([&] { (void)session.run(spec); });
     }
     std::printf(
         "budget sweep %ld/%ld/%ld: solve cache %zu hits / %zu misses "
@@ -99,10 +101,9 @@ void print_batch_scaling() {
                                "cache hit rate", "overlap", "identical"});
     double base_s = 0.0;
     for (const std::size_t threads : {1UL, 2UL, 4UL}) {
-        socbuf::exec::Executor executor(threads);
-        BatchRunner runner(executor);
+        Session session({threads});
         BatchReport report;
-        const double s = seconds_of([&] { report = runner.run(spec); });
+        const double s = seconds_of([&] { report = session.run(spec); });
         if (threads == 1) base_s = s;
         table.add_row(
             {std::to_string(threads), socbuf::util::format_fixed(s, 3),
@@ -125,9 +126,8 @@ void BM_BatchBudgetSweep(benchmark::State& state) {
     spec.sim.warmup = 100.0;
     const auto threads = static_cast<std::size_t>(state.range(0));
     for (auto _ : state) {
-        socbuf::exec::Executor executor(threads);
-        BatchRunner runner(executor);
-        auto report = runner.run(spec);
+        Session session({threads});
+        auto report = session.run(spec);
         benchmark::DoNotOptimize(report);
     }
 }
@@ -141,11 +141,11 @@ void BM_SolveCacheOnOff(benchmark::State& state) {
     spec.sim.warmup = 100.0;
     const bool use_cache = state.range(0) != 0;
     for (auto _ : state) {
-        socbuf::exec::Executor executor(1);
-        BatchOptions options;
+        SessionOptions options;
+        options.threads = 1;
         options.use_solve_cache = use_cache;
-        BatchRunner runner(executor, options);
-        auto report = runner.run(spec);
+        Session session(options);
+        auto report = session.run(spec);
         benchmark::DoNotOptimize(report);
     }
 }

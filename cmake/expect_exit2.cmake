@@ -1,9 +1,14 @@
 # CTest helper: run ${CMD} with ${ARGS} (a ;-list) and require the usage
 # error contract — exit code 2 plus a diagnostic on stderr. Used to pin
 # socbuf_cli's handling of malformed flag values (which once escaped as an
-# uncaught std::stoul exception, i.e. std::terminate).
+# uncaught std::stoul exception, i.e. std::terminate) and of malformed
+# scenario files (which must name the offending JSON path or file).
 #
 #   cmake -DCMD=<exe> "-DARGS=run;figure1;--threads;abc" -P expect_exit2.cmake
+#
+# Optional: -DMATCH=<regex> additionally requires the diagnostic to match
+# (e.g. the JSON path "$.budgetz" a malformed scenario file must be blamed
+# on).
 execute_process(COMMAND ${CMD} ${ARGS}
                 RESULT_VARIABLE exit_code
                 OUTPUT_VARIABLE out
@@ -17,4 +22,8 @@ if(NOT err MATCHES "invalid|needs")
     message(FATAL_ERROR
             "expected a diagnostic naming the bad flag on stderr, got:"
             " ${err}")
+endif()
+if(DEFINED MATCH AND NOT err MATCHES "${MATCH}")
+    message(FATAL_ERROR
+            "expected the diagnostic to match '${MATCH}', got: ${err}")
 endif()

@@ -45,13 +45,34 @@ TestSystem figure1_system() {
     return sys;
 }
 
+bool operator==(const NetworkProcessorParams& a,
+                const NetworkProcessorParams& b) {
+    return a.pe_per_cluster == b.pe_per_cluster &&
+           a.bus_rate_scale == b.bus_rate_scale &&
+           a.load_scale == b.load_scale && a.cluster_pe == b.cluster_pe &&
+           a.crypto_cluster == b.crypto_cluster;
+}
+
 TestSystem network_processor_system(const NetworkProcessorParams& params) {
     SOCBUF_REQUIRE_MSG(params.pe_per_cluster >= 2,
                        "need at least two PEs per cluster");
     SOCBUF_REQUIRE_MSG(params.load_scale > 0.0, "load scale must be > 0");
     SOCBUF_REQUIRE_MSG(params.bus_rate_scale > 0.0,
                        "bus rate scale must be > 0");
-    const std::size_t pe = params.pe_per_cluster;
+    SOCBUF_REQUIRE_MSG(
+        params.cluster_pe.empty() || params.cluster_pe.size() == 4,
+        "cluster_pe must be empty or name all four clusters");
+    for (const std::size_t n : params.cluster_pe)
+        SOCBUF_REQUIRE_MSG(n >= 2, "need at least two PEs per cluster");
+    // Per-cluster sizes: uniform pe_per_cluster unless cluster_pe overrides
+    // (ingress, classify, crypto, egress). With uniform sizes and the
+    // crypto cluster present this function reproduces the original
+    // testbench bit for bit — same processor order, same flow order.
+    const std::size_t pi = params.cluster_size(0);
+    const std::size_t pc = params.cluster_size(1);
+    const std::size_t pr = params.cluster_size(2);
+    const std::size_t pg = params.cluster_size(3);
+    const bool with_crypto = params.crypto_cluster;
     const double ls = params.load_scale;
     const double bs = params.bus_rate_scale;
 
@@ -59,32 +80,37 @@ TestSystem network_processor_system(const NetworkProcessorParams& params) {
     sys.name = "network-processor";
     Architecture& a = sys.architecture;
 
-    // Four cluster buses around a core bus, bridged star topology. Rates
+    // Cluster buses around a core bus, bridged star topology. Rates
     // reflect the pipeline: ingress and egress clusters are the stressed
-    // ones (see DESIGN.md for the reconstruction rationale).
+    // ones (see DESIGN.md for the reconstruction rationale). Dropping the
+    // crypto cluster removes its bus and bridge (three cluster bridges
+    // instead of four).
     const BusId ingress_bus = a.add_bus("ingress", 4.6 * bs);
     const BusId classify_bus = a.add_bus("classify", 8.4 * bs);
-    const BusId crypto_bus = a.add_bus("crypto", 3.3 * bs);
+    const BusId crypto_bus =
+        with_crypto ? a.add_bus("crypto", 3.3 * bs) : BusId{0};
     const BusId egress_bus = a.add_bus("egress", 10.5 * bs);
     const BusId core_bus = a.add_bus("core", 11.5 * bs);
     a.add_bridge("br_ingress", ingress_bus, core_bus);
     a.add_bridge("br_classify", classify_bus, core_bus);
-    a.add_bridge("br_crypto", crypto_bus, core_bus);
+    if (with_crypto) a.add_bridge("br_crypto", crypto_bus, core_bus);
     a.add_bridge("br_egress", egress_bus, core_bus);
 
     std::vector<ProcessorId> ingress, classify, crypto, egress;
-    for (std::size_t i = 0; i < pe; ++i)
+    std::size_t pe_number = 0;  // cumulative "peN" naming across clusters
+    for (std::size_t i = 0; i < pi; ++i)
         ingress.push_back(
-            a.add_processor("pe" + std::to_string(i + 1), ingress_bus));
-    for (std::size_t i = 0; i < pe; ++i)
+            a.add_processor("pe" + std::to_string(++pe_number), ingress_bus));
+    for (std::size_t i = 0; i < pc; ++i)
         classify.push_back(
-            a.add_processor("pe" + std::to_string(pe + i + 1), classify_bus));
-    for (std::size_t i = 0; i < pe; ++i)
-        crypto.push_back(a.add_processor("pe" + std::to_string(2 * pe + i + 1),
-                                         crypto_bus));
-    for (std::size_t i = 0; i < pe; ++i)
-        egress.push_back(a.add_processor("pe" + std::to_string(3 * pe + i + 1),
-                                         egress_bus));
+            a.add_processor("pe" + std::to_string(++pe_number), classify_bus));
+    if (with_crypto)
+        for (std::size_t i = 0; i < pr; ++i)
+            crypto.push_back(a.add_processor(
+                "pe" + std::to_string(++pe_number), crypto_bus));
+    for (std::size_t i = 0; i < pg; ++i)
+        egress.push_back(
+            a.add_processor("pe" + std::to_string(++pe_number), egress_bus));
     const ProcessorId cp = a.add_processor("cp", core_bus);
 
     auto flow = [&](ProcessorId s, ProcessorId d, double rate, double on = 0.0,
@@ -92,50 +118,60 @@ TestSystem network_processor_system(const NetworkProcessorParams& params) {
         sys.flows.push_back({s, d, rate * ls, 1.0, on, off});
     };
 
-    // Ingress PEs push parsed packets to their classify peers. Slightly
-    // bursty (packet trains) and asymmetric so the leftmost processors of
-    // Figure 3 show moderate loss.
+    // Ingress PEs push parsed packets to their classify peers (wrapping
+    // when the clusters are asymmetric). Slightly bursty (packet trains)
+    // and asymmetric so the leftmost processors of Figure 3 show moderate
+    // loss.
     const double ingress_rate[] = {0.85, 0.75, 0.75, 0.95};
-    for (std::size_t i = 0; i < pe; ++i)
-        flow(ingress[i], classify[i], ingress_rate[i % 4]);
+    for (std::size_t i = 0; i < pi; ++i)
+        flow(ingress[i], classify[i % pc], ingress_rate[i % 4]);
 
     // Classify splits traffic: the bulk goes straight to egress, the
-    // remainder detours through the crypto cluster.
+    // remainder detours through the crypto cluster — or, without one,
+    // straight to the egress schedulers (load preserved).
     const double direct_rate[] = {0.60, 0.55, 0.55, 0.70};
     const double crypto_rate[] = {0.30, 0.25, 0.25, 0.30};
-    for (std::size_t i = 0; i < pe; ++i) {
-        flow(classify[i], egress[i], direct_rate[i % 4]);
-        flow(classify[i], crypto[i], crypto_rate[i % 4]);
+    for (std::size_t i = 0; i < pc; ++i) {
+        flow(classify[i], egress[i % pg], direct_rate[i % 4]);
+        if (with_crypto)
+            flow(classify[i], crypto[i % pr], crypto_rate[i % 4]);
+        else
+            flow(classify[i], egress[pg - 2 + (i % 2)], crypto_rate[i % 4]);
     }
 
     // Crypto results concentrate on the two scheduler PEs at the end of the
     // egress cluster (the future display processors 15 and 16).
-    for (std::size_t i = 0; i < pe; ++i)
-        flow(crypto[i], egress[pe - 2 + (i % 2)], crypto_rate[i % 4]);
+    if (with_crypto)
+        for (std::size_t i = 0; i < pr; ++i)
+            flow(crypto[i], egress[pg - 2 + (i % 2)], crypto_rate[i % 4]);
 
     // Egress schedulers emit the final aggregated wire streams to the MAC
     // PEs on the same bus: heavy and deeply bursty, the workload whose
     // buffer demand uniform sizing underestimates most (the paper's
-    // processors 15 and 16). At pe == 2 the scheduler and MAC roles fall
+    // processors 15 and 16). At pg == 2 the scheduler and MAC roles fall
     // on the same two PEs, so the streams cross the pair instead of
     // degenerating into self-flows (routing rejects source ==
     // destination).
-    if (pe >= 3) {
-        flow(egress[pe - 2], egress[0], 1.6, 3.0, 1.5);
-        flow(egress[pe - 1], egress[1], 2.2, 4.0, 2.0);
+    if (pg >= 3) {
+        flow(egress[pg - 2], egress[0], 1.6, 3.0, 1.5);
+        flow(egress[pg - 1], egress[1], 2.2, 4.0, 2.0);
     } else {
         flow(egress[1], egress[0], 1.6, 3.0, 1.5);
         flow(egress[0], egress[1], 2.2, 4.0, 2.0);
     }
 
     // Light intra-cluster chatter keeps every bus busy. The [1] <-> [2]
-    // pairs only exist at pe >= 3 (the contract above guarantees pe >= 2,
-    // where the chatter reduces to the egress pair).
-    if (pe >= 3) {
+    // pairs only exist in clusters with >= 3 PEs (the contract above
+    // guarantees >= 2, where the chatter reduces to the egress pair).
+    if (pi >= 3) {
         flow(ingress[1], ingress[2], 0.2);
         flow(ingress[2], ingress[1], 0.2);
+    }
+    if (pc >= 3) {
         flow(classify[1], classify[2], 0.2);
         flow(classify[2], classify[1], 0.2);
+    }
+    if (with_crypto && pr >= 3) {
         flow(crypto[1], crypto[2], 0.15);
         flow(crypto[2], crypto[1], 0.15);
     }
@@ -146,12 +182,12 @@ TestSystem network_processor_system(const NetworkProcessorParams& params) {
     // cluster reports statistics back.
     flow(cp, ingress[0], 0.2);
     flow(cp, classify[0], 0.2);
-    flow(cp, crypto[0], 0.2);
+    if (with_crypto) flow(cp, crypto[0], 0.2);
     flow(cp, egress[0], 0.2);
-    flow(ingress[pe - 1], cp, 0.15);
-    flow(classify[pe - 1], cp, 0.15);
-    flow(crypto[pe - 1], cp, 0.15);
-    flow(egress[pe - 1], cp, 0.15);
+    flow(ingress[pi - 1], cp, 0.15);
+    flow(classify[pc - 1], cp, 0.15);
+    if (with_crypto) flow(crypto[pr - 1], cp, 0.15);
+    flow(egress[pg - 1], cp, 0.15);
     return sys;
 }
 

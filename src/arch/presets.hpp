@@ -60,7 +60,29 @@ struct NetworkProcessorParams {
     double bus_rate_scale = 1.0;
     /// Multiplier on every flow rate (sweeps offered load).
     double load_scale = 1.0;
+    /// Asymmetric clusters: when non-empty, exactly four per-cluster PE
+    /// counts (ingress, classify, crypto, egress), each >= 2, overriding
+    /// pe_per_cluster. Empty (the default) keeps all clusters at
+    /// pe_per_cluster — bit-identical to the pre-override testbench.
+    std::vector<std::size_t> cluster_pe;
+    /// Topology knob: false drops the crypto cluster (bus, bridge and
+    /// PEs) so the architecture has three cluster bridges instead of
+    /// four; classify's crypto-detour traffic goes straight to the
+    /// egress schedulers, preserving offered load.
+    bool crypto_cluster = true;
+
+    /// Effective PE count of cluster `c` (0 = ingress .. 3 = egress).
+    [[nodiscard]] std::size_t cluster_size(std::size_t c) const {
+        return cluster_pe.empty() ? pe_per_cluster : cluster_pe[c];
+    }
 };
+
+[[nodiscard]] bool operator==(const NetworkProcessorParams& a,
+                              const NetworkProcessorParams& b);
+inline bool operator!=(const NetworkProcessorParams& a,
+                       const NetworkProcessorParams& b) {
+    return !(a == b);
+}
 
 /// The network-processor testbench: four cluster buses (ingress parse,
 /// classify, egress queue/schedule) joined to a core bus by four bridges;

@@ -2,6 +2,7 @@
 
 #include "exec/executor.hpp"
 #include "scenario/batch_runner.hpp"
+#include "session/session.hpp"
 #include "util/contracts.hpp"
 
 namespace socbuf::core {
@@ -34,21 +35,18 @@ scenario::ScenarioSpec np_spec(std::vector<long> budgets, double horizon,
     return spec;
 }
 
-}  // namespace
-
-Figure3Result run_figure3(const Figure3Params& params,
-                          exec::Executor& executor) {
-    SOCBUF_REQUIRE_MSG(params.replications >= 1, "need >= 1 replication");
+/// The spec for Figure 3: one budget, the timeout policy evaluated.
+scenario::ScenarioSpec figure3_spec(const Figure3Params& params) {
     scenario::ScenarioSpec spec =
         np_spec({params.total_budget}, params.horizon, params.warmup,
                 params.seed, params.replications, params.sizing_iterations);
     spec.evaluate_timeout_policy = true;
     spec.timeout_threshold_scale = params.timeout_threshold_scale;
+    return spec;
+}
 
-    scenario::BatchRunner runner(executor);
-    const scenario::BatchReport report = runner.run(spec);
+Figure3Result fold_figure3(const scenario::BatchReport& report) {
     const scenario::ScenarioRunResult& run = report.runs.front();
-
     Figure3Result out;
     out.constant_alloc = run.constant_alloc;
     out.resized_alloc = run.resized_alloc;
@@ -62,23 +60,7 @@ Figure3Result run_figure3(const Figure3Params& params,
     return out;
 }
 
-Figure3Result run_figure3(const Figure3Params& params) {
-    exec::Executor executor(params.threads);
-    return run_figure3(params, executor);
-}
-
-Table1Result run_table1(const Table1Params& params,
-                        exec::Executor& executor) {
-    SOCBUF_REQUIRE_MSG(!params.budgets.empty(), "need at least one budget");
-    const scenario::ScenarioSpec spec =
-        np_spec(params.budgets, params.horizon, params.warmup, params.seed,
-                params.replications, params.sizing_iterations);
-
-    // One sizing job per budget row; rows run concurrently on the
-    // executor and fold back in budget order.
-    scenario::BatchRunner runner(executor);
-    const scenario::BatchReport report = runner.run(spec);
-
+Table1Result fold_table1(const scenario::BatchReport& report) {
     Table1Result out;
     for (const auto& run : report.runs) {
         Table1Row row;
@@ -92,9 +74,38 @@ Table1Result run_table1(const Table1Params& params,
     return out;
 }
 
+}  // namespace
+
+Figure3Result run_figure3(const Figure3Params& params,
+                          exec::Executor& executor) {
+    SOCBUF_REQUIRE_MSG(params.replications >= 1, "need >= 1 replication");
+    scenario::BatchRunner runner(executor);
+    return fold_figure3(runner.run(figure3_spec(params)));
+}
+
+Figure3Result run_figure3(const Figure3Params& params) {
+    SOCBUF_REQUIRE_MSG(params.replications >= 1, "need >= 1 replication");
+    Session session({params.threads});
+    return fold_figure3(session.run(figure3_spec(params)));
+}
+
+Table1Result run_table1(const Table1Params& params,
+                        exec::Executor& executor) {
+    SOCBUF_REQUIRE_MSG(!params.budgets.empty(), "need at least one budget");
+    // One sizing job per budget row; rows run concurrently on the
+    // executor and fold back in budget order.
+    scenario::BatchRunner runner(executor);
+    return fold_table1(runner.run(
+        np_spec(params.budgets, params.horizon, params.warmup, params.seed,
+                params.replications, params.sizing_iterations)));
+}
+
 Table1Result run_table1(const Table1Params& params) {
-    exec::Executor executor(params.threads);
-    return run_table1(params, executor);
+    SOCBUF_REQUIRE_MSG(!params.budgets.empty(), "need at least one budget");
+    Session session({params.threads});
+    return fold_table1(session.run(
+        np_spec(params.budgets, params.horizon, params.warmup, params.seed,
+                params.replications, params.sizing_iterations)));
 }
 
 }  // namespace socbuf::core

@@ -147,7 +147,10 @@ BatchReport BatchRunner::run(const std::vector<ScenarioSpec>& specs) {
         eval_offset[j + 1] =
             eval_offset[j] + specs[jobs[j].spec].replications;
 
-    ctmdp::SolveCache cache(options_.cache_capacity);
+    ctmdp::SolveCache local_cache(options_.cache_capacity);
+    ctmdp::SolveCache& cache = options_.shared_cache != nullptr
+                                   ? *options_.shared_cache
+                                   : local_cache;
     ctmdp::SolveCache* cache_ptr = options_.use_solve_cache ? &cache : nullptr;
 
     // One dependency-aware fan-out, no stage barrier: every sizing job is
@@ -227,7 +230,7 @@ BatchReport BatchRunner::run(const std::vector<ScenarioSpec>& specs) {
     }
     report.cache = cache.stats();
     report.cache_enabled = options_.use_solve_cache;
-    report.cache_capacity = options_.cache_capacity;
+    report.cache_capacity = cache.capacity();
     return report;
 }
 

@@ -62,6 +62,13 @@ struct BatchOptions {
     /// Results are bit-identical for any value; see the header comment
     /// for what a tight budget does to the cache *counters*.
     std::size_t cache_capacity = 0;
+    /// Run through a caller-owned cache instead of a fresh per-batch one
+    /// (socbuf::Session passes its own here). Non-owning; when set,
+    /// cache_capacity is ignored (the cache was built with its own) and
+    /// the report echoes the shared cache's stats — clear() it between
+    /// batches if per-batch counters matter. Ignored when use_solve_cache
+    /// is false.
+    ctmdp::SolveCache* shared_cache = nullptr;
 };
 
 /// One (scenario, variant, budget) outcome with its replicated evaluation.

@@ -1,7 +1,10 @@
 #include "scenario/scenario.hpp"
 
+#include "scenario/scenario_io.hpp"
 #include "util/contracts.hpp"
 #include "util/strings.hpp"
+
+#include <utility>
 
 namespace socbuf::scenario {
 
@@ -11,6 +14,30 @@ const char* to_string(Testbench testbench) {
         case Testbench::kNetworkProcessor: return "network-processor";
     }
     return "?";
+}
+
+bool testbench_from_string(const std::string& text, Testbench& out) {
+    if (text == "figure1") out = Testbench::kFigure1;
+    else if (text == "network-processor") out = Testbench::kNetworkProcessor;
+    else return false;
+    return true;
+}
+
+bool operator==(const ScenarioVariant& a, const ScenarioVariant& b) {
+    return a.label == b.label && a.np == b.np;
+}
+
+bool operator==(const ScenarioSpec& a, const ScenarioSpec& b) {
+    return a.name == b.name && a.description == b.description &&
+           a.testbench == b.testbench && a.variants == b.variants &&
+           a.budgets == b.budgets && a.replications == b.replications &&
+           a.sizing_iterations == b.sizing_iterations &&
+           a.sizing_eval_replications == b.sizing_eval_replications &&
+           a.solver == b.solver &&
+           a.use_modulated_models == b.use_modulated_models &&
+           a.evaluate_timeout_policy == b.evaluate_timeout_policy &&
+           a.timeout_threshold_scale == b.timeout_threshold_scale &&
+           a.sim == b.sim;
 }
 
 arch::TestSystem ScenarioSpec::build_system(std::size_t variant) const {
@@ -52,6 +79,11 @@ void ScenarioSpec::validate() const {
                            "pe_per_cluster must be >= 1");
         SOCBUF_REQUIRE_MSG(v.np.bus_rate_scale > 0.0 && v.np.load_scale > 0.0,
                            "testbench scales must be positive");
+        SOCBUF_REQUIRE_MSG(
+            v.np.cluster_pe.empty() || v.np.cluster_pe.size() == 4,
+            "cluster_pe must be empty or name all four clusters");
+        for (const std::size_t pe : v.np.cluster_pe)
+            SOCBUF_REQUIRE_MSG(pe >= 2, "cluster_pe entries must be >= 2");
     }
 }
 
@@ -148,6 +180,42 @@ ScenarioSpec np_cluster_scaling_preset() {
     return spec;
 }
 
+ScenarioSpec np_cluster_asymmetry_preset() {
+    ScenarioSpec spec;
+    spec.name = "np-cluster-asymmetry";
+    spec.description =
+        "Topology sweep on the network processor: three vs four cluster "
+        "bridges and asymmetric PE clusters under one 320-unit budget.";
+    spec.variants.clear();
+    {
+        ScenarioVariant v;  // the nominal star, for reference
+        v.label = "bridges=4";
+        spec.variants.push_back(v);
+    }
+    {
+        ScenarioVariant v;  // drop the crypto cluster: 3 bridges
+        v.label = "bridges=3";
+        v.np.crypto_cluster = false;
+        spec.variants.push_back(v);
+    }
+    {
+        ScenarioVariant v;  // front-loaded pipeline
+        v.label = "asym=ingress-heavy";
+        v.np.cluster_pe = {6, 4, 2, 4};
+        spec.variants.push_back(v);
+    }
+    {
+        ScenarioVariant v;  // back-loaded pipeline (deep scheduler pool)
+        v.label = "asym=egress-heavy";
+        v.np.cluster_pe = {2, 4, 4, 6};
+        spec.variants.push_back(v);
+    }
+    spec.budgets = {320};
+    spec.replications = 5;
+    paper_sim_defaults(spec);
+    return spec;
+}
+
 ScenarioSpec np_bursty_heavy_preset() {
     ScenarioSpec spec;
     spec.name = "np-bursty-heavy";
@@ -171,7 +239,15 @@ ScenarioRegistry::ScenarioRegistry() {
     add(np_load_sweep_preset());
     add(np_bus_speed_sweep_preset());
     add(np_cluster_scaling_preset());
+    add(np_cluster_asymmetry_preset());
     add(np_bursty_heavy_preset());
+    // The mixed-testbench default batch: the Figure 1 sample and Table 1's
+    // budget sweep as one pipelined batch (two different testbenches on
+    // one shared executor and solve cache).
+    add_batch({"paper-suite",
+               "The paper's two testbenches in one batch: figure1 plus "
+               "np-baseline (Table 1's budget sweep).",
+               {"figure1", "np-baseline"}});
 }
 
 void ScenarioRegistry::add(ScenarioSpec spec) {
@@ -203,6 +279,76 @@ std::vector<std::string> ScenarioRegistry::names() const {
     out.reserve(specs_.size());
     for (const auto& spec : specs_) out.push_back(spec.name);
     return out;
+}
+
+std::size_t ScenarioRegistry::load_json(const util::JsonValue& document) {
+    // Deserialize (and validate) everything before touching the registry,
+    // so a malformed document leaves it unchanged.
+    std::vector<ScenarioSpec> specs = specs_from_json(document);
+    for (auto& spec : specs) add(std::move(spec));
+    return specs.size();
+}
+
+std::size_t ScenarioRegistry::load_text(const std::string& text) {
+    util::JsonValue document;
+    try {
+        document = util::JsonValue::parse(text);
+    } catch (const util::JsonError& error) {
+        throw ScenarioIoError("$", error.what());
+    }
+    return load_json(document);
+}
+
+std::size_t ScenarioRegistry::load_file(const std::string& path) {
+    std::vector<ScenarioSpec> specs = load_scenario_file(path);
+    for (auto& spec : specs) add(std::move(spec));
+    return specs.size();
+}
+
+void ScenarioRegistry::merge(const ScenarioRegistry& other) {
+    for (const auto& spec : other.specs_) add(spec);
+    for (const auto& batch : other.batches_) add_batch(batch);
+}
+
+void ScenarioRegistry::add_batch(BatchPreset batch) {
+    SOCBUF_REQUIRE_MSG(!batch.name.empty(), "a batch needs a name");
+    SOCBUF_REQUIRE_MSG(!batch.scenarios.empty(),
+                       "a batch needs >= 1 scenario");
+    for (const auto& member : batch.scenarios)
+        SOCBUF_REQUIRE_MSG(contains(member),
+                           "batch '" + batch.name +
+                               "' references unknown scenario: " + member);
+    for (auto& existing : batches_) {
+        if (existing.name == batch.name) {
+            existing = std::move(batch);
+            return;
+        }
+    }
+    batches_.push_back(std::move(batch));
+}
+
+bool ScenarioRegistry::contains_batch(const std::string& name) const {
+    for (const auto& batch : batches_)
+        if (batch.name == name) return true;
+    return false;
+}
+
+const BatchPreset& ScenarioRegistry::get_batch(const std::string& name) const {
+    for (const auto& batch : batches_)
+        if (batch.name == name) return batch;
+    util::raise_contract_violation("registry.contains_batch(name)", __FILE__,
+                                   __LINE__, "unknown batch: " + name);
+}
+
+std::vector<ScenarioSpec> ScenarioRegistry::expand(
+    const std::string& name) const {
+    if (contains_batch(name)) {
+        std::vector<ScenarioSpec> specs;
+        for (const auto& member : get_batch(name).scenarios)
+            specs.push_back(get(member));
+        return specs;
+    }
+    return {get(name)};
 }
 
 }  // namespace socbuf::scenario

@@ -23,12 +23,19 @@
 #include <string>
 #include <vector>
 
+namespace socbuf::util {
+class JsonValue;
+}
+
 namespace socbuf::scenario {
 
 /// Which reconstructed system a scenario runs on.
 enum class Testbench { kFigure1, kNetworkProcessor };
 
 [[nodiscard]] const char* to_string(Testbench testbench);
+/// Inverse of to_string; false when `text` names no testbench.
+[[nodiscard]] bool testbench_from_string(const std::string& text,
+                                         Testbench& out);
 
 /// One parameterization of the testbench. The label names the point in a
 /// sweep ("load=0.8"); `np` is ignored by Testbench::kFigure1, which has
@@ -37,6 +44,12 @@ struct ScenarioVariant {
     std::string label;
     arch::NetworkProcessorParams np;
 };
+
+[[nodiscard]] bool operator==(const ScenarioVariant& a,
+                              const ScenarioVariant& b);
+inline bool operator!=(const ScenarioVariant& a, const ScenarioVariant& b) {
+    return !(a == b);
+}
 
 struct ScenarioSpec {
     std::string name;
@@ -86,8 +99,28 @@ struct ScenarioSpec {
     void validate() const;
 };
 
+/// Field-by-field equality — the contract behind the JSON round trip
+/// (scenario_io): from_json(to_json(spec)) == spec for every spec whose
+/// numbers survive a double round trip (all built-in presets do).
+[[nodiscard]] bool operator==(const ScenarioSpec& a, const ScenarioSpec& b);
+inline bool operator!=(const ScenarioSpec& a, const ScenarioSpec& b) {
+    return !(a == b);
+}
+
+/// A named list of registered scenarios run as one batch — the unit the
+/// CLI's `run <name>` accepts beside single scenarios. Batches may mix
+/// testbenches (the built-in "paper-suite" runs figure1 and np-baseline
+/// together).
+struct BatchPreset {
+    std::string name;
+    std::string description;
+    std::vector<std::string> scenarios;  // registered scenario names
+};
+
 /// The named-preset catalog. Default construction registers the built-in
 /// presets; add() lets callers define their own (same-name replaces).
+/// Scenarios are equally loadable from JSON files (load_file/load_json,
+/// the scenario_io schema), so the catalog is data, not code.
 class ScenarioRegistry {
 public:
     ScenarioRegistry();
@@ -103,8 +136,37 @@ public:
         return specs_;
     }
 
+    /// Register every scenario in a scenario_io JSON document (a single
+    /// spec object or {"scenarios": [...]}); returns how many were added.
+    /// Throws ScenarioIoError with the offending JSON path on malformed
+    /// input; on error the registry is unchanged.
+    std::size_t load_json(const util::JsonValue& document);
+    /// As load_json, on raw JSON text (parse errors become ScenarioIoError).
+    std::size_t load_text(const std::string& text);
+    /// As load_json, reading `path`; unreadable files throw ScenarioIoError
+    /// naming the file.
+    std::size_t load_file(const std::string& path);
+    /// Adopt every scenario and batch preset of `other` (same-name
+    /// replaces, registration order appends).
+    void merge(const ScenarioRegistry& other);
+
+    /// Named batch presets (lists of registered scenarios).
+    void add_batch(BatchPreset batch);
+    [[nodiscard]] bool contains_batch(const std::string& name) const;
+    /// Throws util::ContractViolation for unknown names.
+    [[nodiscard]] const BatchPreset& get_batch(const std::string& name) const;
+    [[nodiscard]] const std::vector<BatchPreset>& batches() const {
+        return batches_;
+    }
+    /// Resolve `name` to specs: a batch expands to its members, a plain
+    /// scenario to itself. Throws util::ContractViolation for unknown
+    /// names.
+    [[nodiscard]] std::vector<ScenarioSpec> expand(
+        const std::string& name) const;
+
 private:
     std::vector<ScenarioSpec> specs_;
+    std::vector<BatchPreset> batches_;
 };
 
 }  // namespace socbuf::scenario

@@ -1,0 +1,104 @@
+// socbuf::Session — the one-object entry point to the scenario system.
+//
+// A Session owns the three pieces every consumer previously wired by hand:
+//
+//   * the exec::Executor (one worker pool for everything the session runs),
+//   * the batch-wide ctmdp::SolveCache (cleared at the start of each run,
+//     so two runs of the same workload produce bit-identical reports —
+//     opt into cross-run reuse with SessionOptions::reuse_cache),
+//   * the ScenarioRegistry (built-in presets plus whatever load_file adds).
+//
+// The experiment drivers (core::run_figure3 / run_table1), the benches and
+// socbuf_cli are thin clients of this facade:
+//
+//     socbuf::Session session;
+//     auto report = session.run("np-baseline");          // preset by name
+//     auto suite  = session.run("paper-suite");          // batch preset
+//     session.load_file("my_sweep.json");                // scenarios as data
+//     auto custom = session.run("my-sweep");
+//     auto catalog = session.export_catalog();           // everything, JSON
+//
+// Reports are bit-identical for any SessionOptions::threads value — the
+// BatchRunner determinism contract, surfaced at the facade.
+#pragma once
+
+#include "ctmdp/solve_cache.hpp"
+#include "exec/executor.hpp"
+#include "scenario/batch_runner.hpp"
+#include "scenario/scenario.hpp"
+#include "util/json.hpp"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace socbuf {
+
+struct SessionOptions {
+    /// Worker threads (0 = hardware concurrency). Results are
+    /// bit-identical for any value.
+    std::size_t threads = 0;
+    /// Memoize subsystem CTMDP solves across every engine run of a batch.
+    bool use_solve_cache = true;
+    /// Entry budget of the session's solve cache (0 = unlimited).
+    std::size_t cache_capacity = 0;
+    /// Keep the solve cache warm *across* run() calls instead of clearing
+    /// it per batch. Results never change; the per-report cache counters
+    /// then accumulate session history (a repeated workload reports ~100%
+    /// hits), so leave this off where per-batch counters matter.
+    bool reuse_cache = false;
+};
+
+class Session {
+public:
+    explicit Session(SessionOptions options = {});
+
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+    [[nodiscard]] scenario::ScenarioRegistry& registry() { return registry_; }
+    [[nodiscard]] const scenario::ScenarioRegistry& registry() const {
+        return registry_;
+    }
+    [[nodiscard]] exec::Executor& executor() { return executor_; }
+    [[nodiscard]] std::size_t workers() const { return executor_.workers(); }
+    [[nodiscard]] const ctmdp::SolveCache& solve_cache() const {
+        return cache_;
+    }
+
+    /// Run a registered scenario — or batch preset — by name. Throws
+    /// util::ContractViolation for unknown names.
+    [[nodiscard]] scenario::BatchReport run(const std::string& name);
+    /// Run an ad-hoc spec (validated by the runner).
+    [[nodiscard]] scenario::BatchReport run(const scenario::ScenarioSpec& spec);
+    /// Run ad-hoc specs as one batch.
+    [[nodiscard]] scenario::BatchReport run(
+        const std::vector<scenario::ScenarioSpec>& specs);
+    /// Run several registered names (scenarios and/or batch presets) as
+    /// one batch, expanded in argument order.
+    [[nodiscard]] scenario::BatchReport run_batch(
+        const std::vector<std::string>& names);
+
+    /// Register every scenario in a scenario_io JSON file; returns how
+    /// many were added. Throws scenario::ScenarioIoError (naming the JSON
+    /// path or file) on malformed input.
+    std::size_t load_file(const std::string& path);
+    /// As load_file, on raw JSON text.
+    std::size_t load_text(const std::string& text);
+
+    /// One scenario (or batch preset, as a catalog document) as JSON —
+    /// loadable back via load_file/load_text.
+    [[nodiscard]] util::JsonValue export_scenario(
+        const std::string& name) const;
+    /// Every registered scenario as one catalog document
+    /// {"scenarios": [...]}.
+    [[nodiscard]] util::JsonValue export_catalog() const;
+
+private:
+    SessionOptions options_;
+    exec::Executor executor_;
+    ctmdp::SolveCache cache_;
+    scenario::ScenarioRegistry registry_;
+};
+
+}  // namespace socbuf

@@ -32,6 +32,18 @@ struct SimConfig {
     std::vector<double> site_timeout_thresholds;
 };
 
+inline bool operator==(const SimConfig& a, const SimConfig& b) {
+    return a.horizon == b.horizon && a.warmup == b.warmup &&
+           a.seed == b.seed && a.arbiter == b.arbiter &&
+           a.site_weights == b.site_weights &&
+           a.timeout_enabled == b.timeout_enabled &&
+           a.timeout_threshold == b.timeout_threshold &&
+           a.site_timeout_thresholds == b.site_timeout_thresholds;
+}
+inline bool operator!=(const SimConfig& a, const SimConfig& b) {
+    return !(a == b);
+}
+
 /// Everything measured in one run. Loss is attributed to the packet's
 /// *originating* processor wherever on its route it is dropped, matching
 /// the paper's per-processor loss bars.

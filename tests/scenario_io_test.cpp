@@ -1,0 +1,273 @@
+// The scenario JSON schema: round-trip fidelity for every built-in
+// preset, strict validation with path-naming diagnostics, and the
+// builder that replaces aggregate-initialization sprawl.
+#include "scenario/builder.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/scenario_io.hpp"
+#include "util/contracts.hpp"
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace ss = socbuf::scenario;
+using socbuf::util::JsonValue;
+
+namespace {
+
+/// Dump -> parse -> from_json, the full wire trip.
+ss::ScenarioSpec round_trip(const ss::ScenarioSpec& spec) {
+    return ss::spec_from_json(JsonValue::parse(ss::to_json(spec).dump()));
+}
+
+/// Expect spec_from_json(text) to throw, with the path named in the
+/// diagnostic.
+void expect_io_error(const std::string& text, const std::string& path) {
+    try {
+        (void)ss::spec_from_json(JsonValue::parse(text));
+        FAIL() << "expected ScenarioIoError for " << text;
+    } catch (const ss::ScenarioIoError& error) {
+        EXPECT_EQ(error.path(), path) << error.what();
+        EXPECT_NE(std::string(error.what()).find(path), std::string::npos)
+            << "diagnostic must lead with the JSON path: " << error.what();
+    }
+}
+
+}  // namespace
+
+TEST(ScenarioIo, EveryPresetRoundTripsBitIdentically) {
+    // The contract of the issue: from_json(parse(dump(to_json(spec))))
+    // == spec for every built-in preset, field for field.
+    const ss::ScenarioRegistry registry;
+    ASSERT_GT(registry.size(), 0u);
+    for (const auto& spec : registry.specs()) {
+        const ss::ScenarioSpec again = round_trip(spec);
+        EXPECT_TRUE(again == spec) << spec.name;
+        // And the dump itself is a fixed point (shortest round-trip
+        // doubles), so exported catalog files are stable byte for byte.
+        EXPECT_EQ(ss::to_json(again).dump(2), ss::to_json(spec).dump(2))
+            << spec.name;
+    }
+}
+
+TEST(ScenarioIo, RoundTripCoversEveryKnob) {
+    // A spec with every field off its default — catches a to_json that
+    // forgets a field (the round trip would silently reseat the default).
+    ss::ScenarioSpec spec =
+        ss::ScenarioBuilder("everything")
+            .description("all knobs off-default")
+            .testbench(ss::Testbench::kNetworkProcessor)
+            .variant("a", {3, 1.5, 0.75, {}, true})
+            .variant("b", {4, 1.0, 1.0, {2, 3, 4, 5}, false})
+            .budgets({17, 40})
+            .replications(3)
+            .sizing_iterations(5)
+            .sizing_eval_replications(2)
+            .solver(socbuf::core::SolverChoice::kValueIteration)
+            .modulated_models()
+            .timeout_policy(2.5)
+            .horizon(900.0, 90.0)
+            .seed(123456789)
+            .arbiter(socbuf::sim::ArbiterKind::kLongestQueue)
+            .build();
+    EXPECT_TRUE(round_trip(spec) == spec);
+}
+
+TEST(ScenarioIo, AbsentKeysKeepDefaults) {
+    const auto spec =
+        ss::spec_from_json(JsonValue::parse("{\"name\": \"minimal\"}"));
+    const ss::ScenarioSpec defaults = [] {
+        ss::ScenarioSpec s;
+        s.name = "minimal";
+        return s;
+    }();
+    EXPECT_TRUE(spec == defaults);
+}
+
+TEST(ScenarioIo, DiagnosticsNameTheJsonPath) {
+    expect_io_error("{\"name\": \"x\", \"budgetz\": [3]}", "$.budgetz");
+    expect_io_error("{\"name\": \"x\", \"budgets\": \"320\"}", "$.budgets");
+    expect_io_error("{\"name\": \"x\", \"budgets\": []}", "$.budgets");
+    expect_io_error("{\"name\": \"x\", \"budgets\": [0]}", "$.budgets[0]");
+    expect_io_error("{\"name\": \"x\", \"budgets\": [32.5]}", "$.budgets[0]");
+    expect_io_error("{\"name\": \"\"}", "$.name");
+    expect_io_error("{\"budgets\": [3]}", "$");  // missing name
+    expect_io_error("{\"name\": \"x\", \"testbench\": \"tb\"}",
+                    "$.testbench");
+    expect_io_error("{\"name\": \"x\", \"solver\": \"magic\"}", "$.solver");
+    expect_io_error("{\"name\": \"x\", \"replications\": 0}",
+                    "$.replications");
+    expect_io_error(
+        "{\"name\": \"x\", \"variants\": [{\"np\": {\"load_scale\": 0}}]}",
+        "$.variants[0].np.load_scale");
+    expect_io_error(
+        "{\"name\": \"x\", \"variants\": [{}, {\"np\": {\"pe\": 1}}]}",
+        "$.variants[1].np.pe");
+    expect_io_error(
+        "{\"name\": \"x\", \"variants\": "
+        "[{\"np\": {\"cluster_pe\": [2, 2]}}]}",
+        "$.variants[0].np.cluster_pe");
+    expect_io_error("{\"name\": \"x\", \"sim\": {\"horizon\": -1}}",
+                    "$.sim.horizon");
+    expect_io_error(
+        "{\"name\": \"x\", \"sim\": {\"horizon\": 10, \"warmup\": 20}}",
+        "$.sim.warmup");
+    // With no explicit warmup the conflict comes from the horizon
+    // undercutting the *default* warmup — blame the key the document
+    // actually wrote.
+    expect_io_error("{\"name\": \"x\", \"sim\": {\"horizon\": 100}}",
+                    "$.sim.horizon");
+    expect_io_error("{\"name\": \"x\", \"sim\": {\"arbiter\": \"coin\"}}",
+                    "$.sim.arbiter");
+    expect_io_error("{\"name\": \"x\", \"sim\": {\"seed\": 1.5}}",
+                    "$.sim.seed");
+}
+
+TEST(ScenarioIo, CatalogDocumentsParseAndReportPerScenarioPaths) {
+    const auto specs = ss::specs_from_json(JsonValue::parse(
+        "{\"scenarios\": [{\"name\": \"a\"}, {\"name\": \"b\"}]}"));
+    ASSERT_EQ(specs.size(), 2u);
+    EXPECT_EQ(specs[0].name, "a");
+    EXPECT_EQ(specs[1].name, "b");
+    try {
+        (void)ss::specs_from_json(JsonValue::parse(
+            "{\"scenarios\": [{\"name\": \"a\"}, {\"name\": \"b\", "
+            "\"budgets\": []}]}"));
+        FAIL() << "expected ScenarioIoError";
+    } catch (const ss::ScenarioIoError& error) {
+        EXPECT_EQ(error.path(), "$.scenarios[1].budgets");
+    }
+    // A catalog document rejects keys beside "scenarios".
+    try {
+        (void)ss::specs_from_json(JsonValue::parse(
+            "{\"scenarios\": [{\"name\": \"a\"}], \"extra\": 1}"));
+        FAIL() << "expected ScenarioIoError";
+    } catch (const ss::ScenarioIoError& error) {
+        EXPECT_EQ(error.path(), "$.extra");
+    }
+}
+
+TEST(ScenarioIo, EngineOwnedSimFieldsAreRejectedOnBothSides) {
+    ss::ScenarioSpec spec;
+    spec.name = "x";
+    spec.sim.timeout_enabled = true;
+    EXPECT_THROW((void)ss::to_json(spec), ss::ScenarioIoError);
+    // Seeds past 2^53 cannot survive the double trip — to_json must
+    // refuse them up front (an exportable spec is always loadable).
+    ss::ScenarioSpec big_seed;
+    big_seed.name = "x";
+    big_seed.sim.seed = (std::uint64_t{1} << 53) + 2;
+    EXPECT_THROW((void)ss::to_json(big_seed), ss::ScenarioIoError);
+    big_seed.sim.seed = std::uint64_t{1} << 53;
+    EXPECT_NO_THROW((void)ss::to_json(big_seed));
+    try {
+        (void)ss::spec_from_json(JsonValue::parse(
+            "{\"name\": \"x\", \"sim\": {\"timeout_enabled\": true}}"));
+        FAIL() << "expected ScenarioIoError";
+    } catch (const ss::ScenarioIoError& error) {
+        EXPECT_EQ(error.path(), "$.sim.timeout_enabled");
+    }
+}
+
+TEST(ScenarioIo, RegistryLoadsTextFilesAndMerges) {
+    ss::ScenarioRegistry registry;
+    const std::size_t presets = registry.size();
+    const std::size_t added = registry.load_text(
+        "{\"scenarios\": [{\"name\": \"from-text\", \"budgets\": [9]},"
+        " {\"name\": \"figure1\", \"budgets\": [7]}]}");
+    EXPECT_EQ(added, 2u);
+    EXPECT_EQ(registry.size(), presets + 1);  // figure1 replaced in place
+    EXPECT_EQ(registry.get("from-text").budgets, std::vector<long>{9});
+    EXPECT_EQ(registry.get("figure1").budgets, std::vector<long>{7});
+
+    // A malformed document leaves the registry unchanged.
+    ss::ScenarioRegistry untouched;
+    const auto names_before = untouched.names();
+    EXPECT_THROW(
+        (void)untouched.load_text(
+            "{\"scenarios\": [{\"name\": \"ok\"}, {\"name\": \"bad\", "
+            "\"budgets\": []}]}"),
+        ss::ScenarioIoError);
+    EXPECT_EQ(untouched.names(), names_before);
+
+    // merge() adopts scenarios and batches (same-name replaces).
+    ss::ScenarioRegistry target;
+    target.merge(registry);
+    EXPECT_TRUE(target.contains("from-text"));
+    EXPECT_EQ(target.get("figure1").budgets, std::vector<long>{7});
+    EXPECT_TRUE(target.contains_batch("paper-suite"));
+
+    // load_file round: write, load, compare.
+    const std::string path = "scenario_io_test_tmp.json";
+    {
+        std::ofstream out(path);
+        out << ss::to_json(registry.get("from-text")).dump(2);
+    }
+    ss::ScenarioRegistry from_file;
+    EXPECT_EQ(from_file.load_file(path), 1u);
+    EXPECT_TRUE(from_file.get("from-text") == registry.get("from-text"));
+    std::remove(path.c_str());
+
+    EXPECT_THROW((void)from_file.load_file("definitely_not_here.json"),
+                 ss::ScenarioIoError);
+}
+
+TEST(ScenarioBuilder, BuildsValidatedSpecs) {
+    const ss::ScenarioSpec spec = ss::ScenarioBuilder("built")
+                                      .description("builder walk")
+                                      .testbench(ss::Testbench::kFigure1)
+                                      .budgets({12, 18})
+                                      .replications(2)
+                                      .sizing_iterations(3)
+                                      .horizon(600.0, 60.0)
+                                      .seed(7)
+                                      .build();
+    EXPECT_EQ(spec.name, "built");
+    EXPECT_EQ(spec.budgets.size(), 2u);
+    EXPECT_EQ(spec.sim.warmup, 60.0);
+    EXPECT_EQ(spec.sim.seed, 7u);
+    // Default warmup is 10% of the horizon.
+    EXPECT_EQ(ss::ScenarioBuilder("w").horizon(500.0).build().sim.warmup,
+              50.0);
+    // The first variant() replaces the default entry; later ones append.
+    const auto sweep = ss::ScenarioBuilder("sweep")
+                           .variant("a")
+                           .variant("b")
+                           .build();
+    ASSERT_EQ(sweep.variants.size(), 2u);
+    EXPECT_EQ(sweep.variants[0].label, "a");
+    // build() validates: a malformed chain throws, naming the contract.
+    EXPECT_THROW((void)ss::ScenarioBuilder("bad").budgets({}).build(),
+                 socbuf::util::ContractViolation);
+    EXPECT_THROW((void)ss::ScenarioBuilder("bad").replications(0).build(),
+                 socbuf::util::ContractViolation);
+}
+
+TEST(ScenarioIo, NamesRoundTripThroughEnumHelpers) {
+    using socbuf::core::SolverChoice;
+    for (const auto solver :
+         {SolverChoice::kAuto, SolverChoice::kLp,
+          SolverChoice::kValueIteration, SolverChoice::kPolicyIteration}) {
+        SolverChoice parsed{};
+        ASSERT_TRUE(ss::solver_from_string(ss::to_string(solver), parsed));
+        EXPECT_EQ(parsed, solver);
+    }
+    using socbuf::sim::ArbiterKind;
+    for (const auto arbiter :
+         {ArbiterKind::kFixedPriority, ArbiterKind::kRoundRobin,
+          ArbiterKind::kLongestQueue, ArbiterKind::kWeightedRandom}) {
+        ArbiterKind parsed{};
+        ASSERT_TRUE(ss::arbiter_from_string(ss::to_string(arbiter), parsed));
+        EXPECT_EQ(parsed, arbiter);
+    }
+    socbuf::core::SolverChoice solver{};
+    EXPECT_FALSE(ss::solver_from_string("magic", solver));
+    socbuf::sim::ArbiterKind arbiter{};
+    EXPECT_FALSE(ss::arbiter_from_string("coin", arbiter));
+    ss::Testbench testbench{};
+    EXPECT_TRUE(ss::testbench_from_string("figure1", testbench));
+    EXPECT_FALSE(ss::testbench_from_string("figure2", testbench));
+}

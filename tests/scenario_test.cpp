@@ -56,14 +56,14 @@ TEST(ScenarioRegistry, OffersTheNamedPresets) {
     const ss::ScenarioRegistry registry;
     for (const char* name :
          {"figure1", "np-baseline", "np-load-sweep", "np-bus-speed-sweep",
-          "np-cluster-scaling", "np-bursty-heavy"}) {
+          "np-cluster-scaling", "np-cluster-asymmetry", "np-bursty-heavy"}) {
         EXPECT_TRUE(registry.contains(name)) << name;
         const auto& spec = registry.get(name);
         EXPECT_EQ(spec.name, name);
         EXPECT_FALSE(spec.description.empty()) << name;
         EXPECT_NO_THROW(spec.validate()) << name;
     }
-    EXPECT_EQ(registry.size(), 6u);
+    EXPECT_EQ(registry.size(), 7u);
     EXPECT_FALSE(registry.contains("no-such-scenario"));
     EXPECT_THROW((void)registry.get("no-such-scenario"),
                  socbuf::util::ContractViolation);
@@ -83,12 +83,13 @@ TEST(ScenarioRegistry, SweepPresetsExpandToTheRightJobCounts) {
 
 TEST(ScenarioRegistry, AddReplacesByName) {
     ss::ScenarioRegistry registry;
+    const std::size_t presets = registry.size();
     ss::ScenarioSpec custom = small_figure1();
     registry.add(custom);
-    EXPECT_EQ(registry.size(), 7u);
+    EXPECT_EQ(registry.size(), presets + 1);
     custom.replications = 9;
     registry.add(custom);
-    EXPECT_EQ(registry.size(), 7u);
+    EXPECT_EQ(registry.size(), presets + 1);
     EXPECT_EQ(registry.get("figure1-small").replications, 9u);
 }
 
@@ -118,6 +119,54 @@ TEST(ScenarioSpec, EveryClusterScalingVariantIsRoutable) {
         EXPECT_EQ(routes.size(), system.flows.size())
             << scaling.variants[v].label;
     }
+}
+
+TEST(ScenarioRegistry, OffersThePaperSuiteBatch) {
+    // The mixed-testbench batch in the CLI defaults: figure1 plus
+    // np-baseline expand — in member order — into one runnable batch.
+    const ss::ScenarioRegistry registry;
+    ASSERT_TRUE(registry.contains_batch("paper-suite"));
+    const auto& batch = registry.get_batch("paper-suite");
+    EXPECT_FALSE(batch.description.empty());
+    const auto specs = registry.expand("paper-suite");
+    ASSERT_EQ(specs.size(), 2u);
+    EXPECT_EQ(specs[0].testbench, ss::Testbench::kFigure1);
+    EXPECT_EQ(specs[1].testbench, ss::Testbench::kNetworkProcessor);
+    // A plain scenario expands to itself.
+    const auto single = registry.expand("figure1");
+    ASSERT_EQ(single.size(), 1u);
+    EXPECT_EQ(single[0].name, "figure1");
+    EXPECT_THROW((void)registry.get_batch("no-such-batch"),
+                 socbuf::util::ContractViolation);
+    ss::ScenarioRegistry broken;
+    EXPECT_THROW(broken.add_batch({"bad", "", {"no-such-scenario"}}),
+                 socbuf::util::ContractViolation);
+}
+
+TEST(ScenarioSpec, EveryClusterAsymmetryVariantIsRoutable) {
+    // The topology sweep bends the testbench hardest: a dropped crypto
+    // cluster (three bridges) and asymmetric per-cluster PE counts must
+    // still expand into fully routable flow sets.
+    const ss::ScenarioRegistry registry;
+    const auto& asymmetry = registry.get("np-cluster-asymmetry");
+    ASSERT_EQ(asymmetry.variants.size(), 4u);
+    for (std::size_t v = 0; v < asymmetry.variants.size(); ++v) {
+        const auto system = asymmetry.build_system(v);
+        std::vector<socbuf::traffic::FlowRoute> routes;
+        EXPECT_NO_THROW(routes = socbuf::traffic::compute_routes(system))
+            << asymmetry.variants[v].label;
+        EXPECT_EQ(routes.size(), system.flows.size())
+            << asymmetry.variants[v].label;
+    }
+    // bridges=3 really drops a bridge; the asymmetric variants really
+    // change the processor count.
+    const auto nominal = asymmetry.build_system(0);
+    const auto dropped = asymmetry.build_system(1);
+    EXPECT_EQ(dropped.architecture.bridge_count(),
+              nominal.architecture.bridge_count() - 1);
+    const auto ingress_heavy = asymmetry.build_system(2);
+    EXPECT_EQ(ingress_heavy.architecture.processor_count(), 17u);  // 6+4+2+4+cp
+    EXPECT_NE(ingress_heavy.architecture.bus_count(), 0u);
 }
 
 TEST(ScenarioSpec, ValidateRejectsBrokenSpecs) {

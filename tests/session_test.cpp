@@ -1,0 +1,164 @@
+// socbuf::Session — the facade contract: one object behind run /
+// run_batch / load_file / export_catalog, reports bit-identical for any
+// thread count, and a file-loaded spec indistinguishable from the
+// compiled preset.
+#include "session/session.hpp"
+
+#include "scenario/builder.hpp"
+#include "scenario/scenario_io.hpp"
+#include "util/contracts.hpp"
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace ss = socbuf::scenario;
+using socbuf::Session;
+using socbuf::SessionOptions;
+using socbuf::util::JsonValue;
+
+namespace {
+
+/// A fast two-run scenario on the Figure 1 sample (tiny system, short
+/// horizon), as in scenario_test.
+ss::ScenarioSpec small_figure1(const std::string& name = "figure1-small") {
+    return ss::ScenarioBuilder(name)
+        .testbench(ss::Testbench::kFigure1)
+        .budgets({12, 18})
+        .replications(2)
+        .sizing_iterations(3)
+        .horizon(600.0, 60.0)
+        .seed(7)
+        .build();
+}
+
+}  // namespace
+
+TEST(Session, RunByNameEqualsRunBySpec) {
+    const ss::ScenarioSpec spec = small_figure1();
+    Session session({1});
+    session.registry().add(spec);
+    const auto by_name = session.run("figure1-small");
+    const auto by_spec = session.run(spec);
+    EXPECT_EQ(by_name.to_json(), by_spec.to_json());
+    EXPECT_THROW((void)session.run("no-such-scenario"),
+                 socbuf::util::ContractViolation);
+}
+
+TEST(Session, FileLoadedSpecReproducesTheCompiledReport) {
+    // The acceptance criterion: a spec exported to JSON, loaded from the
+    // file and run must produce a BatchReport identical to the compiled
+    // spec's — at every thread count.
+    const ss::ScenarioSpec compiled = small_figure1("file-roundtrip");
+    const std::string path = "session_test_tmp.json";
+    {
+        std::ofstream out(path);
+        out << ss::to_json(compiled).dump(2) << "\n";
+    }
+    for (const std::size_t threads : {1UL, 2UL, 4UL}) {
+        Session compiled_session({threads});
+        const auto want = compiled_session.run(compiled);
+
+        Session file_session({threads});
+        ASSERT_EQ(file_session.load_file(path), 1u);
+        const auto got = file_session.run("file-roundtrip");
+        EXPECT_EQ(got.to_json(), want.to_json()) << "threads=" << threads;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Session, ReportsBitIdenticalForAnyThreadCount) {
+    const ss::ScenarioSpec spec = small_figure1();
+    Session serial({1});
+    const auto reference = serial.run(spec);
+    ASSERT_EQ(reference.runs.size(), 2u);
+    for (const std::size_t threads : {2UL, 4UL}) {
+        Session parallel({threads});
+        auto got = parallel.run(spec);
+        EXPECT_EQ(got.workers, threads);
+        got.workers = reference.workers;  // the one width-reflecting field
+        got.eval_overlap = reference.eval_overlap;  // diagnostic
+        EXPECT_EQ(got.to_json(), reference.to_json())
+            << "threads=" << threads;
+    }
+}
+
+TEST(Session, RunBatchExpandsBatchPresetsInOrder) {
+    Session session({1});
+    session.registry().add(small_figure1("batch-a"));
+    session.registry().add(small_figure1("batch-b"));
+    session.registry().add_batch(
+        {"small-suite", "both small scenarios", {"batch-a", "batch-b"}});
+
+    const auto suite = session.run("small-suite");
+    ASSERT_EQ(suite.runs.size(), 4u);  // two scenarios x two budgets
+    EXPECT_EQ(suite.runs[0].scenario, "batch-a");
+    EXPECT_EQ(suite.runs[2].scenario, "batch-b");
+
+    // run_batch with explicit names matches the batch preset.
+    const auto by_names = session.run_batch({"batch-a", "batch-b"});
+    EXPECT_EQ(by_names.to_json(), suite.to_json());
+}
+
+TEST(Session, FreshCachePerRunKeepsReportsReproducible) {
+    const ss::ScenarioSpec spec = small_figure1();
+    Session session({1});
+    const auto first = session.run(spec);
+    const auto second = session.run(spec);
+    // Identical workload, identical report — counters included, because
+    // the session clears its cache per batch.
+    EXPECT_EQ(first.to_json(), second.to_json());
+    EXPECT_GT(second.cache.misses, 0u);
+
+    // reuse_cache keeps the memo warm: the repeat run is served from
+    // cache (no new misses), with identical results.
+    SessionOptions warm_options;
+    warm_options.threads = 1;
+    warm_options.reuse_cache = true;
+    Session warm(warm_options);
+    const auto cold_run = warm.run(spec);
+    const auto warm_run = warm.run(spec);
+    EXPECT_EQ(warm_run.cache.misses, cold_run.cache.misses);
+    EXPECT_GT(warm_run.cache.hits, cold_run.cache.hits);
+    ASSERT_EQ(warm_run.runs.size(), cold_run.runs.size());
+    for (std::size_t i = 0; i < warm_run.runs.size(); ++i) {
+        EXPECT_EQ(warm_run.runs[i].post_total, cold_run.runs[i].post_total);
+        EXPECT_EQ(warm_run.runs[i].resized_alloc,
+                  cold_run.runs[i].resized_alloc);
+    }
+}
+
+TEST(Session, ExportCatalogRoundTripsEveryPreset) {
+    const Session session;
+    const auto catalog = session.export_catalog();
+    const auto specs = ss::specs_from_json(catalog);
+    ASSERT_EQ(specs.size(), session.registry().size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        EXPECT_TRUE(specs[i] == session.registry().specs()[i])
+            << specs[i].name;
+
+    // A batch preset exports as a catalog document of its members.
+    const auto suite = session.export_scenario("paper-suite");
+    const auto members = ss::specs_from_json(suite);
+    ASSERT_EQ(members.size(), 2u);
+    EXPECT_EQ(members[0].name, "figure1");
+    EXPECT_EQ(members[1].name, "np-baseline");
+
+    // And loads back: a fresh registry fed the exported catalog contains
+    // byte-equal specs.
+    Session loaded;
+    EXPECT_EQ(loaded.load_text(catalog.dump()), specs.size());
+}
+
+TEST(Session, DisabledCacheIsHonored) {
+    SessionOptions options;
+    options.threads = 1;
+    options.use_solve_cache = false;
+    Session session(options);
+    const auto report = session.run(small_figure1());
+    EXPECT_FALSE(report.cache_enabled);
+    EXPECT_EQ(report.cache.lookups(), 0u);
+}

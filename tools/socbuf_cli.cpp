@@ -1,12 +1,27 @@
-// socbuf_cli — list and run the scenario catalog from the command line.
+// socbuf_cli — the scenario catalog from the command line, as a thin
+// client of the socbuf::Session facade. Scenarios are data: everything the
+// CLI runs can be exported to JSON, edited, and run back from a file
+// without recompiling.
 //
 //   socbuf_cli list
-//       One line per registered scenario: name, testbench, job counts.
+//       One line per registered scenario (name, testbench, job counts),
+//       then the batch presets.
 //   socbuf_cli show <scenario>
 //       Full parameterization of one scenario.
-//   socbuf_cli run <scenario> [<scenario> ...] [options]
-//       Execute scenarios as one pipelined batch on a shared executor and
-//       print the summary table.
+//   socbuf_cli export <name> [--out FILE]
+//       One scenario — or batch preset, as a {"scenarios": [...]}
+//       catalog — as JSON ("-" = stdout, the default). The output is
+//       loadable via `run --file` / `validate --file`.
+//   socbuf_cli export --all [--dir DIR]
+//       Every registered scenario to DIR/<name>.json (default: the
+//       current directory), plus every batch preset as a catalog file.
+//   socbuf_cli validate --file F [--file F ...]
+//       Parse + strictly validate scenario files; exit 0 and per-file
+//       spec counts, or exit 2 with a diagnostic naming the JSON path.
+//   socbuf_cli run <name|--file F> [more names/files] [options]
+//       Execute scenarios (registered names, batch presets, and/or files)
+//       as one pipelined batch on a shared executor and print the summary
+//       table.
 //
 // Run options:
 //   --threads N          worker threads (0 = hardware concurrency;
@@ -14,6 +29,7 @@
 //   --budgets A,B,...    override every selected scenario's budget list
 //                        (at least one value, each >= 1)
 //   --replications R     override the evaluation replication count (>= 1)
+//   --iterations I       override the sizing iteration count (>= 1)
 //   --horizon H          override the simulation horizon (> 0 time
 //                        units); the warmup is reduced to H/10 only if it
 //                        would otherwise reach past the horizon
@@ -25,12 +41,14 @@
 //   --json FILE          write the full structured report ("-" = stdout)
 //   --csv FILE           write the summary as CSV ("-" = stdout)
 //
-// Results are bit-identical for any --threads value. Malformed or
-// out-of-range option values are a usage error: exit code 2 with a
-// diagnostic naming the flag (never an uncaught parse exception).
-#include "exec/executor.hpp"
-#include "scenario/batch_runner.hpp"
-#include "scenario/scenario.hpp"
+// Results are bit-identical for any --threads value, and a file-loaded
+// scenario reproduces its compiled preset's report exactly. Malformed or
+// out-of-range option values — and malformed scenario files — are a usage
+// error: exit code 2 with a diagnostic naming the flag or the JSON path
+// (never an uncaught parse exception).
+#include "scenario/builder.hpp"
+#include "scenario/scenario_io.hpp"
+#include "session/session.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -45,9 +63,10 @@
 
 namespace {
 
-using socbuf::scenario::BatchOptions;
+using socbuf::Session;
+using socbuf::SessionOptions;
 using socbuf::scenario::BatchReport;
-using socbuf::scenario::BatchRunner;
+using socbuf::scenario::ScenarioIoError;
 using socbuf::scenario::ScenarioRegistry;
 using socbuf::scenario::ScenarioSpec;
 
@@ -56,11 +75,14 @@ int usage(const char* argv0) {
                  "usage:\n"
                  "  %s list\n"
                  "  %s show <scenario>\n"
-                 "  %s run <scenario> [<scenario> ...] [--threads N]\n"
-                 "      [--budgets A,B,...] [--replications R] [--horizon H]\n"
-                 "      [--warmup W] [--seed S] [--no-cache]\n"
-                 "      [--cache-capacity N] [--json FILE] [--csv FILE]\n",
-                 argv0, argv0, argv0);
+                 "  %s export <name> [--out FILE] | export --all [--dir DIR]\n"
+                 "  %s validate --file F [--file F ...]\n"
+                 "  %s run <name|--file F> [more names/files]\n"
+                 "      [--threads N] [--budgets A,B,...] [--replications R]\n"
+                 "      [--iterations I] [--horizon H] [--warmup W]\n"
+                 "      [--seed S] [--no-cache] [--cache-capacity N]\n"
+                 "      [--json FILE] [--csv FILE]\n",
+                 argv0, argv0, argv0, argv0, argv0);
     return 2;
 }
 
@@ -142,7 +164,14 @@ int bad_value(const std::string& flag, const std::string& value,
     return 2;
 }
 
+int bad_scenario_file(const ScenarioIoError& error) {
+    std::fprintf(stderr, "invalid scenario file: %s\n", error.what());
+    return 2;
+}
+
 int list_scenarios() {
+    // Registry-only: no Session (and no worker pool) needed to read
+    // preset metadata.
     const ScenarioRegistry registry;
     socbuf::util::Table table(
         {"name", "testbench", "variants", "budgets", "reps", "jobs"});
@@ -156,6 +185,13 @@ int list_scenarios() {
                        std::to_string(spec.job_count())});
     }
     std::printf("%s", table.to_string().c_str());
+    if (!registry.batches().empty()) {
+        std::printf("\nbatches (run several scenarios as one batch):\n");
+        for (const auto& batch : registry.batches())
+            std::printf("  %-14s %s [%s]\n", batch.name.c_str(),
+                        batch.description.c_str(),
+                        socbuf::util::join(batch.scenarios, ", ").c_str());
+    }
     return 0;
 }
 
@@ -203,30 +239,170 @@ bool write_output(const std::string& path, const std::string& content,
         return false;
     }
     out << content;
-    std::printf("wrote %s report to %s\n", what, path.c_str());
+    std::printf("wrote %s to %s\n", what, path.c_str());
     return true;
 }
 
-int run_scenarios(const std::vector<std::string>& args) {
+int export_scenarios(const std::vector<std::string>& args) {
     const ScenarioRegistry registry;
-    std::vector<ScenarioSpec> specs;
-    std::size_t threads = 0;
-    bool use_cache = true;
-    std::size_t cache_capacity = 0;
+    bool all = false;
+    std::string name;
+    std::string out_path;
+    std::string dir;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string& arg = args[i];
+        const auto next_value = [&]() -> const std::string* {
+            if (i + 1 >= args.size()) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                return nullptr;
+            }
+            return &args[++i];
+        };
+        if (arg == "--all") {
+            all = true;
+        } else if (arg == "--out") {
+            const std::string* v = next_value();
+            if (v == nullptr) return 2;
+            out_path = *v;
+        } else if (arg == "--dir") {
+            const std::string* v = next_value();
+            if (v == nullptr) return 2;
+            dir = *v;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            return 2;
+        } else if (name.empty()) {
+            name = arg;
+        } else {
+            std::fprintf(stderr, "export takes one name (or --all)\n");
+            return 2;
+        }
+    }
+    if (all && !name.empty()) {
+        std::fprintf(stderr, "export takes a name or --all, not both\n");
+        return 2;
+    }
+    if (!all && name.empty()) {
+        std::fprintf(stderr, "export needs a scenario name or --all\n");
+        return 2;
+    }
+    // Reject the flag that would otherwise be silently ignored: --dir
+    // only shapes the --all fan-out, --out only the single-name path.
+    if (!all && !dir.empty()) {
+        std::fprintf(stderr,
+                     "--dir goes with --all; use --out FILE to export "
+                     "'%s' to a file\n",
+                     name.c_str());
+        return 2;
+    }
+    if (all && !out_path.empty()) {
+        std::fprintf(stderr,
+                     "--out goes with a single name; use --dir DIR with "
+                     "--all\n");
+        return 2;
+    }
+    if (!all) {
+        if (!registry.contains(name) && !registry.contains_batch(name)) {
+            std::fprintf(stderr, "unknown scenario '%s' (try: list)\n",
+                         name.c_str());
+            return 1;
+        }
+        return write_output(out_path.empty() ? "-" : out_path,
+                            export_json(registry, name).dump(2) + "\n",
+                            "scenario")
+                   ? 0
+                   : 1;
+    }
+    if (dir.empty()) dir = ".";
+    std::size_t written = 0;
+    for (const auto& spec : registry.specs()) {
+        const std::string path = dir + "/" + spec.name + ".json";
+        if (!write_output(path, socbuf::scenario::to_json(spec).dump(2) + "\n",
+                          "scenario"))
+            return 1;
+        ++written;
+    }
+    for (const auto& batch : registry.batches()) {
+        const std::string path = dir + "/" + batch.name + ".json";
+        if (!write_output(path, export_json(registry, batch.name).dump(2) + "\n",
+                          "batch"))
+            return 1;
+        ++written;
+    }
+    std::printf("exported %zu files to %s\n", written, dir.c_str());
+    return 0;
+}
+
+int validate_files(const std::vector<std::string>& args) {
+    std::vector<std::string> files;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--file") {
+            if (i + 1 >= args.size()) {
+                std::fprintf(stderr, "--file needs a value\n");
+                return 2;
+            }
+            files.push_back(args[++i]);
+        } else if (!args[i].empty() && args[i][0] == '-') {
+            std::fprintf(stderr, "unknown option %s\n", args[i].c_str());
+            return 2;
+        } else {
+            files.push_back(args[i]);  // bare paths are accepted too
+        }
+    }
+    if (files.empty()) {
+        std::fprintf(stderr, "validate needs at least one --file\n");
+        return 2;
+    }
+    for (const auto& file : files) {
+        try {
+            const auto specs = socbuf::scenario::load_scenario_file(file);
+            // Round-trip check: a valid file must survive
+            // dump -> parse -> from_json bit-identically, so schema and
+            // serializer cannot drift apart silently.
+            for (const auto& spec : specs) {
+                const auto json = socbuf::scenario::to_json(spec);
+                const auto again = socbuf::scenario::spec_from_json(
+                    socbuf::util::JsonValue::parse(json.dump()));
+                if (!(again == spec)) {
+                    std::fprintf(stderr,
+                                 "invalid scenario file: %s: scenario '%s' "
+                                 "does not round-trip through the schema\n",
+                                 file.c_str(), spec.name.c_str());
+                    return 2;
+                }
+            }
+            std::printf("%s: ok (%zu scenario%s)\n", file.c_str(),
+                        specs.size(), specs.size() == 1 ? "" : "s");
+        } catch (const ScenarioIoError& error) {
+            return bad_scenario_file(error);
+        }
+    }
+    return 0;
+}
+
+int run_scenarios(const std::vector<std::string>& args) {
+    SessionOptions session_options;
     std::string json_path;
     std::string csv_path;
-    // Overrides are collected first and applied to every selected
-    // scenario, so flag order and name order don't matter. Out-of-range
-    // values (--replications 0, --horizon 0, an empty --budgets list) are
-    // rejected right here rather than silently falling through to the
-    // preset values.
+    // Selections: registered names (scenarios or batch presets) and
+    // scenario files, expanded in argument order. Overrides are collected
+    // first and applied to every selected scenario, so flag order and
+    // name order don't matter. Out-of-range values (--replications 0,
+    // --horizon 0, an empty --budgets list) are rejected right here
+    // rather than silently falling through to the preset values.
     std::vector<long> budgets_override;
     std::size_t replications_override = 0;
+    int iterations_override = 0;
     double horizon_override = 0.0;
     double warmup_override = -1.0;
     std::uint64_t seed_override = 0;
     bool has_seed_override = false;
+    std::size_t threads = 0;
 
+    // Registry only — the executing Session (and its worker pool) is
+    // constructed after the selections and overrides are fully resolved.
+    const ScenarioRegistry registry;
+    std::vector<ScenarioSpec> specs;
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string& arg = args[i];
         const auto next_value = [&]() -> const std::string* {
@@ -241,6 +417,15 @@ int run_scenarios(const std::vector<std::string>& args) {
             if (v == nullptr) return 2;
             if (!parse_number(*v, threads))
                 return bad_value(arg, *v, "expected a whole number >= 0");
+        } else if (arg == "--file") {
+            const std::string* v = next_value();
+            if (v == nullptr) return 2;
+            try {
+                for (auto& spec : socbuf::scenario::load_scenario_file(*v))
+                    specs.push_back(std::move(spec));
+            } catch (const ScenarioIoError& error) {
+                return bad_scenario_file(error);
+            }
         } else if (arg == "--budgets") {
             const std::string* v = next_value();
             if (v == nullptr) return 2;
@@ -254,6 +439,16 @@ int run_scenarios(const std::vector<std::string>& args) {
             if (!parse_number(*v, replications_override) ||
                 replications_override < 1)
                 return bad_value(arg, *v, "expected a whole number >= 1");
+        } else if (arg == "--iterations") {
+            const std::string* v = next_value();
+            if (v == nullptr) return 2;
+            long value = 0;
+            if (!parse_number(*v, value) || value < 1 ||
+                value > std::numeric_limits<int>::max())
+                return bad_value(arg, *v,
+                                 "expected a whole number >= 1 (within int "
+                                 "range)");
+            iterations_override = static_cast<int>(value);
         } else if (arg == "--horizon") {
             const std::string* v = next_value();
             if (v == nullptr) return 2;
@@ -273,11 +468,11 @@ int run_scenarios(const std::vector<std::string>& args) {
             seed_override = static_cast<std::uint64_t>(seed_value);
             has_seed_override = true;
         } else if (arg == "--no-cache") {
-            use_cache = false;
+            session_options.use_solve_cache = false;
         } else if (arg == "--cache-capacity") {
             const std::string* v = next_value();
             if (v == nullptr) return 2;
-            if (!parse_number(*v, cache_capacity))
+            if (!parse_number(*v, session_options.cache_capacity))
                 return bad_value(
                     arg, *v, "expected a whole number >= 0 (0 = unlimited)");
         } else if (arg == "--json") {
@@ -292,22 +487,26 @@ int run_scenarios(const std::vector<std::string>& args) {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             return 2;
         } else {
-            if (!registry.contains(arg)) {
+            if (!registry.contains(arg) && !registry.contains_batch(arg)) {
                 std::fprintf(stderr, "unknown scenario '%s' (try: list)\n",
                              arg.c_str());
                 return 1;
             }
-            specs.push_back(registry.get(arg));
+            for (auto& spec : registry.expand(arg))
+                specs.push_back(std::move(spec));
         }
     }
     if (specs.empty()) {
-        std::fprintf(stderr, "run needs at least one scenario name\n");
+        std::fprintf(stderr,
+                     "run needs at least one scenario name or --file\n");
         return 2;
     }
     for (auto& spec : specs) {
         if (!budgets_override.empty()) spec.budgets = budgets_override;
         if (replications_override > 0)
             spec.replications = replications_override;
+        if (iterations_override > 0)
+            spec.sizing_iterations = iterations_override;
         if (horizon_override > 0.0) {
             spec.sim.horizon = horizon_override;
             // Keep the preset warmup unless it would reach past the new
@@ -332,12 +531,9 @@ int run_scenarios(const std::vector<std::string>& args) {
         }
     }
 
-    socbuf::exec::Executor executor(threads);
-    BatchOptions options;
-    options.use_solve_cache = use_cache;
-    options.cache_capacity = cache_capacity;
-    BatchRunner runner(executor, options);
-    const BatchReport report = runner.run(specs);
+    session_options.threads = threads;
+    Session session(session_options);
+    const BatchReport report = session.run(specs);
 
     std::printf("%s", report.summary_table().to_string().c_str());
     if (report.cache_enabled) {
@@ -352,9 +548,10 @@ int run_scenarios(const std::vector<std::string>& args) {
 
     bool ok = true;
     if (!json_path.empty())
-        ok = write_output(json_path, report.to_json() + "\n", "json") && ok;
+        ok = write_output(json_path, report.to_json() + "\n",
+                          "json report") && ok;
     if (!csv_path.empty())
-        ok = write_output(csv_path, report.to_csv(), "csv") && ok;
+        ok = write_output(csv_path, report.to_csv(), "csv report") && ok;
     return ok ? 0 : 1;
 }
 
@@ -368,7 +565,11 @@ int main(int argc, char** argv) {
         if (command == "list") return list_scenarios();
         if (command == "show")
             return rest.size() == 1 ? show_scenario(rest[0]) : usage(argv[0]);
+        if (command == "export") return export_scenarios(rest);
+        if (command == "validate") return validate_files(rest);
         if (command == "run") return run_scenarios(rest);
+    } catch (const ScenarioIoError& error) {
+        return bad_scenario_file(error);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
