@@ -1,4 +1,4 @@
-// B1 — the scenario & batch-execution layer, measured. Four claims:
+// B1 — the scenario & batch-execution layer, measured. Five claims:
 //
 //   1. cache — a Table 1-style budget sweep re-solves identical subsystem
 //      CTMDPs (the round-0 models coincide across budgets once caps clamp
@@ -9,15 +9,22 @@
 //   3. pipelining — there is no stage barrier: the "overlap" column
 //      counts evaluation jobs that started while another job's sizing
 //      run was still in flight (0 serially, > 0 once workers pipeline),
-//   4. determinism — every thread count produces bit-identical batch
-//      reports (the exec-layer contract lifted to whole batches), shown
-//      in the table rather than assumed.
+//   4. latency — the "first eval" column is the wall-clock until the
+//      first evaluation job *completed*: under priority scheduling a
+//      finished sizing job's evaluations are claimed ahead of still-
+//      queued sizing work (exec::Priority::kEvaluation > kSizing), so
+//      the first usable result lands earlier than under FIFO claims —
+//      measured head-to-head on the paper-suite batch,
+//   5. determinism — every thread count *and both schedules* produce
+//      bit-identical batch reports (the exec-layer contract lifted to
+//      whole batches), shown in the table rather than assumed.
 //
 // Everything runs through the socbuf::Session facade (one object owning
 // the executor, the batch-wide solve cache and the registry) — the same
 // entry point socbuf_cli and the experiment drivers use.
 #include "exec/executor.hpp"
 #include "scenario/builder.hpp"
+#include "scenario/scenario.hpp"
 #include "session/session.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -27,6 +34,7 @@
 #include <chrono>
 #include <cstdio>
 #include <functional>
+#include <vector>
 
 namespace {
 
@@ -98,7 +106,8 @@ void print_batch_scaling() {
         100.0 * cached_report.cache.hit_rate(), cached_s, uncached_s);
 
     socbuf::util::Table table({"threads", "batch [s]", "speedup",
-                               "cache hit rate", "overlap", "identical"});
+                               "cache hit rate", "overlap", "first eval [s]",
+                               "identical"});
     double base_s = 0.0;
     for (const std::size_t threads : {1UL, 2UL, 4UL}) {
         Session session({threads});
@@ -111,12 +120,72 @@ void print_batch_scaling() {
              socbuf::util::format_fixed(100.0 * report.cache.hit_rate(), 0) +
                  "%",
              std::to_string(report.eval_overlap),
+             socbuf::util::format_fixed(report.first_eval_latency_s, 3),
              identical_runs(report, cached_report) ? "yes" : "NO"});
     }
     std::printf("%s", table.to_string().c_str());
     std::printf(
         "overlap = evaluation jobs started while another sizing run was "
         "still in flight (pipelined task graph; 0 in serial execution)\n");
+}
+
+/// The paper-suite batch (both testbenches) at a bench-friendly horizon —
+/// the workload the latency claim is stated on: 5 sizing jobs whose
+/// evaluation replications compete with still-queued sizing work.
+std::vector<ScenarioSpec> paper_suite_specs() {
+    const socbuf::scenario::ScenarioRegistry registry;
+    std::vector<ScenarioSpec> specs = registry.expand("paper-suite");
+    for (ScenarioSpec& spec : specs) {
+        spec.sim.horizon = 1500.0;
+        spec.sim.warmup = 150.0;
+        spec.replications = 3;
+        spec.sizing_iterations = 4;
+    }
+    return specs;
+}
+
+void print_first_eval_latency() {
+    std::printf("\n--- first-evaluation-completion latency: priority vs "
+                "FIFO claims (paper-suite) ---\n");
+    const std::vector<ScenarioSpec> specs = paper_suite_specs();
+
+    // The serial run doubles as the bit-identity reference (scheduling is
+    // moot on a serial executor — tasks run inline at submission — so one
+    // row covers both schedules at threads = 1).
+    BatchReport reference;
+    bool have_reference = false;
+
+    socbuf::util::Table table({"threads", "schedule", "batch [s]",
+                               "first eval [s]", "overlap", "identical"});
+    for (const std::size_t threads : {1UL, 2UL, 4UL}) {
+        for (const bool prioritized : {false, true}) {
+            if (threads == 1 && prioritized) continue;
+            SessionOptions options;
+            options.threads = threads;
+            options.priority_scheduling = prioritized;
+            Session session(options);
+            BatchReport report;
+            const double s = seconds_of([&] { report = session.run(specs); });
+            if (!have_reference) {
+                reference = report;
+                have_reference = true;
+            }
+            table.add_row(
+                {std::to_string(threads),
+                 threads == 1      ? "(serial)"
+                 : prioritized     ? "priority"
+                                   : "fifo",
+                 socbuf::util::format_fixed(s, 3),
+                 socbuf::util::format_fixed(report.first_eval_latency_s, 3),
+                 std::to_string(report.eval_overlap),
+                 identical_runs(report, reference) ? "yes" : "NO"});
+        }
+    }
+    std::printf("%s", table.to_string().c_str());
+    std::printf(
+        "first eval = wall-clock until the first evaluation job completed "
+        "(priority claims evaluations ahead of queued sizing jobs; reports "
+        "are bit-identical either way)\n");
 }
 
 void BM_BatchBudgetSweep(benchmark::State& state) {
@@ -155,6 +224,7 @@ BENCHMARK(BM_SolveCacheOnOff)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
     print_batch_scaling();
+    print_first_eval_latency();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -3,12 +3,16 @@
 //
 //   1. determinism — run_figure3 with threads = 1, 2, 4 produces
 //      bit-identical totals (each replication owns its RNG substream and
-//      results are folded in index order),
-//   2. speedup — the replication sweep and the full driver get faster with
-//      more workers (on multi-core hardware; a 1-core container shows ~1x,
+//      results are folded in index order), and the fanned timeout
+//      calibration produces bit-identical thresholds at every width,
+//   2. speedup — the replication sweep, the timeout-calibration fan-out
+//      (calibrate x8: eight independent no-timeout sims averaged into
+//      the per-site thresholds) and the full driver get faster with more
+//      workers (on multi-core hardware; a 1-core container shows ~1x,
 //      which the table makes obvious rather than hiding).
 #include "arch/presets.hpp"
 #include "core/experiments.hpp"
+#include "exec/executor.hpp"
 #include "exec/thread_pool.hpp"
 #include "sim/simulator.hpp"
 #include "util/strings.hpp"
@@ -55,10 +59,13 @@ void print_scaling() {
         10);
 
     socbuf::util::Table t({"threads", "replicate_losses [s]",
-                           "run_figure3 [s]", "resized total", "identical"});
+                           "calibrate x8 [s]", "run_figure3 [s]",
+                           "resized total", "identical"});
     double rep_base = 0.0;
+    double cal_base = 0.0;
     double fig_base = 0.0;
     double reference_total = 0.0;
+    socbuf::sim::TimeoutCalibration reference_calibration;
     bool first = true;
     for (const std::size_t threads : {1UL, 2UL, 4UL}) {
         socbuf::sim::ReplicatedLosses rep;
@@ -66,19 +73,37 @@ void print_scaling() {
             rep = socbuf::sim::replicate_losses(system, alloc, cfg, 10,
                                                 threads);
         });
+        // The in-job timeout-calibration fan-out: eight independent
+        // no-timeout sims averaged into the per-site thresholds, fanned
+        // on the executor exactly as a sizing job does it.
+        socbuf::exec::Executor executor(threads);
+        socbuf::sim::TimeoutCalibration calibration;
+        const double cal_s = seconds_of([&] {
+            calibration = socbuf::sim::calibrate_timeout(system, alloc, cfg,
+                                                         4.0, executor, 8);
+        });
         socbuf::core::Figure3Result fig;
         const double fig_s = seconds_of(
             [&] { fig = socbuf::core::run_figure3(scaled_params(threads)); });
         if (first) {
             rep_base = rep_s;
+            cal_base = cal_s;
             fig_base = fig_s;
             reference_total = fig.resized_total;
+            reference_calibration = calibration;
             first = false;
         }
-        const bool identical = fig.resized_total == reference_total;
+        const bool identical =
+            fig.resized_total == reference_total &&
+            calibration.global_threshold ==
+                reference_calibration.global_threshold &&
+            calibration.site_thresholds ==
+                reference_calibration.site_thresholds;
         t.add_row({std::to_string(threads),
                    socbuf::util::format_fixed(rep_s, 3) + " (" +
                        socbuf::util::format_fixed(rep_base / rep_s, 2) + "x)",
+                   socbuf::util::format_fixed(cal_s, 3) + " (" +
+                       socbuf::util::format_fixed(cal_base / cal_s, 2) + "x)",
                    socbuf::util::format_fixed(fig_s, 3) + " (" +
                        socbuf::util::format_fixed(fig_base / fig_s, 2) + "x)",
                    socbuf::util::format_fixed(fig.resized_total, 6),

@@ -115,63 +115,45 @@ struct RoundEval {
     std::vector<double> site_mean_occupancy;
 };
 
-/// Evaluate `alloc` for one round. One replication (the default) is the
-/// legacy single-sim path, op for op; more replications fan independent
-/// sims (seed + r) across the executor — nested fan-outs are safe, see
-/// the executor's nesting rule — and fold their per-site statistics in
-/// replication order, so the result is bit-identical for any worker
-/// count. A caller that already simulated replication 0 at the base
-/// seed (the uniform baseline reuses `report.before`) passes it as
-/// `first_replication`; only seeds seed + 1 ... are simulated then, with
-/// an identical fold.
+/// Evaluate `alloc` for one round: fan all eval_replications independent
+/// sims (seed + r) across the executor in ONE map — nested fan-outs are
+/// safe, see the executor's nesting rule — and fold their per-site
+/// statistics in replication order, so the result is bit-identical for
+/// any worker count (one replication runs inline and reproduces the
+/// legacy single-sim round bit for bit: every fold divides by 1.0, which
+/// is exact). A caller that needs replication 0's full SimResult (the
+/// uniform baseline stores it as `report.before`) passes `first_out`;
+/// fanning it with the rest instead of simulating it up front keeps all
+/// replications inside one parallel region.
 RoundEval evaluate_round(const arch::TestSystem& system,
                          const Allocation& alloc,
                          const SizingOptions& options,
                          const std::vector<double>& flow_weights,
                          exec::Executor& executor,
-                         const sim::SimResult* first_replication = nullptr) {
+                         sim::SimResult* first_out = nullptr) {
     RoundEval out;
     const std::size_t reps = options.eval_replications;
-    sim::SimResult first_local;
-    if (reps == 1) {
-        if (first_replication == nullptr) {
-            first_local = sim::simulate(system, alloc, options.sim);
-            first_replication = &first_local;
-        }
-        out.total_lost = static_cast<double>(first_replication->total_lost());
-        out.weighted_loss = first_replication->weighted_loss(flow_weights);
-        out.site_observed_rate = first_replication->site_observed_rate;
-        out.site_mean_occupancy = first_replication->site_mean_occupancy;
-        return out;
-    }
-    // With a supplied replication 0 only the remainder is simulated; a
-    // fresh round fans all replications at once.
-    const std::size_t base = first_replication == nullptr ? 0 : 1;
-    const auto evals = executor.map(reps - base, [&](std::size_t r) {
+    const auto evals = executor.map(reps, [&](std::size_t r) {
         sim::SimConfig config = options.sim;
-        config.seed = options.sim.seed + base + r;
+        config.seed = options.sim.seed + r;
         return sim::simulate(system, alloc, config);
     });
-    std::vector<const sim::SimResult*> ordered;
-    ordered.reserve(reps);
-    if (first_replication != nullptr) ordered.push_back(first_replication);
-    for (const auto& eval : evals) ordered.push_back(&eval);
-    out.site_observed_rate.assign(ordered[0]->site_observed_rate.size(), 0.0);
-    out.site_mean_occupancy.assign(ordered[0]->site_mean_occupancy.size(),
-                                   0.0);
-    for (const sim::SimResult* eval : ordered) {
-        out.total_lost += static_cast<double>(eval->total_lost());
-        out.weighted_loss += eval->weighted_loss(flow_weights);
+    out.site_observed_rate.assign(evals[0].site_observed_rate.size(), 0.0);
+    out.site_mean_occupancy.assign(evals[0].site_mean_occupancy.size(), 0.0);
+    for (const sim::SimResult& eval : evals) {
+        out.total_lost += static_cast<double>(eval.total_lost());
+        out.weighted_loss += eval.weighted_loss(flow_weights);
         for (std::size_t s = 0; s < out.site_observed_rate.size(); ++s)
-            out.site_observed_rate[s] += eval->site_observed_rate[s];
+            out.site_observed_rate[s] += eval.site_observed_rate[s];
         for (std::size_t s = 0; s < out.site_mean_occupancy.size(); ++s)
-            out.site_mean_occupancy[s] += eval->site_mean_occupancy[s];
+            out.site_mean_occupancy[s] += eval.site_mean_occupancy[s];
     }
     const double n = static_cast<double>(reps);
     out.total_lost /= n;
     out.weighted_loss /= n;
     for (double& v : out.site_observed_rate) v /= n;
     for (double& v : out.site_mean_occupancy) v /= n;
+    if (first_out != nullptr) *first_out = evals[0];
     return out;
 }
 
@@ -199,16 +181,16 @@ SizingReport BufferSizingEngine::run(const arch::TestSystem& system,
     for (const auto& f : system.flows) flow_weights.push_back(f.weight);
 
     report.initial = uniform_allocation(split, options_.total_budget);
-    report.before = sim::simulate(system, report.initial, options_.sim);
 
     Allocation alloc = report.initial;
     report.best = report.initial;
     // The baseline must be scored at the same fidelity as the rounds it
     // competes with: replicated rounds against a single-sim baseline
     // would let one lucky (or unlucky) baseline seed bias which
-    // allocation wins. `before` is replication 0 at the base seed, so it
-    // is folded in rather than re-simulated (with one replication this
-    // reuses it outright — no extra simulation, identical bits).
+    // allocation wins. `before` IS replication 0 at the base seed —
+    // evaluate_round fans every replication (including 0) in one map and
+    // hands the first back, so no simulation runs outside the parallel
+    // region and the single-replication path keeps the legacy bits.
     const RoundEval baseline =
         evaluate_round(system, report.initial, options_, flow_weights,
                        executor, &report.before);

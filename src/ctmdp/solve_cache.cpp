@@ -122,6 +122,13 @@ SubsystemSolution SolveCache::solve(SolverRegistry& registry,
         if (slot.state == Slot::kReady) {
             ++hits_;
             touch(pos);
+            // Reclaim over-budget residue here too: when an eviction was
+            // blocked by a slot that was pinned at the time (in-flight
+            // solve, parked waiter, failed-slot husk), the residency
+            // stays over budget until *some* bookkeeping event retries —
+            // with eviction only on the insert path, a hit-only tail
+            // would keep the stale entry resident forever.
+            evict_over_capacity();
             return slot.solution;
         }
         if (slot.state == Slot::kUnsolved) break;  // ours to claim
@@ -159,6 +166,11 @@ SubsystemSolution SolveCache::solve(SolverRegistry& registry,
             index_.erase(pos->first);
             entries_.erase(pos);
         }
+        // Same reclamation as the hit path: this failure may be the last
+        // bookkeeping event of the batch, and entries an earlier
+        // eviction had to skip (pinned then, settled now) must not
+        // outlive the budget because of it.
+        evict_over_capacity();
         slot_ready_.notify_all();
         throw;
     }

@@ -22,13 +22,17 @@
 // stay bit-identical across worker counts).
 //
 // Size budget: construct with a positive `capacity` to bound the number
-// of resident entries; the least-recently-used unpinned entry is evicted
-// whenever a solve completes over budget (entries another thread is
-// solving or waiting on are pinned, and the most-recently-used entry —
-// the one the completing solve just touched — is never the victim, so
-// residency can exceed the budget transiently rather than thrash). Eviction never changes *results* — a re-solve of an
-// evicted key returns identical bits — but under concurrency it makes
-// the hit/miss/eviction split depend on which entry completed first, so
+// of resident entries; least-recently-used unpinned entries are evicted
+// whenever a lookup's bookkeeping settles over budget — on solve
+// completion, on a hit, and on the failure path alike (entries another
+// thread is solving or waiting on are pinned, and the most-recently-used
+// entry — the one the finishing lookup just touched — is never the
+// victim, so residency can exceed the budget transiently rather than
+// thrash; retrying on every settling event is what keeps the excess
+// transient even when an eviction scan had to skip a then-pinned entry).
+// Eviction never changes *results* — a re-solve of an evicted key
+// returns identical bits — but under concurrency it makes the
+// hit/miss/eviction split depend on which entry completed first, so
 // counter determinism is only guaranteed when capacity is 0 (unlimited)
 // or at least the number of distinct keys.
 #pragma once

@@ -13,7 +13,7 @@ TaskGraph::~TaskGraph() {
     all_done_.wait(lock, [this] { return pending_ == 0; });
 }
 
-void TaskGraph::submit(std::function<void()> task) {
+void TaskGraph::submit(std::function<void()> task, Priority priority) {
     SOCBUF_REQUIRE_MSG(task != nullptr, "cannot submit an empty task");
     if (executor_.serial()) {
         // Inline execution; nested submits recurse depth-first, so the
@@ -38,7 +38,7 @@ void TaskGraph::submit(std::function<void()> task) {
         ++pending_;
     }
     executor_.pool()->submit(
-        [this, task = std::move(task)] { run_one(task); });
+        [this, task = std::move(task)] { run_one(task); }, priority);
 }
 
 void TaskGraph::run_one(const std::function<void()>& task) {

@@ -11,6 +11,17 @@
 // the moment it finishes, so stage-2 work overlaps the remaining stage-1
 // work instead of idling behind a barrier.
 //
+// Scheduling: submit() takes an exec::Priority (default kDefault), which
+// orders *claims* on the pool — a task submitted at Priority::kEvaluation
+// jumps ahead of queued Priority::kSizing work, so a finished sizing
+// job's evaluation replications run before still-pending sizing jobs.
+// Priorities change only when tasks start, never what they compute: the
+// bit-identical-results-for-any-thread-count contract holds for any
+// priority labeling, because results live in index-addressed slots and
+// the caller folds them in its own order. On a serial executor tasks run
+// inline at submission, so priorities are accepted but moot there — the
+// serial reference order is submission order either way.
+//
 // Error handling: the first exception a task throws is captured and
 // rethrown by wait(); tasks that have not *started* by then are skipped
 // (their slots still count down, so wait() always returns). Determinism
@@ -45,9 +56,12 @@ public:
 
     /// Schedule one task. On a serial executor the task runs inline,
     /// right here (continuations therefore run depth-first, preserving
-    /// the serial reference order); on a pooled executor it is enqueued.
-    /// After a task has thrown, further tasks are skipped.
-    void submit(std::function<void()> task);
+    /// the serial reference order); on a pooled executor it is enqueued
+    /// at `priority` (higher levels are claimed before lower ones; same
+    /// level runs FIFO). After a task has thrown, further tasks are
+    /// skipped.
+    void submit(std::function<void()> task,
+                Priority priority = Priority::kDefault);
 
     /// Block until every task submitted so far — including tasks they
     /// submitted in turn — has finished, then rethrow the first captured

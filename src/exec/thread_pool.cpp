@@ -8,6 +8,8 @@
 namespace socbuf::exec {
 
 std::size_t resolve_thread_count(std::size_t requested) {
+    SOCBUF_REQUIRE_MSG(requested <= kMaxThreads,
+                       "thread count exceeds exec::kMaxThreads");
     if (requested != 0) return requested;
     return std::max<std::size_t>(1, std::thread::hardware_concurrency());
 }
@@ -28,20 +30,28 @@ ThreadPool::~ThreadPool() {
     for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::submit(std::function<void()> job) {
+bool ThreadPool::queues_empty() const {
+    for (const auto& queue : queues_)
+        if (!queue.empty()) return false;
+    return true;
+}
+
+void ThreadPool::submit(std::function<void()> job, Priority priority) {
     SOCBUF_REQUIRE_MSG(job != nullptr, "cannot submit an empty job");
+    const auto level = static_cast<std::size_t>(priority);
+    SOCBUF_REQUIRE_MSG(level < kPriorityLevels, "unknown job priority");
     {
         std::lock_guard<std::mutex> lock(mutex_);
         SOCBUF_REQUIRE_MSG(!stopping_,
                            "cannot submit to a stopping thread pool");
-        queue_.push_back(std::move(job));
+        queues_[level].push_back(std::move(job));
     }
     job_available_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
     std::unique_lock<std::mutex> lock(mutex_);
-    idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+    idle_.wait(lock, [this] { return queues_empty() && active_ == 0; });
 }
 
 void ThreadPool::worker_loop() {
@@ -50,17 +60,25 @@ void ThreadPool::worker_loop() {
         {
             std::unique_lock<std::mutex> lock(mutex_);
             job_available_.wait(
-                lock, [this] { return stopping_ || !queue_.empty(); });
-            if (queue_.empty()) return;  // stopping_ and nothing left
-            job = std::move(queue_.front());
-            queue_.pop_front();
+                lock, [this] { return stopping_ || !queues_empty(); });
+            // Claim the oldest job of the highest non-empty priority.
+            auto* queue = &queues_[0];
+            for (auto& candidate : queues_) {
+                if (!candidate.empty()) {
+                    queue = &candidate;
+                    break;
+                }
+            }
+            if (queue->empty()) return;  // stopping_ and nothing left
+            job = std::move(queue->front());
+            queue->pop_front();
             ++active_;
         }
         job();
         {
             std::lock_guard<std::mutex> lock(mutex_);
             --active_;
-            if (queue_.empty() && active_ == 0) idle_.notify_all();
+            if (queues_empty() && active_ == 0) idle_.notify_all();
         }
     }
 }

@@ -9,6 +9,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <utility>
 
 namespace socbuf::scenario {
@@ -62,20 +64,24 @@ SizingOutcome run_sizing(const ScenarioSpec& spec, const SizingJob& job,
     out.vi_solves = report.vi_solves;
     out.pi_solves = report.pi_solves;
     if (spec.evaluate_timeout_policy) {
-        // Same calibration as core::run_figure3: the scaled mean buffer
-        // wait of the constant allocation, globally and per site.
-        out.timeout_threshold =
-            spec.timeout_threshold_scale *
-            sim::calibrate_timeout_threshold(out.system, out.initial,
-                                             options.sim);
+        // Same calibration as core::run_figure3 — the scaled mean buffer
+        // wait of the constant allocation, globally and per site — but
+        // both thresholds now come from ONE set of calibration sims
+        // fanned across the shared executor (the old path simulated the
+        // identical no-timeout run twice, once per threshold), and
+        // spec.calibration_replications averages independent substreams;
+        // one replication keeps the classic calibration bit for bit.
+        const sim::TimeoutCalibration calibration = sim::calibrate_timeout(
+            out.system, out.initial, options.sim,
+            spec.timeout_threshold_scale, executor,
+            spec.calibration_replications);
+        out.timeout_threshold = calibration.global_threshold;
         out.timeout_config = options.sim;
         out.timeout_config.timeout_enabled = true;
         out.timeout_config.timeout_threshold =
             std::max(out.timeout_threshold, 1e-6);
         out.timeout_config.site_timeout_thresholds =
-            sim::calibrate_site_timeout_thresholds(
-                out.system, out.initial, options.sim,
-                spec.timeout_threshold_scale);
+            calibration.site_thresholds;
         out.timeout_evaluated = true;
     }
     return out;
@@ -156,35 +162,69 @@ BatchReport BatchRunner::run(const std::vector<ScenarioSpec>& specs) {
     // One dependency-aware fan-out, no stage barrier: every sizing job is
     // submitted up front and submits its own evaluation replications the
     // moment it finishes, so evaluation work starts while other sizing
-    // jobs are still running. Sizing jobs keep the shared executor for
-    // their nested fan-outs (subsystem solves, per-round eval sims) —
-    // nested maps are deadlock-free by the executor's nesting rule.
-    // Every job writes an index-addressed slot; the fold below reads them
-    // in expansion order, which is what keeps the report bit-identical
-    // for any worker count.
+    // jobs are still running. Sizing enters the graph at Priority::kSizing
+    // and evaluations at Priority::kEvaluation (unless the FIFO knob is
+    // set), so a finished job's evaluations are claimed before queued
+    // sizing work — that ordering is what first_eval_latency_s measures;
+    // it cannot change the results. Sizing jobs keep the shared executor
+    // for their nested fan-outs (subsystem solves, per-round eval sims,
+    // calibration sims) — nested maps are deadlock-free by the executor's
+    // nesting rule. Every job writes an index-addressed slot; the fold
+    // below reads them in expansion order, which is what keeps the report
+    // bit-identical for any worker count and either schedule.
+    const exec::Priority sizing_priority = options_.priority_scheduling
+                                               ? exec::Priority::kSizing
+                                               : exec::Priority::kDefault;
+    const exec::Priority eval_priority = options_.priority_scheduling
+                                             ? exec::Priority::kEvaluation
+                                             : exec::Priority::kDefault;
     std::vector<SizingOutcome> sized(jobs.size());
     std::vector<EvalSample> samples(eval_offset.back());
     std::atomic<std::size_t> sizing_in_flight{0};
     std::atomic<std::size_t> overlap{0};
+    // Completion time of the earliest-finishing evaluation job, in
+    // microseconds since batch start (-1 = none finished yet). A
+    // CAS-min keeps the earliest value under concurrent finishes.
+    std::atomic<std::int64_t> first_eval_us{-1};
+    const auto batch_start = std::chrono::steady_clock::now();
     exec::TaskGraph graph(executor_);
     for (std::size_t j = 0; j < jobs.size(); ++j) {
-        graph.submit([&, j] {
-            ++sizing_in_flight;
-            sized[j] = run_sizing(specs[jobs[j].spec], jobs[j], executor_,
-                                  cache_ptr);
-            --sizing_in_flight;
-            for (std::size_t e = eval_offset[j]; e < eval_offset[j + 1];
-                 ++e) {
-                graph.submit([&, j, e] {
-                    // Pipelining diagnostic only — results never read it.
-                    if (sizing_in_flight.load(std::memory_order_relaxed) >
-                        0)
-                        overlap.fetch_add(1, std::memory_order_relaxed);
-                    samples[e] = run_eval(specs[jobs[j].spec], sized[j],
-                                          e - eval_offset[j]);
-                });
-            }
-        });
+        graph.submit(
+            [&, j] {
+                ++sizing_in_flight;
+                sized[j] = run_sizing(specs[jobs[j].spec], jobs[j],
+                                      executor_, cache_ptr);
+                --sizing_in_flight;
+                for (std::size_t e = eval_offset[j]; e < eval_offset[j + 1];
+                     ++e) {
+                    graph.submit(
+                        [&, j, e] {
+                            // Scheduling diagnostics only — results never
+                            // read them.
+                            if (sizing_in_flight.load(
+                                    std::memory_order_relaxed) > 0)
+                                overlap.fetch_add(1,
+                                                  std::memory_order_relaxed);
+                            samples[e] = run_eval(specs[jobs[j].spec],
+                                                  sized[j],
+                                                  e - eval_offset[j]);
+                            const auto us =
+                                std::chrono::duration_cast<
+                                    std::chrono::microseconds>(
+                                    std::chrono::steady_clock::now() -
+                                    batch_start)
+                                    .count();
+                            std::int64_t seen = first_eval_us.load(
+                                std::memory_order_relaxed);
+                            while ((seen < 0 || us < seen) &&
+                                   !first_eval_us.compare_exchange_weak(
+                                       seen, us, std::memory_order_relaxed)) {
+                            }
+                        },
+                        eval_priority);
+                }
+            },
+            sizing_priority);
     }
     graph.wait();
 
@@ -192,6 +232,10 @@ BatchReport BatchRunner::run(const std::vector<ScenarioSpec>& specs) {
     BatchReport report;
     report.workers = executor_.workers();
     report.eval_overlap = overlap.load();
+    report.first_eval_latency_s =
+        first_eval_us.load() < 0
+            ? -1.0
+            : static_cast<double>(first_eval_us.load()) * 1e-6;
     report.runs.reserve(jobs.size());
     for (std::size_t j = 0; j < jobs.size(); ++j) {
         const ScenarioSpec& spec = specs[jobs[j].spec];

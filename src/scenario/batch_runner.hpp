@@ -17,11 +17,19 @@
 // its own evaluation replications the moment it finishes — so evaluation
 // work overlaps the remaining sizing work (BatchReport::eval_overlap
 // counts how often) instead of the whole batch idling until the slowest
-// sizing run completes. Sizing jobs keep the *shared* executor for their
-// per-subsystem solves and per-round evaluation sims: nested fan-outs on
-// one pool are safe (the caller drives its own loop — see the nesting
-// rule in exec/executor.hpp), so a lone sizing run still parallelizes
-// internally.
+// sizing run completes. Scheduling is **priority-aware** on top: sizing
+// jobs enter the graph at exec::Priority::kSizing and evaluation
+// replications at exec::Priority::kEvaluation, so a finished sizing job's
+// evaluations are claimed before still-queued sizing work — first results
+// land as early as the pool allows (BatchReport::first_eval_latency_s
+// measures it; BatchOptions::priority_scheduling = false restores plain
+// FIFO claims for comparison — the report bits are identical either way,
+// only the schedule moves). Sizing jobs keep the *shared* executor for
+// their per-subsystem solves, per-round evaluation sims and timeout-
+// calibration sims (spec.calibration_replications fans the latter):
+// nested fan-outs on one pool are safe (the caller drives its own loop —
+// see the nesting rule in exec/executor.hpp), so a lone sizing run still
+// parallelizes internally.
 //
 // Every job writes an index-addressed slot and the runner folds the slots
 // in expansion order, so a BatchReport is **bit-identical for any worker
@@ -69,6 +77,12 @@ struct BatchOptions {
     /// batches if per-batch counters matter. Ignored when use_solve_cache
     /// is false.
     ctmdp::SolveCache* shared_cache = nullptr;
+    /// Claim-order evaluation replications ahead of still-queued sizing
+    /// jobs (exec::Priority::kEvaluation > kSizing). Off = plain FIFO
+    /// claims, the pre-priority schedule. Results are bit-identical
+    /// either way — this knob moves only *when* jobs start, which is
+    /// what first_eval_latency_s measures.
+    bool priority_scheduling = true;
 };
 
 /// One (scenario, variant, budget) outcome with its replicated evaluation.
@@ -117,6 +131,13 @@ struct BatchReport {
     /// executor, > 0 once the task graph overlaps the stages. Depends on
     /// scheduling by nature, so it is excluded from to_json()/to_csv().
     std::size_t eval_overlap = 0;
+    /// Latency diagnostic: seconds from batch start until the *first*
+    /// evaluation job completed — the time to the first usable result,
+    /// which priority scheduling is designed to shrink (evaluations are
+    /// claimed before queued sizing jobs). Wall-clock and scheduling
+    /// dependent by nature, so — like eval_overlap — it is excluded from
+    /// to_json()/to_csv(). Negative when the batch ran no evaluation.
+    double first_eval_latency_s = -1.0;
 
     /// One row per run: totals, gain, solver work.
     [[nodiscard]] util::Table summary_table() const;

@@ -81,6 +81,13 @@ public:
         spec_.timeout_threshold_scale = scale;
         return *this;
     }
+    /// Average `count` independent timeout-calibration sims (fanned
+    /// across the shared executor); 1 keeps the classic single-sim
+    /// calibration bit for bit.
+    ScenarioBuilder& calibration_replications(std::size_t count) {
+        spec_.calibration_replications = count;
+        return *this;
+    }
     /// Simulation horizon; `warmup` < 0 keeps a 10% warmup.
     ScenarioBuilder& horizon(double horizon, double warmup = -1.0) {
         spec_.sim.horizon = horizon;

@@ -37,6 +37,7 @@ bool operator==(const ScenarioSpec& a, const ScenarioSpec& b) {
            a.use_modulated_models == b.use_modulated_models &&
            a.evaluate_timeout_policy == b.evaluate_timeout_policy &&
            a.timeout_threshold_scale == b.timeout_threshold_scale &&
+           a.calibration_replications == b.calibration_replications &&
            a.sim == b.sim;
 }
 
@@ -74,6 +75,8 @@ void ScenarioSpec::validate() const {
     SOCBUF_REQUIRE_MSG(sizing_iterations >= 1, "need >= 1 sizing iteration");
     SOCBUF_REQUIRE_MSG(timeout_threshold_scale > 0.0,
                        "timeout threshold scale must be positive");
+    SOCBUF_REQUIRE_MSG(calibration_replications >= 1,
+                       "need >= 1 calibration replication");
     for (const auto& v : variants) {
         SOCBUF_REQUIRE_MSG(v.np.pe_per_cluster >= 1,
                            "pe_per_cluster must be >= 1");

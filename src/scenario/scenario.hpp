@@ -76,6 +76,14 @@ struct ScenarioSpec {
     /// allocation (the third bar of Figure 3).
     bool evaluate_timeout_policy = false;
     double timeout_threshold_scale = 4.0;
+    /// Replications of the timeout-calibration simulation ("the average
+    /// time spent by a request in a buffer", read without the timeout
+    /// policy): > 1 averages independent no-timeout sims (seeds
+    /// sim.seed, sim.seed + 1, ...), fanned across the shared executor
+    /// inside the sizing job; 1 (the default) reproduces the classic
+    /// single-sim calibration bit for bit. Ignored unless
+    /// evaluate_timeout_policy is set.
+    std::size_t calibration_replications = 1;
     sim::SimConfig sim;
 
     /// Build the testbench system for `variant` (index into variants).

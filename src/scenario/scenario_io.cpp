@@ -298,6 +298,7 @@ util::JsonValue to_json(const ScenarioSpec& spec) {
     root.set("modulated_models", spec.use_modulated_models);
     root.set("evaluate_timeout_policy", spec.evaluate_timeout_policy);
     root.set("timeout_threshold_scale", spec.timeout_threshold_scale);
+    root.set("calibration_replications", spec.calibration_replications);
     root.set("sim", sim_to_json(spec.sim, "$.sim"));
     return root;
 }
@@ -371,6 +372,9 @@ ScenarioSpec spec_from_json(const util::JsonValue& value,
         if (!(spec.timeout_threshold_scale > 0.0))
             fail(path + ".timeout_threshold_scale", "must be > 0");
     }
+    if (const auto* calibration = reader.find("calibration_replications"))
+        spec.calibration_replications = static_cast<std::size_t>(read_integer(
+            *calibration, path + ".calibration_replications", 1));
     if (const auto* sim = reader.find("sim"))
         spec.sim = sim_from_json(*sim, path + ".sim");
     reader.finish();

@@ -26,6 +26,7 @@ scenario::BatchReport Session::run(
     batch.use_solve_cache = options_.use_solve_cache;
     batch.cache_capacity = options_.cache_capacity;
     batch.shared_cache = &cache_;
+    batch.priority_scheduling = options_.priority_scheduling;
     scenario::BatchRunner runner(executor_, batch);
     return runner.run(specs);
 }

@@ -47,6 +47,11 @@ struct SessionOptions {
     /// then accumulate session history (a repeated workload reports ~100%
     /// hits), so leave this off where per-batch counters matter.
     bool reuse_cache = false;
+    /// Claim evaluation replications ahead of still-queued sizing jobs
+    /// (exec::Priority levels in the batch task graph); off = plain FIFO
+    /// claims. Reports are bit-identical either way — only the schedule
+    /// (and BatchReport::first_eval_latency_s) moves.
+    bool priority_scheduling = true;
 };
 
 class Session {

@@ -2,6 +2,7 @@
 
 #include "des/scheduler.hpp"
 #include "des/stats.hpp"
+#include "exec/executor.hpp"
 #include "exec/parallel.hpp"
 #include "traffic/arrivals.hpp"
 #include "traffic/routing.hpp"
@@ -351,6 +352,56 @@ std::vector<double> calibrate_site_timeout_thresholds(
         thresholds[s] = std::max(base, 1e-9) * scale;
     }
     return thresholds;
+}
+
+TimeoutCalibration calibrate_timeout(const arch::TestSystem& system,
+                                     const std::vector<long>& capacities,
+                                     const SimConfig& config, double scale,
+                                     exec::Executor& executor,
+                                     std::size_t replications) {
+    SOCBUF_REQUIRE_MSG(scale > 0.0, "threshold scale must be positive");
+    SOCBUF_REQUIRE_MSG(replications > 0,
+                       "need at least one calibration replication");
+    // The calibration sims are independent (each owns its RNG substream:
+    // seed = base seed + replication index), so they fan across the
+    // executor's workers; the folds below run in replication order, which
+    // keeps the thresholds bit-identical for any worker count.
+    const std::vector<SimResult> results =
+        executor.map(replications, [&](std::size_t r) {
+            SimConfig calib = config;
+            calib.timeout_enabled = false;
+            calib.seed = config.seed + r;
+            return simulate(system, capacities, calib);
+        });
+
+    TimeoutCalibration out;
+    const double n = static_cast<double>(replications);
+    double global_sum = 0.0;
+    for (const SimResult& r : results) global_sum += r.overall_mean_wait();
+    out.global_threshold = scale * (global_sum / n);
+
+    // Per site: apply the no-traffic fallback within each replication
+    // (one replication must reproduce the serial calibration bit for
+    // bit), then average the per-replication bases.
+    out.site_thresholds.assign(results[0].site_mean_wait.size(), 0.0);
+    for (const SimResult& r : results) {
+        const double global = r.overall_mean_wait();
+        for (std::size_t s = 0; s < out.site_thresholds.size(); ++s)
+            out.site_thresholds[s] +=
+                r.site_served[s] > 0 ? r.site_mean_wait[s] : global;
+    }
+    for (double& threshold : out.site_thresholds)
+        threshold = std::max(threshold / n, 1e-9) * scale;
+    return out;
+}
+
+std::vector<double> calibrate_site_timeout_thresholds(
+    const arch::TestSystem& system, const std::vector<long>& capacities,
+    const SimConfig& config, double scale, exec::Executor& executor,
+    std::size_t replications) {
+    return calibrate_timeout(system, capacities, config, scale, executor,
+                             replications)
+        .site_thresholds;
 }
 
 ReplicatedLosses replicate_losses(const arch::TestSystem& system,

@@ -9,7 +9,12 @@
 #include "arch/sites.hpp"
 #include "sim/config.hpp"
 
+#include <cstddef>
 #include <vector>
+
+namespace socbuf::exec {
+class Executor;
+}
 
 namespace socbuf::sim {
 
@@ -34,6 +39,37 @@ namespace socbuf::sim {
 [[nodiscard]] std::vector<double> calibrate_site_timeout_thresholds(
     const arch::TestSystem& system, const std::vector<long>& capacities,
     const SimConfig& config, double scale);
+
+/// Both timeout-policy thresholds the paper's calibration produces, from
+/// one set of no-timeout simulations: the scaled global mean buffer wait
+/// and the scaled per-site means (same fallback rule as
+/// calibrate_site_timeout_thresholds).
+struct TimeoutCalibration {
+    double global_threshold = 0.0;
+    std::vector<double> site_thresholds;
+};
+
+/// Calibrate the timeout policy with `replications` independent
+/// no-timeout simulations (seeds config.seed, config.seed + 1, ...)
+/// fanned across `executor` and folded in replication order — safe from
+/// inside a job already running on the executor (nested fan-outs make
+/// progress on the calling worker; see exec/executor.hpp). Per-site
+/// means apply the global fallback per replication, then average, so one
+/// replication reproduces the serial calibrate_timeout_threshold /
+/// calibrate_site_timeout_thresholds pair bit for bit — from a single
+/// simulation instead of two — and any replication count is
+/// bit-identical for any worker count.
+[[nodiscard]] TimeoutCalibration calibrate_timeout(
+    const arch::TestSystem& system, const std::vector<long>& capacities,
+    const SimConfig& config, double scale, exec::Executor& executor,
+    std::size_t replications = 1);
+
+/// The per-site half of calibrate_timeout, fanned the same way: with one
+/// replication the result equals the serial overload bit for bit.
+[[nodiscard]] std::vector<double> calibrate_site_timeout_thresholds(
+    const arch::TestSystem& system, const std::vector<long>& capacities,
+    const SimConfig& config, double scale, exec::Executor& executor,
+    std::size_t replications);
 
 /// Average `runs` independent replications (seeds seed, seed+1, ...) and
 /// return per-processor mean loss counts; used by the experiment drivers

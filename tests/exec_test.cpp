@@ -8,8 +8,11 @@
 
 #include <atomic>
 #include <cstddef>
+#include <future>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace se = socbuf::exec;
@@ -46,6 +49,53 @@ TEST(ThreadPool, DestructorDrainsPendingJobs) {
 TEST(ThreadPool, RejectsEmptyJobs) {
     se::ThreadPool pool(1);
     EXPECT_THROW(pool.submit(nullptr), socbuf::util::ContractViolation);
+}
+
+TEST(ThreadPool, RejectsThreadCountsPastTheMaximum) {
+    EXPECT_EQ(se::resolve_thread_count(se::kMaxThreads), se::kMaxThreads);
+    // A runaway literal (--threads 18446744073709551615) must fail the
+    // contract up front, not die inside std::vector growth.
+    EXPECT_THROW(se::resolve_thread_count(se::kMaxThreads + 1),
+                 socbuf::util::ContractViolation);
+}
+
+TEST(ThreadPool, ClaimsHigherPrioritiesFirstAndKeepsFifoWithinALevel) {
+    // One worker, parked on a gate job: everything submitted while it is
+    // busy queues up, and the release order *is* the claim policy —
+    // kEvaluation first, then kSizing, then kDefault, FIFO within each
+    // level, regardless of submission order.
+    se::ThreadPool pool(1);
+    std::promise<void> gate;
+    std::shared_future<void> open = gate.get_future().share();
+    std::promise<void> parked;
+    pool.submit([open, &parked] {
+        parked.set_value();
+        open.wait();
+    });
+    // The ordered jobs must all be *queued* while the worker sits on the
+    // gate; submitting before the worker has claimed it would let the
+    // claim loop pick whichever job happens to be queued at wake-up.
+    parked.get_future().wait();
+
+    std::mutex order_mutex;
+    std::vector<std::string> order;
+    const auto record = [&](const char* name) {
+        std::lock_guard<std::mutex> lock(order_mutex);
+        order.emplace_back(name);
+    };
+    pool.submit([&] { record("default-1"); });  // Priority::kDefault
+    pool.submit([&] { record("sizing-1"); }, se::Priority::kSizing);
+    pool.submit([&] { record("eval-1"); }, se::Priority::kEvaluation);
+    pool.submit([&] { record("default-2"); }, se::Priority::kDefault);
+    pool.submit([&] { record("eval-2"); }, se::Priority::kEvaluation);
+    pool.submit([&] { record("sizing-2"); }, se::Priority::kSizing);
+
+    gate.set_value();
+    pool.wait_idle();
+    EXPECT_EQ(order,
+              (std::vector<std::string>{"eval-1", "eval-2", "sizing-1",
+                                        "sizing-2", "default-1",
+                                        "default-2"}));
 }
 
 TEST(ParallelMap, OrderedResultsForAnyThreadCount) {
@@ -232,6 +282,56 @@ TEST(TaskGraph, SerialExecutorRunsInlineDepthFirst) {
     // serial reference order the parallel runs must reproduce through
     // index-addressed slots.
     EXPECT_EQ(order, (std::vector<int>{0, 1, 10, 11, 20, 21}));
+}
+
+TEST(TaskGraph, MixedPrioritiesRunEveryTaskExactlyOnce) {
+    // Priorities reorder claims, nothing else: every task still runs
+    // exactly once and wait() covers the whole cascade, whatever the
+    // labeling — including continuations submitted at a *higher*
+    // priority than their parents (the BatchRunner shape).
+    se::Executor exec(3);
+    se::TaskGraph graph(exec);
+    std::vector<std::atomic<int>> runs(12);
+    for (std::size_t p = 0; p < runs.size(); ++p) {
+        graph.submit(
+            [&graph, &runs, p] {
+                graph.submit([&runs, p] { ++runs[p]; },
+                             se::Priority::kEvaluation);
+            },
+            se::Priority::kSizing);
+    }
+    graph.wait();
+    for (std::size_t p = 0; p < runs.size(); ++p)
+        EXPECT_EQ(runs[p].load(), 1) << "parent " << p;
+    EXPECT_EQ(graph.submitted(), 24u);
+}
+
+TEST(TaskGraph, PrioritizedGraphMatchesFifoGraphResultSlots) {
+    // The determinism contract under relabeling: index-addressed slots
+    // hold the same values whether the graph runs FIFO (all kDefault) or
+    // priority-scheduled, at any width.
+    const auto run_with = [](se::Executor& exec, bool prioritized) {
+        se::TaskGraph graph(exec);
+        std::vector<double> slots(40, 0.0);
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            const se::Priority priority =
+                !prioritized ? se::Priority::kDefault
+                : i % 2 == 0 ? se::Priority::kEvaluation
+                             : se::Priority::kSizing;
+            graph.submit(
+                [&slots, i] { slots[i] = 1.0 / (1.0 + static_cast<double>(i)); },
+                priority);
+        }
+        graph.wait();
+        return slots;
+    };
+    se::Executor serial(1);
+    const auto expected = run_with(serial, true);
+    for (const std::size_t threads : {2UL, 4UL}) {
+        se::Executor exec(threads);
+        EXPECT_EQ(run_with(exec, true), expected) << "threads=" << threads;
+        EXPECT_EQ(run_with(exec, false), expected) << "threads=" << threads;
+    }
 }
 
 TEST(TaskGraph, WaitRethrowsTheFirstErrorAndSkipsPendingTasks) {

@@ -69,11 +69,41 @@ TEST(ScenarioIo, RoundTripCoversEveryKnob) {
             .solver(socbuf::core::SolverChoice::kValueIteration)
             .modulated_models()
             .timeout_policy(2.5)
+            .calibration_replications(4)
             .horizon(900.0, 90.0)
             .seed(123456789)
             .arbiter(socbuf::sim::ArbiterKind::kLongestQueue)
             .build();
     EXPECT_TRUE(round_trip(spec) == spec);
+}
+
+TEST(ScenarioIo, ArbitraryFiniteDoublesRoundTripBitIdentically) {
+    // Preset values are "nice" decimals; the schema contract must hold
+    // for *any* finite double a user computes (0.1 + 0.2 has no short
+    // decimal form; 1/3 and a subnormal-scale horizon ratio exercise the
+    // shortest-round-trip emitter hardest). Field-for-field equality
+    // after dump -> parse -> from_json means every number came back in
+    // the exact same bits.
+    ss::ScenarioSpec spec;
+    spec.name = "arbitrary-doubles";
+    spec.variants.clear();
+    {
+        ss::ScenarioVariant v;
+        v.label = "awkward";
+        v.np.load_scale = 0.1 + 0.2;       // 0.30000000000000004
+        v.np.bus_rate_scale = 1.0 / 3.0;   // repeating binary fraction
+        spec.variants.push_back(v);
+    }
+    spec.timeout_threshold_scale = 4.0 * (0.1 + 0.2);
+    spec.evaluate_timeout_policy = true;
+    spec.sim.horizon = 4000.0 * (1.0 + 1e-15);  // differs in the last ulps
+    spec.sim.warmup = 4000.0 / 7.0;
+    const ss::ScenarioSpec again = round_trip(spec);
+    EXPECT_TRUE(again == spec);
+    EXPECT_EQ(again.variants[0].np.load_scale, 0.1 + 0.2);
+    EXPECT_EQ(again.sim.horizon, spec.sim.horizon);
+    // The emitted document is itself a fixed point of dump -> parse.
+    EXPECT_EQ(ss::to_json(again).dump(2), ss::to_json(spec).dump(2));
 }
 
 TEST(ScenarioIo, AbsentKeysKeepDefaults) {

@@ -2,6 +2,7 @@
 #include "exec/executor.hpp"
 #include "scenario/batch_runner.hpp"
 #include "scenario/scenario.hpp"
+#include "sim/simulator.hpp"
 #include "traffic/routing.hpp"
 #include "util/contracts.hpp"
 #include "util/json.hpp"
@@ -236,6 +237,79 @@ TEST(BatchRunner, PipelinedEvaluationOverlapsSizing) {
     normalized.workers = serial_report.workers;
     normalized.eval_overlap = serial_report.eval_overlap;
     EXPECT_EQ(normalized.to_json(), serial_report.to_json());
+}
+
+TEST(BatchRunner, PriorityScheduledBatchesMatchFifoBitForBitAtAnyWidth) {
+    // The tentpole contract: priority scheduling (evaluations claimed
+    // ahead of still-queued sizing jobs) moves only the schedule, never
+    // the report. A mixed batch — including a spec that evaluates the
+    // timeout policy with *fanned* calibration sims — must produce
+    // byte-identical JSON under FIFO and priority claims at threads
+    // 1, 2 and 4.
+    ss::ScenarioSpec plain = small_figure1();
+    plain.name = "prio-plain";
+    plain.budgets = {12, 16, 20};
+    plain.replications = 3;
+    ss::ScenarioSpec timeout = small_figure1();
+    timeout.name = "prio-timeout";
+    timeout.budgets = {14};
+    timeout.replications = 2;
+    timeout.evaluate_timeout_policy = true;
+    timeout.calibration_replications = 3;  // fans inside the sizing job
+    const std::vector<ss::ScenarioSpec> specs{plain, timeout};
+
+    ss::BatchOptions fifo_options;
+    fifo_options.priority_scheduling = false;
+    socbuf::exec::Executor serial(1);
+    ss::BatchRunner serial_runner(serial, fifo_options);
+    const ss::BatchReport reference = serial_runner.run(specs);
+    EXPECT_GT(reference.runs[3].timeout_total, 0.0);
+
+    for (const std::size_t threads : {1UL, 2UL, 4UL}) {
+        socbuf::exec::Executor fifo_exec(threads);
+        ss::BatchRunner fifo_runner(fifo_exec, fifo_options);
+        ss::BatchReport fifo = fifo_runner.run(specs);
+
+        socbuf::exec::Executor prio_exec(threads);
+        ss::BatchRunner prio_runner(prio_exec);  // priorities on (default)
+        ss::BatchReport prio = prio_runner.run(specs);
+
+        // Both evaluated something, so the latency diagnostic is set.
+        EXPECT_GE(fifo.first_eval_latency_s, 0.0) << "threads=" << threads;
+        EXPECT_GE(prio.first_eval_latency_s, 0.0) << "threads=" << threads;
+
+        fifo.workers = reference.workers;
+        prio.workers = reference.workers;
+        EXPECT_EQ(fifo.to_json(), reference.to_json())
+            << "fifo threads=" << threads;
+        EXPECT_EQ(prio.to_json(), reference.to_json())
+            << "priority threads=" << threads;
+    }
+}
+
+TEST(BatchRunner, FannedCalibrationMatchesTheSerialCalibrationPath) {
+    // One calibration replication (the default) must keep the timeout
+    // columns bit-identical to the pre-fan-out path: the thresholds the
+    // runner stores are exactly scale * calibrate_timeout_threshold and
+    // calibrate_site_timeout_thresholds of the constant allocation.
+    ss::ScenarioSpec spec = small_figure1();
+    spec.name = "calib-serial";
+    spec.budgets = {14};
+    spec.replications = 1;
+    spec.evaluate_timeout_policy = true;
+
+    socbuf::exec::Executor serial(1);
+    ss::BatchRunner runner(serial);
+    const ss::BatchReport report = runner.run(spec);
+    ASSERT_EQ(report.runs.size(), 1u);
+
+    const auto system = spec.build_system(0);
+    const auto options = spec.sizing_options(spec.budgets[0]);
+    const double expected =
+        spec.timeout_threshold_scale *
+        socbuf::sim::calibrate_timeout_threshold(
+            system, report.runs[0].constant_alloc, options.sim);
+    EXPECT_EQ(report.runs[0].timeout_threshold, expected);
 }
 
 TEST(BatchRunner, CacheCapacityBoundsEntriesWithoutChangingResults) {

@@ -86,6 +86,23 @@ TEST(Session, ReportsBitIdenticalForAnyThreadCount) {
     }
 }
 
+TEST(Session, FifoSchedulingOptionMatchesPriorityReports) {
+    // The facade surfaces the scheduling knob; like the thread count it
+    // must never show up in the results.
+    const ss::ScenarioSpec spec = small_figure1();
+    Session priority({4});
+    const auto reference = priority.run(spec);
+
+    SessionOptions fifo_options;
+    fifo_options.threads = 4;
+    fifo_options.priority_scheduling = false;
+    Session fifo(fifo_options);
+    auto got = fifo.run(spec);
+    got.eval_overlap = reference.eval_overlap;  // diagnostics
+    got.first_eval_latency_s = reference.first_eval_latency_s;
+    EXPECT_EQ(got.to_json(), reference.to_json());
+}
+
 TEST(Session, RunBatchExpandsBatchPresetsInOrder) {
     Session session({1});
     session.registry().add(small_figure1("batch-a"));

@@ -1,4 +1,5 @@
 #include "arch/presets.hpp"
+#include "exec/executor.hpp"
 #include "queueing/mm1k.hpp"
 #include "sim/simulator.hpp"
 #include "util/contracts.hpp"
@@ -178,6 +179,62 @@ TEST(Simulator, TimeoutThresholdCalibration) {
     ASSERT_EQ(per_site.size(), 2u);
     EXPECT_NEAR(per_site[0], 2.0 * thr, 0.7 * thr);
     EXPECT_GT(per_site[1], 0.0);  // fallback for the silent site
+}
+
+TEST(Simulator, FannedCalibrationWithOneReplicationMatchesSerialBitForBit) {
+    // The executor-fanned calibration at one replication must reproduce
+    // the classic serial pair — global calibrate_timeout_threshold and
+    // per-site calibrate_site_timeout_thresholds — exactly, from a
+    // single simulation instead of two.
+    const auto sys = single_queue_system(0.9, 1.0);
+    const std::vector<long> caps{6, 1};
+    const ss::SimConfig cfg = long_config(9);
+    const double scale = 2.0;
+
+    const double serial_global =
+        scale * ss::calibrate_timeout_threshold(sys, caps, cfg);
+    const auto serial_site =
+        ss::calibrate_site_timeout_thresholds(sys, caps, cfg, scale);
+
+    socbuf::exec::Executor executor(1);
+    const ss::TimeoutCalibration fanned =
+        ss::calibrate_timeout(sys, caps, cfg, scale, executor, 1);
+    EXPECT_EQ(fanned.global_threshold, serial_global);
+    EXPECT_EQ(fanned.site_thresholds, serial_site);
+    EXPECT_EQ(ss::calibrate_site_timeout_thresholds(sys, caps, cfg, scale,
+                                                    executor, 1),
+              serial_site);
+}
+
+TEST(Simulator, FannedCalibrationIsBitIdenticalForAnyWorkerCount) {
+    const auto sys = sa::figure1_system();
+    const std::vector<long> caps(9, 4);
+    ss::SimConfig cfg;
+    cfg.horizon = 2000.0;
+    cfg.warmup = 200.0;
+    cfg.seed = 7;
+
+    socbuf::exec::Executor serial(1);
+    const ss::TimeoutCalibration reference =
+        ss::calibrate_timeout(sys, caps, cfg, 4.0, serial, 6);
+    EXPECT_GT(reference.global_threshold, 0.0);
+    for (const double threshold : reference.site_thresholds)
+        EXPECT_GT(threshold, 0.0);
+    for (const std::size_t threads : {2UL, 4UL}) {
+        socbuf::exec::Executor executor(threads);
+        const ss::TimeoutCalibration fanned =
+            ss::calibrate_timeout(sys, caps, cfg, 4.0, executor, 6);
+        EXPECT_EQ(fanned.global_threshold, reference.global_threshold)
+            << "threads=" << threads;
+        EXPECT_EQ(fanned.site_thresholds, reference.site_thresholds)
+            << "threads=" << threads;
+    }
+
+    // Averaging over replications changes the thresholds (each
+    // replication is an independent realization), so the knob is real.
+    const ss::TimeoutCalibration single =
+        ss::calibrate_timeout(sys, caps, cfg, 4.0, serial, 1);
+    EXPECT_NE(single.global_threshold, reference.global_threshold);
 }
 
 TEST(Simulator, ArbiterKindsAllRun) {

@@ -245,6 +245,63 @@ TEST(SolveCache, ConcurrentFailuresAllPropagateWithoutHangingWaiters) {
     EXPECT_EQ(cache.stats().hits, 0u);
 }
 
+TEST(SolveCache, CapacityOneCountersStayConsistentUnderFailuresAndWaiters) {
+    // The nastiest corner the counters have: capacity == 1 (every
+    // completing solve tries to evict), a key every solver rejects (the
+    // failure path runs constantly, with waiters pinning the failed
+    // slot), and solvable keys churning through the single budgeted
+    // entry. Whatever the interleaving, the accounting invariants must
+    // hold exactly: every lookup is one hit or one miss (never zero,
+    // never two), every exception was a miss, and an eviction can only
+    // follow a successful insert.
+    sm::SolverRegistry registry;
+    sm::SolveCache cache(1);
+    const sm::DispatchOptions opts;
+    const auto bad = unsolvable_model();
+    const auto good_a = queue_model(3, 0.8);
+    const auto good_b = queue_model(4, 0.8);
+    constexpr std::size_t kPerKind = 48;
+
+    std::atomic<std::size_t> threw{0};
+    std::atomic<std::size_t> returned{0};
+    {
+        socbuf::exec::ThreadPool pool(4);
+        for (std::size_t i = 0; i < kPerKind; ++i) {
+            for (const auto* model : {&bad, &good_a, &good_b}) {
+                pool.submit([&, model] {
+                    try {
+                        (void)cache.solve(registry, *model, opts);
+                        ++returned;
+                    } catch (const std::exception&) {
+                        ++threw;
+                    }
+                });
+            }
+        }
+        pool.wait_idle();
+    }
+
+    constexpr std::size_t kLookups = 3 * kPerKind;
+    const sm::SolveCacheStats stats = cache.stats();
+    EXPECT_EQ(threw.load() + returned.load(), kLookups);
+    EXPECT_EQ(returned.load(), 2 * kPerKind);  // every good lookup returned
+    EXPECT_EQ(stats.lookups(), kLookups);
+    EXPECT_EQ(stats.hits + stats.misses, kLookups);
+    // Every exception was counted as exactly one miss, and only
+    // successful inserts (misses that returned) can have evicted.
+    EXPECT_GE(stats.misses, threw.load());
+    EXPECT_LE(stats.evictions, stats.misses - threw.load());
+    // No husk left behind: the failed key holds no residency, the single
+    // budgeted slot serves the last solvable key.
+    EXPECT_LE(cache.size(), 1u);
+
+    // The cache is fully functional afterwards: a serial lookup of a
+    // solvable key is one more exact hit or miss.
+    const std::size_t before = stats.lookups();
+    (void)cache.solve(registry, good_a, opts);
+    EXPECT_EQ(cache.stats().lookups(), before + 1);
+}
+
 TEST(SolveCache, IsSafeToShareAcrossWorkers) {
     sm::SolverRegistry registry;
     sm::SolveCache cache;

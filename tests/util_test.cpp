@@ -8,6 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <clocale>
+#include <cstdint>
+#include <cstring>
+#include <limits>
 #include <numeric>
 
 namespace su = socbuf::util;
@@ -235,6 +238,49 @@ TEST(Json, NumbersSurviveWithFullPrecision) {
     const double v = 0.1 + 0.2;  // not representable as a short decimal
     su::JsonValue n(v);
     EXPECT_EQ(su::JsonValue::parse(n.dump()).as_number(), v);
+}
+
+TEST(Json, ArbitraryFiniteDoublesRoundTripBitExactly) {
+    // Shortest-round-trip emission is contractual for *every* finite
+    // double, not just preset-friendly decimals: subnormals, values a
+    // hair off a representable boundary, huge and tiny magnitudes, and
+    // negative zero must all reparse to the identical bits (and the
+    // emitted text must be a fixed point of dump -> parse -> dump).
+    const double cases[] = {
+        0.1 + 0.2,
+        1.0 / 3.0,
+        -1.0 / 3.0,
+        2.0 / 3.0,
+        4000.0 * (1.0 + 1e-15),
+        1e-300,
+        -1e-300,
+        4.9e-324,                    // smallest subnormal
+        2.2250738585072014e-308,     // smallest normal
+        1.7976931348623157e308,      // largest finite
+        -1.7976931348623157e308,
+        123456789.123456789,
+        -0.0,
+        9007199254740993.0,          // 2^53 + 1 rounds to 2^53
+        3.141592653589793,
+    };
+    for (const double v : cases) {
+        const std::string emitted = su::JsonValue(v).dump();
+        const double reparsed = su::JsonValue::parse(emitted).as_number();
+        std::uint64_t want = 0;
+        std::uint64_t got = 0;
+        std::memcpy(&want, &v, sizeof(want));
+        std::memcpy(&got, &reparsed, sizeof(got));
+        EXPECT_EQ(got, want) << "value " << emitted;
+        EXPECT_EQ(su::JsonValue(reparsed).dump(), emitted);
+    }
+    // Non-finite numbers have no JSON representation and must refuse to
+    // serialize rather than emit garbage.
+    EXPECT_THROW((void)su::JsonValue(std::numeric_limits<double>::infinity())
+                     .dump(),
+                 su::JsonError);
+    EXPECT_THROW(
+        (void)su::JsonValue(std::numeric_limits<double>::quiet_NaN()).dump(),
+        su::JsonError);
 }
 
 TEST(Json, ObjectKeepsInsertionOrderAndSupportsLookup) {

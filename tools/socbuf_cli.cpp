@@ -46,12 +46,14 @@
 // out-of-range option values — and malformed scenario files — are a usage
 // error: exit code 2 with a diagnostic naming the flag or the JSON path
 // (never an uncaught parse exception).
+#include "exec/thread_pool.hpp"
 #include "scenario/builder.hpp"
 #include "scenario/scenario_io.hpp"
 #include "session/session.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -59,6 +61,7 @@
 #include <iostream>
 #include <limits>
 #include <string>
+#include <system_error>
 #include <vector>
 
 namespace {
@@ -87,20 +90,21 @@ int usage(const char* argv0) {
 }
 
 // ------------------------------------------------------------------------
-// Checked numeric parsing. std::stoul & friends throw on garbage and
-// silently accept trailing junk ("4x") or negative unsigneds ("-1" wraps);
-// every flag value goes through these instead, so a bad value is a usage
-// error (exit 2 naming the flag), never an uncaught exception.
+// Checked numeric parsing, on std::from_chars throughout. The std::sto*
+// family it replaced silently accepted leading whitespace (" 12"),
+// hexfloats ("0x10" parsed as 16.0) and locale-dependent forms, and
+// reported overflow by *exception* — one missed catch and an
+// out-of-range value wrapped or escaped as a crash. from_chars is
+// locale-independent, never throws, and reports overflow as an explicit
+// errc, so a value that does not fit the destination type is a usage
+// error (exit 2 naming the flag) exactly like garbage text.
 
 bool parse_unsigned(const std::string& text, unsigned long long& out) {
     if (text.empty() || text[0] == '-' || text[0] == '+') return false;
-    try {
-        std::size_t pos = 0;
-        out = std::stoull(text, &pos);
-        return pos == text.size();
-    } catch (const std::exception&) {
-        return false;
-    }
+    const auto result =
+        std::from_chars(text.data(), text.data() + text.size(), out);
+    return result.ec == std::errc{} &&
+           result.ptr == text.data() + text.size();
 }
 
 bool parse_number(const std::string& text, std::size_t& out) {
@@ -114,27 +118,22 @@ bool parse_number(const std::string& text, std::size_t& out) {
 
 bool parse_number(const std::string& text, long& out) {
     if (text.empty()) return false;
-    try {
-        std::size_t pos = 0;
-        out = std::stol(text, &pos);
-        return pos == text.size();
-    } catch (const std::exception&) {
-        return false;
-    }
+    const auto result =
+        std::from_chars(text.data(), text.data() + text.size(), out);
+    return result.ec == std::errc{} &&
+           result.ptr == text.data() + text.size();
 }
 
 bool parse_number(const std::string& text, double& out) {
     if (text.empty()) return false;
-    try {
-        std::size_t pos = 0;
-        out = std::stod(text, &pos);
-        // "nan"/"inf" parse but would sail through every range guard
-        // (NaN compares false to everything) and silently fall back to
-        // the preset values — reject them as malformed instead.
-        return pos == text.size() && std::isfinite(out);
-    } catch (const std::exception&) {
-        return false;
-    }
+    const auto result =
+        std::from_chars(text.data(), text.data() + text.size(), out);
+    // "nan"/"inf" parse but would sail through every range guard (NaN
+    // compares false to everything) and silently fall back to the preset
+    // values — reject them as malformed instead. Magnitude overflow
+    // ("1e999") is already an errc.
+    return result.ec == std::errc{} &&
+           result.ptr == text.data() + text.size() && std::isfinite(out);
 }
 
 /// Parse a comma-separated budget list. Every token must be a whole
@@ -158,9 +157,9 @@ bool parse_budgets(const std::string& csv, std::vector<long>& out) {
 }
 
 int bad_value(const std::string& flag, const std::string& value,
-              const char* requirement) {
+              const std::string& requirement) {
     std::fprintf(stderr, "invalid value '%s' for %s (%s)\n", value.c_str(),
-                 flag.c_str(), requirement);
+                 flag.c_str(), requirement.c_str());
     return 2;
 }
 
@@ -415,8 +414,14 @@ int run_scenarios(const std::vector<std::string>& args) {
         if (arg == "--threads") {
             const std::string* v = next_value();
             if (v == nullptr) return 2;
-            if (!parse_number(*v, threads))
-                return bad_value(arg, *v, "expected a whole number >= 0");
+            // Values past exec::kMaxThreads parse fine but would blow up
+            // deep inside pool construction ("vector::reserve") — they
+            // are a usage error of this flag, reported as one.
+            if (!parse_number(*v, threads) ||
+                threads > socbuf::exec::kMaxThreads)
+                return bad_value(arg, *v,
+                                 "expected a whole number between 0 and " +
+                                     std::to_string(socbuf::exec::kMaxThreads));
         } else if (arg == "--file") {
             const std::string* v = next_value();
             if (v == nullptr) return 2;
