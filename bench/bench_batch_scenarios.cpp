@@ -22,10 +22,16 @@
 // Everything runs through the socbuf::Session facade (one object owning
 // the executor, the batch-wide solve cache and the registry) — the same
 // entry point socbuf_cli and the experiment drivers use.
+// `--json <file>` switches to the structure-exploitation measurement:
+// cold vs warm-started solves and FIFO vs longest-first submission on
+// the Table 1 budget sweep, written as one JSON document (the
+// perf-trajectory format under BENCH_*.json) — the google-benchmark
+// loop is skipped in that mode.
 #include "exec/executor.hpp"
 #include "scenario/builder.hpp"
 #include "scenario/scenario.hpp"
 #include "session/session.hpp"
+#include "util/json.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -33,7 +39,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <functional>
+#include <string>
 #include <vector>
 
 namespace {
@@ -188,6 +196,87 @@ void print_first_eval_latency() {
         "are bit-identical either way)\n");
 }
 
+/// The --json measurement: warm starts and longest-first submission on
+/// the Table 1 budget sweep. Warm starts trade bit-identity for fewer
+/// PI/VI iterations (counted); longest-first moves only the schedule.
+void write_json_report(const std::string& path) {
+    namespace sj = socbuf::util;
+    const ScenarioSpec spec = sweep_spec();
+
+    auto cold_vs_warm = sj::JsonValue::object();
+    {
+        SessionOptions cold_options;
+        cold_options.threads = 1;
+        Session cold_session(cold_options);
+        BatchReport cold;
+        const double cold_s =
+            seconds_of([&] { cold = cold_session.run(spec); });
+
+        SessionOptions warm_options;
+        warm_options.threads = 1;
+        warm_options.warm_start = true;
+        Session warm_session(warm_options);
+        BatchReport warm;
+        const double warm_s =
+            seconds_of([&] { warm = warm_session.run(spec); });
+
+        cold_vs_warm.set("cold_s", cold_s);
+        cold_vs_warm.set("warm_s", warm_s);
+        cold_vs_warm.set("warm_hits", warm.cache.warm_hits);
+        cold_vs_warm.set("iterations_saved", warm.cache.iterations_saved);
+        cold_vs_warm.set("bytes_resident", warm.cache.bytes_resident);
+        cold_vs_warm.set("identical_results", identical_runs(warm, cold));
+        std::printf("cold vs warm (budgets %ld/%ld/%ld): %.3fs -> %.3fs, "
+                    "%zu warm hits, %zu solver iterations saved, results "
+                    "%s\n",
+                    spec.budgets[0], spec.budgets[1], spec.budgets[2],
+                    cold_s, warm_s, warm.cache.warm_hits,
+                    warm.cache.iterations_saved,
+                    identical_runs(warm, cold) ? "identical" : "DIFFER");
+    }
+
+    auto orderings = sj::JsonValue::array();
+    for (const std::size_t threads : {2UL, 4UL}) {
+        SessionOptions fifo_options;
+        fifo_options.threads = threads;
+        fifo_options.longest_first = false;
+        Session fifo_session(fifo_options);
+        BatchReport fifo;
+        const double fifo_s =
+            seconds_of([&] { fifo = fifo_session.run(spec); });
+
+        SessionOptions longest_options;
+        longest_options.threads = threads;
+        longest_options.longest_first = true;
+        Session longest_session(longest_options);
+        BatchReport longest;
+        const double longest_s =
+            seconds_of([&] { longest = longest_session.run(spec); });
+
+        auto row = sj::JsonValue::object();
+        row.set("threads", threads);
+        row.set("fifo_s", fifo_s);
+        row.set("longest_first_s", longest_s);
+        row.set("identical_results", identical_runs(longest, fifo));
+        orderings.push_back(std::move(row));
+        std::printf("threads %zu: fifo %.3fs vs longest-first %.3fs, "
+                    "results %s\n",
+                    threads, fifo_s, longest_s,
+                    identical_runs(longest, fifo) ? "identical" : "DIFFER");
+    }
+
+    auto root = sj::JsonValue::object();
+    root.set("bench", std::string("batch_scenarios"));
+    auto budgets = sj::JsonValue::array();
+    for (const long b : spec.budgets) budgets.push_back(b);
+    root.set("budgets", std::move(budgets));
+    root.set("cold_vs_warm", std::move(cold_vs_warm));
+    root.set("fifo_vs_longest_first", std::move(orderings));
+    std::ofstream out(path);
+    out << root.dump(2) << "\n";
+    std::printf("wrote %s\n", path.c_str());
+}
+
 void BM_BatchBudgetSweep(benchmark::State& state) {
     ScenarioSpec spec = sweep_spec();
     spec.replications = 3;
@@ -223,6 +312,15 @@ BENCHMARK(BM_SolveCacheOnOff)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+    std::string json_path;
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::string(argv[i]) == "--json") json_path = argv[i + 1];
+    if (!json_path.empty()) {
+        // JSON mode is the CI/perf-trajectory entry point: one
+        // structured measurement, no google-benchmark loop.
+        write_json_report(json_path);
+        return 0;
+    }
     print_batch_scaling();
     print_first_eval_latency();
     benchmark::Initialize(&argc, argv);

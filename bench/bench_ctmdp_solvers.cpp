@@ -4,22 +4,36 @@
 // average cost; their runtimes scale very differently with the state
 // space, which is why the registry's kAuto dispatch escalates
 // LP -> PI -> VI by model size.
+//
+// `--json <file>` switches to the structure-exploitation measurement:
+// dense vs banded policy-iteration evaluation per cap, and cold vs
+// warm-seeded re-solves through the SolveCache, written as one JSON
+// document (the perf-trajectory format under BENCH_*.json) — the
+// google-benchmark loop is skipped in that mode.
 #include "arch/presets.hpp"
 #include "core/allocation.hpp"
 #include "core/subsystem_model.hpp"
+#include "ctmdp/solve_cache.hpp"
 #include "ctmdp/solver.hpp"
 #include "split/splitter.hpp"
+#include "util/json.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 namespace {
 
-/// A bus-b style subsystem model at a given per-flow cap.
-socbuf::core::SubsystemCtmdp make_model(long cap) {
+/// A bus-b style subsystem model at a given per-flow cap; rate_scale
+/// rescales every arrival rate (structure-identical cost/rate variants
+/// for the warm-start measurement).
+socbuf::core::SubsystemCtmdp make_model(long cap, double rate_scale = 1.0) {
     static const auto sys = socbuf::arch::figure1_system();
     static const auto split = socbuf::split::split_architecture(sys);
     const socbuf::split::Subsystem* bus_b = nullptr;
@@ -27,7 +41,8 @@ socbuf::core::SubsystemCtmdp make_model(long cap) {
         if (sub.bus_name == "b") bus_b = &sub;
     std::vector<long> caps(bus_b->flows.size(), cap);
     std::vector<double> rates;
-    for (const auto& f : bus_b->flows) rates.push_back(f.arrival_rate);
+    for (const auto& f : bus_b->flows)
+        rates.push_back(f.arrival_rate * rate_scale);
     return socbuf::core::SubsystemCtmdp(*bus_b, caps, rates);
 }
 
@@ -67,6 +82,106 @@ void print_agreement() {
                 "%zu switching states\n",
                 stats.lp_solves, stats.vi_solves, stats.pi_solves,
                 stats.switching_states);
+}
+
+/// Best-of-k wall-clock of one registry solve.
+double best_solve_seconds(const socbuf::ctmdp::CtmdpModel& model,
+                          const socbuf::ctmdp::DispatchOptions& dispatch,
+                          int reps) {
+    socbuf::ctmdp::SolverRegistry registry;
+    double best = 0.0;
+    for (int r = 0; r < reps; ++r) {
+        const auto start = std::chrono::steady_clock::now();
+        auto solution = registry.solve(model, dispatch);
+        const auto stop = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(solution);
+        const double s = std::chrono::duration<double>(stop - start).count();
+        if (r == 0 || s < best) best = s;
+    }
+    return best;
+}
+
+/// The --json measurement: dense vs banded PI evaluation per cap (the
+/// structural speedup behind kAuto's widened pi_state_limit), then cold
+/// vs warm-seeded re-solves of a structure-identical, rate-shifted
+/// model through a warm SolveCache.
+void write_json_report(const std::string& path) {
+    using socbuf::ctmdp::SolverChoice;
+    namespace sj = socbuf::util;
+
+    auto dense_vs_banded = sj::JsonValue::array();
+    for (const long cap : {2L, 3L, 4L, 6L}) {
+        const auto model = make_model(cap);
+        const int reps = model.model().state_count() > 200 ? 3 : 5;
+        auto dense = forced(SolverChoice::kPolicyIteration);
+        dense.solver.pi.banded_evaluation = false;
+        auto banded = forced(SolverChoice::kPolicyIteration);
+        banded.solver.pi.banded_evaluation = true;
+        const double dense_s = best_solve_seconds(model.model(), dense, reps);
+        const double banded_s =
+            best_solve_seconds(model.model(), banded, reps);
+        auto row = sj::JsonValue::object();
+        row.set("cap", cap);
+        row.set("states", model.model().state_count());
+        row.set("bandwidth", model.model().bandwidth());
+        row.set("dense_pi_s", dense_s);
+        row.set("banded_pi_s", banded_s);
+        row.set("speedup", banded_s > 0.0 ? dense_s / banded_s : 0.0);
+        dense_vs_banded.push_back(std::move(row));
+        std::printf("cap %ld (%zu states, bw %zu): dense PI %.6fs, banded "
+                    "PI %.6fs (%.2fx)\n",
+                    cap, model.model().state_count(),
+                    model.model().bandwidth(), dense_s, banded_s,
+                    banded_s > 0.0 ? dense_s / banded_s : 0.0);
+    }
+
+    // Cold vs warm: the second solve sees a structure-identical model
+    // with every rate shifted 5% — a budget-sweep-style neighbour — and
+    // is seeded from the first solve's converged policy/bias.
+    auto cold_vs_warm = sj::JsonValue::object();
+    {
+        const long cap = 4;
+        const auto base = make_model(cap);
+        const auto shifted = make_model(cap, 1.05);
+        const auto pi = forced(SolverChoice::kPolicyIteration);
+
+        socbuf::ctmdp::SolverRegistry reference;
+        const auto start = std::chrono::steady_clock::now();
+        const auto cold = reference.solve(shifted.model(), pi);
+        const auto stop = std::chrono::steady_clock::now();
+        const double cold_s =
+            std::chrono::duration<double>(stop - start).count();
+
+        socbuf::ctmdp::SolverRegistry registry;
+        socbuf::ctmdp::SolveCache cache(0, /*warm_start=*/true);
+        (void)cache.solve(registry, base.model(), pi);
+        const auto warm_start = std::chrono::steady_clock::now();
+        const auto warm = cache.solve(registry, shifted.model(), pi);
+        const auto warm_stop = std::chrono::steady_clock::now();
+        const double warm_s =
+            std::chrono::duration<double>(warm_stop - warm_start).count();
+
+        cold_vs_warm.set("cap", cap);
+        cold_vs_warm.set("cold_iterations", cold.iterations);
+        cold_vs_warm.set("warm_iterations", warm.iterations);
+        cold_vs_warm.set("warm_hits", cache.stats().warm_hits);
+        cold_vs_warm.set("iterations_saved", cache.stats().iterations_saved);
+        cold_vs_warm.set("cold_s", cold_s);
+        cold_vs_warm.set("warm_s", warm_s);
+        cold_vs_warm.set("gain_delta", warm.gain - cold.gain);
+        std::printf("cold vs warm (cap %ld, rates x1.05): %zu -> %zu PI "
+                    "updates (%zu saved), %.6fs -> %.6fs\n",
+                    cap, cold.iterations, warm.iterations,
+                    cache.stats().iterations_saved, cold_s, warm_s);
+    }
+
+    auto root = sj::JsonValue::object();
+    root.set("bench", std::string("ctmdp_solvers"));
+    root.set("dense_vs_banded_pi", std::move(dense_vs_banded));
+    root.set("cold_vs_warm", std::move(cold_vs_warm));
+    std::ofstream out(path);
+    out << root.dump(2) << "\n";
+    std::printf("wrote %s\n", path.c_str());
 }
 
 void BM_LpSolver(benchmark::State& state) {
@@ -110,7 +225,16 @@ BENCHMARK(BM_PolicyIteration)->Arg(1)->Arg(2)->Arg(3)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
+    std::string json_path;
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::string(argv[i]) == "--json") json_path = argv[i + 1];
     print_agreement();
+    if (!json_path.empty()) {
+        // JSON mode is the CI/perf-trajectory entry point: one
+        // structured measurement, no google-benchmark loop.
+        write_json_report(json_path);
+        return 0;
+    }
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

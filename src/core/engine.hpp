@@ -41,10 +41,11 @@ struct SizingOptions {
     int iterations = 10;       // resize/resimulate rounds (paper: 10)
     double tail_mass = 0.02;   // occupancy-quantile tail for requirements
     long model_cap = 3;        // per-flow occupancy cap inside the CTMDP
-    /// kAuto escalation thresholds; defaults come from the solver layer's
-    /// DispatchOptions so there is one source of truth.
-    std::size_t lp_pair_limit = ctmdp::DispatchOptions{}.lp_pair_limit;
-    std::size_t pi_state_limit = ctmdp::DispatchOptions{}.pi_state_limit;
+    /// kAuto escalation thresholds; the named solver-layer constants are
+    /// the single source of truth (DispatchOptions defaults to the same
+    /// ones), so a retune there lands here without a second edit.
+    std::size_t lp_pair_limit = ctmdp::kDefaultLpPairLimit;
+    std::size_t pi_state_limit = ctmdp::kDefaultPiStateLimit;
     SolverChoice solver = SolverChoice::kAuto;
     /// Worker threads for the per-subsystem CTMDP solves and per-round
     /// evaluation sims (0 = hardware concurrency). Results are

@@ -10,6 +10,7 @@ std::size_t CtmdpModel::add_state(std::string name) {
     if (name.empty()) name = "s" + std::to_string(states_.size());
     states_.push_back(StateEntry{std::move(name), {}});
     index_dirty_ = true;
+    structure_dirty_ = true;
     return states_.size() - 1;
 }
 
@@ -24,6 +25,7 @@ std::size_t CtmdpModel::add_action(std::size_t state, Action action) {
         action.name = "a" + std::to_string(states_[state].actions.size());
     states_[state].actions.push_back(std::move(action));
     index_dirty_ = true;
+    structure_dirty_ = true;
     return states_[state].actions.size() - 1;
 }
 
@@ -76,6 +78,33 @@ std::size_t CtmdpModel::pair_action(std::size_t pair) const {
     if (index_dirty_) rebuild_pair_index();
     SOCBUF_REQUIRE_MSG(pair < pair_to_state_.size(), "pair out of range");
     return pair - pair_offset_[pair_to_state_[pair]];
+}
+
+void CtmdpModel::rebuild_structure() const {
+    bandwidth_ = 0;
+    transition_count_ = 0;
+    for (std::size_t s = 0; s < states_.size(); ++s) {
+        for (const auto& act : states_[s].actions) {
+            transition_count_ += act.transitions.size();
+            for (const auto& t : act.transitions) {
+                if (t.rate <= 0.0) continue;
+                const std::size_t dist =
+                    t.target >= s ? t.target - s : s - t.target;
+                bandwidth_ = std::max(bandwidth_, dist);
+            }
+        }
+    }
+    structure_dirty_ = false;
+}
+
+std::size_t CtmdpModel::bandwidth() const {
+    if (structure_dirty_) rebuild_structure();
+    return bandwidth_;
+}
+
+std::size_t CtmdpModel::transition_count() const {
+    if (structure_dirty_) rebuild_structure();
+    return transition_count_;
 }
 
 double CtmdpModel::exit_rate(std::size_t state, std::size_t a) const {

@@ -60,6 +60,17 @@ public:
     /// Total exit rate of (s,a).
     [[nodiscard]] double exit_rate(std::size_t state, std::size_t a) const;
 
+    /// Structural bandwidth: max |target - state| over every transition
+    /// with a positive rate, any action (0 for a diagonal-only model).
+    /// Subsystem models pack occupancy vectors with strides, so this is
+    /// the largest stride — the banded policy-evaluation path keys off
+    /// it. Lazily cached alongside the pair index.
+    [[nodiscard]] std::size_t bandwidth() const;
+
+    /// Total transition entries across every action — the model's
+    /// structural non-zero count (sparsity diagnostic for the solvers).
+    [[nodiscard]] std::size_t transition_count() const;
+
     /// Largest exit rate over all pairs (uniformization bound).
     [[nodiscard]] double max_exit_rate() const;
 
@@ -74,6 +85,7 @@ private:
     };
 
     void rebuild_pair_index() const;
+    void rebuild_structure() const;
 
     std::vector<StateEntry> states_;
     std::size_t extra_cost_count_;
@@ -81,6 +93,10 @@ private:
     mutable std::vector<std::size_t> pair_offset_;
     mutable std::vector<std::size_t> pair_to_state_;
     mutable bool index_dirty_ = true;
+    // Lazily rebuilt structural summary (bandwidth / non-zero count).
+    mutable std::size_t bandwidth_ = 0;
+    mutable std::size_t transition_count_ = 0;
+    mutable bool structure_dirty_ = true;
 };
 
 }  // namespace socbuf::ctmdp

@@ -1,6 +1,7 @@
 #include "ctmdp/occupation.hpp"
 
 #include "ctmc/stationary.hpp"
+#include "linalg/sparse.hpp"
 #include "util/contracts.hpp"
 
 #include <algorithm>
@@ -18,11 +19,8 @@ linalg::Vector sparse_stationary(const CtmdpModel& model,
                                  const RandomizedPolicy& policy,
                                  double tolerance, std::size_t max_iters) {
     const std::size_t n = model.state_count();
-    struct Jump {
-        std::size_t from, to;
-        double prob;
-    };
-    std::vector<Jump> jumps;
+    std::vector<linalg::SparseEntry> entries;
+    entries.reserve(model.transition_count());
     std::vector<double> stay(n, 1.0);
     double max_exit = 0.0;
     for (std::size_t s = 0; s < n; ++s)
@@ -37,16 +35,22 @@ linalg::Vector sparse_stationary(const CtmdpModel& model,
             for (const auto& t : model.action(s, a).transitions) {
                 if (t.target == s || t.rate <= 0.0) continue;
                 const double prob = pa * t.rate / lambda;
-                jumps.push_back({s, t.target, prob});
+                entries.push_back({s, t.target, prob});
                 stay[s] -= prob;
             }
         }
     }
+    // CSR keeps the (state, action, transition) append order within each
+    // row, so the transposed accumulation below applies the same additions
+    // in the same order as the old explicit jump list — bit-identical —
+    // while streaming three flat arrays.
+    const linalg::SparseMatrix jumps =
+        linalg::SparseMatrix::from_triplets(n, n, entries);
     linalg::Vector pi(n, 1.0 / static_cast<double>(n));
     linalg::Vector next(n, 0.0);
     for (std::size_t it = 0; it < max_iters; ++it) {
         for (std::size_t s = 0; s < n; ++s) next[s] = stay[s] * pi[s];
-        for (const auto& j : jumps) next[j.to] += j.prob * pi[j.from];
+        jumps.add_transposed_into(pi, next);
         const double delta = linalg::max_abs_diff(next, pi);
         std::swap(pi, next);
         if (delta < tolerance) return pi;

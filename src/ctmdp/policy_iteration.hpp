@@ -24,6 +24,23 @@ struct PiOptions {
     std::size_t max_policy_updates = 1000;
     std::size_t reference_state = 0;
     double improvement_tolerance = 1e-10;
+    /// Exploit the model's banded structure in policy evaluation: the
+    /// gain column is eliminated by a bordered block solve and the
+    /// remaining bias system is factorized with a banded LU — O(n·bw²)
+    /// per update instead of the dense O(n³). Auto-gated: the dense path
+    /// still runs when the model is small or its bandwidth is too close
+    /// to n for the banded factorization to win. The bordered solve is a
+    /// different (better-conditioned-size) elimination order, so gains
+    /// and biases agree with the dense path to solver tolerance, not bit
+    /// for bit — which is why this knob is part of the solve fingerprint.
+    bool banded_evaluation = true;
+    /// Warm start: the converged policy of a structurally identical model
+    /// (injected by SolveCache's warm path). Empty — or any shape that
+    /// does not match the model — starts from the all-zeros policy, the
+    /// classic cold iteration. Tie-breaking keeps the incumbent action,
+    /// so a warm seed can land on a different (equally optimal) policy
+    /// than the cold solve: results are tolerance-pinned, not bit-pinned.
+    std::vector<std::size_t> initial_policy;
 };
 
 /// Minimize long-run average cost by policy iteration. Requires a unichain

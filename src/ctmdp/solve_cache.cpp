@@ -71,13 +71,73 @@ std::string solve_fingerprint(const CtmdpModel& model,
     append_size(key, so.pi.max_policy_updates);
     append_size(key, so.pi.reference_state);
     append_double(key, so.pi.improvement_tolerance);
+    // The banded evaluation is a different elimination order (tolerance-
+    // level different bits), so it is part of the key. The warm-start
+    // seeds (vi.initial_values, pi.initial_policy) deliberately are NOT:
+    // the cache injects them *after* fingerprinting, and a seeded solve
+    // must be able to serve later cold lookups of the same key.
+    append_size(key, so.pi.banded_evaluation ? 1 : 0);
     return key;
 }
 
-SolveCache::SolveCache(std::size_t capacity) : capacity_(capacity) {}
+std::string model_structure_fingerprint(const CtmdpModel& model) {
+    std::string key;
+    key.reserve(32 + 16 * model.pair_count());
+    key.push_back('S');
+    append_size(key, model.state_count());
+    for (std::size_t s = 0; s < model.state_count(); ++s) {
+        append_size(key, model.action_count(s));
+        for (std::size_t a = 0; a < model.action_count(s); ++a) {
+            const Action& action = model.action(s, a);
+            append_size(key, action.transitions.size());
+            for (const Transition& t : action.transitions)
+                append_size(key, t.target);
+        }
+    }
+    return key;
+}
+
+namespace {
+
+/// Approximate resident footprint of one solved entry: both stored copies
+/// of the key (list node + index), the structure key, the solution's
+/// vectors, and fixed per-entry bookkeeping. An estimate, not an audit —
+/// it ignores allocator slop — but it is a pure function of the entry's
+/// contents, so the total is deterministic for a given resident set.
+std::size_t approx_entry_bytes(const std::string& key,
+                               const std::string& structure,
+                               const SubsystemSolution& solution) {
+    std::size_t bytes = 2 * key.size() + structure.size();
+    bytes += sizeof(std::pair<const std::string, void*>) * 2;  // map nodes
+    bytes += solution.stationary.size() * sizeof(double);
+    bytes += solution.occupation.size() * sizeof(double);
+    bytes += solution.bias.size() * sizeof(double);
+    for (std::size_t s = 0; s < solution.policy.state_count(); ++s)
+        bytes += solution.policy.distribution(s).size() * sizeof(double) +
+                 sizeof(std::vector<double>);
+    bytes += sizeof(SubsystemSolution);
+    return bytes;
+}
+
+}  // namespace
+
+SolveCache::SolveCache(std::size_t capacity, bool warm_start)
+    : capacity_(capacity), warm_start_(warm_start) {}
 
 void SolveCache::touch(EntryIter pos) {
     entries_.splice(entries_.begin(), entries_, pos);
+}
+
+SolveCache::EntryIter SolveCache::drop_entry(EntryIter pos) {
+    const Slot& slot = pos->second;
+    if (!slot.structure.empty()) {
+        const auto warm = warm_index_.find(slot.structure);
+        if (warm != warm_index_.end() && warm->second == pos)
+            warm_index_.erase(warm);
+    }
+    bytes_resident_ -= slot.bytes;
+    index_.erase(pos->first);
+    return entries_.erase(pos);
 }
 
 void SolveCache::evict_over_capacity() {
@@ -96,8 +156,7 @@ void SolveCache::evict_over_capacity() {
         // Only settled, unwatched entries may go; in-flight solves and
         // slots other threads hold references into are pinned.
         if (slot.state != Slot::kReady || slot.waiters != 0) continue;
-        index_.erase(candidate->first);
-        candidate = entries_.erase(candidate);
+        candidate = drop_entry(candidate);
         ++evictions_;
     }
 }
@@ -146,12 +205,53 @@ SubsystemSolution SolveCache::solve(SolverRegistry& registry,
     }
     slot.state = Slot::kSolving;
     ++misses_;
+
+    // Nearest-fingerprint warm start: while still under the lock, copy the
+    // seed (policy + bias + effort) out of the most recently solved entry
+    // with the same model structure — the entry itself may be evicted the
+    // moment the lock drops. The seed goes into a *copy* of the dispatch
+    // options after the key was computed, so seeded and cold solves of
+    // the same key stay interchangeable cache-wise.
+    bool seeded = false;
+    SolverKind seed_kind = SolverKind::kLp;
+    std::size_t seed_iterations = 0;
+    DispatchOptions effective = options;
+    std::string structure;
+    if (warm_start_) {
+        structure = model_structure_fingerprint(model);
+        const auto warm = warm_index_.find(structure);
+        if (warm != warm_index_.end()) {
+            const SubsystemSolution& seed = warm->second->second.solution;
+            if (seed.converged) {
+                effective.solver.pi.initial_policy =
+                    seed.policy.mode().choices();
+                effective.solver.vi.initial_values = seed.bias;
+                seed_kind = seed.solved_by;
+                seed_iterations = seed.iterations;
+                seeded = true;
+            }
+        }
+    }
+
     lock.unlock();
     try {
-        SubsystemSolution solution = registry.solve(model, options);
+        SubsystemSolution solution = registry.solve(model, effective);
         lock.lock();
         slot.solution = solution;
+        slot.structure = std::move(structure);
+        slot.bytes = approx_entry_bytes(pos->first, slot.structure, solution);
+        bytes_resident_ += slot.bytes;
         slot.state = Slot::kReady;
+        if (warm_start_) warm_index_[slot.structure] = pos;
+        if (seeded) {
+            ++warm_hits_;
+            // Iteration counts are only comparable within one algorithm;
+            // clamp at zero so a warm solve that happened to take longer
+            // does not wrap the counter.
+            if (solution.solved_by == seed_kind &&
+                seed_iterations > solution.iterations)
+                iterations_saved_ += seed_iterations - solution.iterations;
+        }
         touch(pos);
         evict_over_capacity();
         slot_ready_.notify_all();
@@ -163,8 +263,8 @@ SubsystemSolution SolveCache::solve(SolverRegistry& registry,
             // Nobody is watching the failed slot: drop the husk so a
             // failed key costs no residency. Waiters, if any, re-claim
             // it instead (the slot must stay alive for them).
-            index_.erase(pos->first);
-            entries_.erase(pos);
+            slot.structure.clear();  // never entered the warm index
+            drop_entry(pos);
         }
         // Same reclamation as the hit path: this failure may be the last
         // bookkeeping event of the batch, and entries an earlier
@@ -182,6 +282,9 @@ SolveCacheStats SolveCache::stats() const {
     out.hits = hits_;
     out.misses = misses_;
     out.evictions = evictions_;
+    out.warm_hits = warm_hits_;
+    out.iterations_saved = iterations_saved_;
+    out.bytes_resident = bytes_resident_;
     return out;
 }
 
@@ -197,9 +300,13 @@ void SolveCache::clear() {
     std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
     index_.clear();
+    warm_index_.clear();
     hits_ = 0;
     misses_ = 0;
     evictions_ = 0;
+    warm_hits_ = 0;
+    iterations_saved_ = 0;
+    bytes_resident_ = 0;
 }
 
 }  // namespace socbuf::ctmdp

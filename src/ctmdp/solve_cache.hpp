@@ -56,10 +56,30 @@ namespace socbuf::ctmdp {
 [[nodiscard]] std::string solve_fingerprint(const CtmdpModel& model,
                                             const DispatchOptions& options);
 
+/// Topology-only fingerprint: state count, per-state action counts, and
+/// every transition target — but no rates, costs, or solver options. Two
+/// models with equal structure fingerprints pose the "same" decision
+/// problem under different numbers, which is exactly when a converged
+/// policy/bias of one is a good warm seed for the other (budget sweeps
+/// rebuild identical graphs with scaled costs).
+[[nodiscard]] std::string model_structure_fingerprint(const CtmdpModel& model);
+
 struct SolveCacheStats {
     std::size_t hits = 0;
     std::size_t misses = 0;
     std::size_t evictions = 0;  // 0 unless a capacity is set
+    /// Misses that ran with a warm seed from a structurally identical,
+    /// previously solved entry (warm starts enabled only).
+    std::size_t warm_hits = 0;
+    /// Sum over warm-seeded solves of (seed's iteration count - warm
+    /// solve's iteration count), clamped at zero per solve and only
+    /// counted when both solves used the same algorithm — a proxy for
+    /// the work the seeds avoided.
+    std::size_t iterations_saved = 0;
+    /// Approximate bytes held by resident (solved) entries: keys, result
+    /// vectors, and per-entry bookkeeping. Deterministic given the set of
+    /// resident entries (exact at capacity 0).
+    std::size_t bytes_resident = 0;
     [[nodiscard]] std::size_t lookups() const { return hits + misses; }
     [[nodiscard]] double hit_rate() const {
         return lookups() == 0
@@ -76,7 +96,19 @@ public:
     /// 0 means unlimited, the default and the only setting under which
     /// the hit/miss counters are scheduling-independent for every
     /// workload (see the header comment).
-    explicit SolveCache(std::size_t capacity = 0);
+    ///
+    /// `warm_start` enables nearest-fingerprint seeding: a miss whose
+    /// model *structure* matches an already-solved entry (same topology,
+    /// different costs/rates — the budget-sweep shape) injects that
+    /// entry's converged policy and bias as PI/VI warm seeds before
+    /// solving. Warm-seeded solves converge to the same tolerances but
+    /// along a different trajectory, so they are NOT bit-identical to
+    /// cold solves — which is why this is opt-in and default off:
+    /// BatchRunner's bit-determinism contract holds whenever it is off.
+    explicit SolveCache(std::size_t capacity = 0, bool warm_start = false);
+
+    /// Whether nearest-fingerprint warm seeding is enabled.
+    [[nodiscard]] bool warm_start() const { return warm_start_; }
 
     /// Return the cached solution for (model, options) or solve through
     /// `registry` and remember the result. Registry counters only advance
@@ -107,6 +139,10 @@ private:
         /// held reference stays valid — std::list storage keeps it
         /// stable across unrelated inserts and evictions.
         std::size_t waiters = 0;
+        /// Structure fingerprint (warm starts only; empty otherwise).
+        std::string structure;
+        /// Approximate resident footprint, set when the slot turns kReady.
+        std::size_t bytes = 0;
         SubsystemSolution solution;
     };
     using Entry = std::pair<std::string, Slot>;
@@ -117,15 +153,24 @@ private:
     /// Evict LRU unpinned entries until within capacity (best effort —
     /// pinned entries are skipped). Caller holds mutex_.
     void evict_over_capacity();
+    /// Drop one entry: index, warm index, byte accounting. Caller holds
+    /// mutex_. Returns the iterator past the erased entry.
+    EntryIter drop_entry(EntryIter pos);
 
     mutable std::mutex mutex_;
     std::condition_variable slot_ready_;
     std::list<Entry> entries_;  // front = most recently used
     std::unordered_map<std::string, EntryIter> index_;
+    /// structure fingerprint -> most recently solved entry with it.
+    std::unordered_map<std::string, EntryIter> warm_index_;
     std::size_t capacity_ = 0;
+    bool warm_start_ = false;
     std::size_t hits_ = 0;
     std::size_t misses_ = 0;
     std::size_t evictions_ = 0;
+    std::size_t warm_hits_ = 0;
+    std::size_t iterations_saved_ = 0;
+    std::size_t bytes_resident_ = 0;
 };
 
 }  // namespace socbuf::ctmdp

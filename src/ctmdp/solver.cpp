@@ -27,10 +27,13 @@ constexpr double kSwitchingTolerance = 1e-9;
 /// implies.
 SubsystemSolution from_deterministic(const CtmdpModel& model,
                                      const DeterministicPolicy& policy,
-                                     double gain, bool converged,
+                                     double gain, linalg::Vector bias,
+                                     std::size_t iterations, bool converged,
                                      SolverKind kind) {
     SubsystemSolution out;
     out.gain = gain;
+    out.bias = std::move(bias);
+    out.iterations = iterations;
     out.policy = RandomizedPolicy::from_deterministic(policy, model);
     out.occupation = occupation_of_policy(model, out.policy);
     out.stationary.assign(model.state_count(), 0.0);
@@ -64,6 +67,7 @@ public:
         out.policy = r.policy;
         out.switching_states =
             r.policy.switching_state_count(kSwitchingTolerance);
+        out.iterations = r.simplex_iterations;
         out.solved_by = SolverKind::kLp;
         out.converged = true;
         return out;
@@ -86,7 +90,8 @@ public:
             util::log(util::LogLevel::kWarn,
                       "value iteration hit the iteration limit (span ",
                       vi.span_residual, "); using the last policy");
-        return from_deterministic(model, vi.policy, vi.gain, vi.converged,
+        return from_deterministic(model, vi.policy, vi.gain, vi.bias,
+                                  vi.iterations, vi.converged,
                                   SolverKind::kValueIteration);
     }
 };
@@ -107,7 +112,8 @@ public:
             util::log(util::LogLevel::kWarn,
                       "policy iteration hit the update limit; using the ",
                       "last policy");
-        return from_deterministic(model, pi.policy, pi.gain, pi.converged,
+        return from_deterministic(model, pi.policy, pi.gain, pi.bias,
+                                  pi.policy_updates, pi.converged,
                                   SolverKind::kPolicyIteration);
     }
 };

@@ -55,6 +55,12 @@ struct SubsystemSolution {
     linalg::Vector stationary;       // pi(s) under the returned policy
     std::vector<double> occupation;  // x(s,a), flat pair-indexed
     RandomizedPolicy policy;
+    /// Relative value function h (h(ref) = 0) for PI/VI solves; empty for
+    /// LP solves. SolveCache feeds this back as a VI warm seed.
+    linalg::Vector bias;
+    /// Algorithm-specific effort: simplex pivots, VI sweeps, or PI policy
+    /// updates. Comparable only between solves of the same solved_by.
+    std::size_t iterations = 0;
     std::size_t switching_states = 0;  // states where the policy randomizes
     SolverKind solved_by = SolverKind::kLp;
     bool converged = false;
@@ -82,14 +88,28 @@ public:
 /// Build a standalone solver of the given kind (no registry needed).
 [[nodiscard]] std::unique_ptr<AverageCostSolver> make_solver(SolverKind kind);
 
+/// Canonical kAuto escalation thresholds. One definition shared by every
+/// consumer (DispatchOptions below, core::SizingOptions, CLI help text) so
+/// a retune lands everywhere at once. Re-measured with the banded PI
+/// evaluation in place, on the figure-1 bus-b family (narrow band,
+/// bw ~ n^(2/3)) and the np-cluster-scaling buses at pe >= 6 (wide band,
+/// bw = n/4): banded PI beats the LP ~13x already at ~300 pairs (LP was
+/// the seed's rung up to 1200), and VI overtakes PI near 1000 states —
+/// PI still wins at 729 states on the narrow-band family (56 ms vs
+/// 72 ms) but loses ~3x at 1024 states on the wide-band np buses, whose
+/// pe >= 6 models (4096+ states) belong to the sparse-swept VI rung
+/// either way.
+inline constexpr std::size_t kDefaultLpPairLimit = 320;
+inline constexpr std::size_t kDefaultPiStateLimit = 1000;
+
 /// Dispatch policy: how kAuto escalates, and the forced choice.
 struct DispatchOptions {
     SolverChoice choice = SolverChoice::kAuto;
     /// kAuto uses the LP while pair_count() <= lp_pair_limit ...
-    std::size_t lp_pair_limit = 1200;
+    std::size_t lp_pair_limit = kDefaultLpPairLimit;
     /// ... then policy iteration while state_count() <= pi_state_limit
-    /// (each PI update factorizes a dense states x states system) ...
-    std::size_t pi_state_limit = 800;
+    /// (each PI update solves a banded or dense states x states system) ...
+    std::size_t pi_state_limit = kDefaultPiStateLimit;
     /// ... and value iteration beyond that.
     SolverOptions solver;
 };

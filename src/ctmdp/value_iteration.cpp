@@ -11,14 +11,21 @@ namespace socbuf::ctmdp {
 
 namespace {
 
-/// Precomputed uniformized model: per pair, per-step cost and transition
-/// list (with the self-loop folded in implicitly via `stay`).
+/// Precomputed uniformized model: per pair, per-step cost, stay
+/// probability, and the jump probabilities in compressed-row (CSR) form —
+/// one flat target/probability array indexed by per-pair offsets. The
+/// flat arrays keep the per-pair append order of the old nested vectors,
+/// so the Bellman fold below visits identical values in identical order
+/// (bit-identical results) while the sweep streams three contiguous
+/// arrays instead of chasing a vector-of-vectors.
 struct Uniformized {
     double lambda = 1.0;
-    // Flattened per pair: step cost, stay probability, transitions.
     std::vector<double> step_cost;
     std::vector<double> stay;
-    std::vector<std::vector<Transition>> jumps;  // probabilities, not rates
+    // CSR over pairs: entries [jump_offset[p], jump_offset[p + 1]).
+    std::vector<std::size_t> jump_offset;
+    std::vector<std::size_t> jump_target;
+    std::vector<double> jump_prob;
 };
 
 Uniformized uniformize(const CtmdpModel& model) {
@@ -29,7 +36,9 @@ Uniformized uniformize(const CtmdpModel& model) {
     const std::size_t n_pairs = model.pair_count();
     u.step_cost.resize(n_pairs);
     u.stay.resize(n_pairs);
-    u.jumps.resize(n_pairs);
+    u.jump_offset.assign(n_pairs + 1, 0);
+    u.jump_target.reserve(model.transition_count());
+    u.jump_prob.reserve(model.transition_count());
     for (std::size_t p = 0; p < n_pairs; ++p) {
         const std::size_t s = model.pair_state(p);
         const std::size_t a = model.pair_action(p);
@@ -38,9 +47,11 @@ Uniformized uniformize(const CtmdpModel& model) {
         double move = 0.0;
         for (const auto& t : act.transitions) {
             if (t.target == s || t.rate <= 0.0) continue;
-            u.jumps[p].push_back(Transition{t.target, t.rate / u.lambda});
+            u.jump_target.push_back(t.target);
+            u.jump_prob.push_back(t.rate / u.lambda);
             move += t.rate / u.lambda;
         }
+        u.jump_offset[p + 1] = u.jump_target.size();
         u.stay[p] = 1.0 - move;
         SOCBUF_ASSERT(u.stay[p] > 0.0);
     }
@@ -57,7 +68,11 @@ ViResult relative_value_iteration(const CtmdpModel& model,
     const Uniformized u = uniformize(model);
     const std::size_t n = model.state_count();
 
+    // Cold start from zeros; a size-matched warm seed (the converged bias
+    // of a structurally identical model) starts the iteration near the
+    // fixed point instead.
     linalg::Vector h(n, 0.0);
+    if (options.initial_values.size() == n) h = options.initial_values;
     linalg::Vector th(n, 0.0);
     std::vector<std::size_t> greedy(n, 0);
 
@@ -69,8 +84,9 @@ ViResult relative_value_iteration(const CtmdpModel& model,
             for (std::size_t a = 0; a < model.action_count(s); ++a) {
                 const std::size_t p = model.pair_index(s, a);
                 double value = u.step_cost[p] + u.stay[p] * h[s];
-                for (const auto& j : u.jumps[p])
-                    value += j.rate * h[j.target];
+                for (std::size_t k = u.jump_offset[p];
+                     k < u.jump_offset[p + 1]; ++k)
+                    value += u.jump_prob[k] * h[u.jump_target[k]];
                 if (value < best) {
                     best = value;
                     best_a = a;

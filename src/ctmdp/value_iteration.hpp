@@ -25,6 +25,13 @@ struct ViOptions {
     double tolerance = 1e-10;        // on the per-step gain bounds
     std::size_t max_iterations = 500000;
     std::size_t reference_state = 0;
+    /// Warm start: initial relative values (converged bias of a nearby
+    /// model, injected by SolveCache's warm path). Empty — or any size
+    /// other than the model's state count — starts from zeros, the
+    /// classic cold iteration. A warm seed changes only the trajectory
+    /// to the fixed point (fewer iterations), so the result agrees with
+    /// the cold solve to the stopping tolerance, not bit for bit.
+    linalg::Vector initial_values;
 };
 
 /// Minimize long-run average cost with relative value iteration on the

@@ -1,0 +1,88 @@
+#include "linalg/sparse.hpp"
+
+#include "util/contracts.hpp"
+
+#include <cmath>
+
+namespace socbuf::linalg {
+
+SparseMatrix SparseMatrix::from_triplets(
+    std::size_t rows, std::size_t cols,
+    const std::vector<SparseEntry>& entries) {
+    SparseMatrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.row_offset_.assign(rows + 1, 0);
+    m.col_.reserve(entries.size());
+    m.value_.reserve(entries.size());
+    std::size_t current = 0;
+    for (const SparseEntry& e : entries) {
+        SOCBUF_REQUIRE_MSG(e.row < rows && e.col < cols,
+                           "sparse entry out of range");
+        SOCBUF_REQUIRE_MSG(e.row >= current,
+                           "sparse entries must have non-decreasing rows");
+        while (current < e.row) m.row_offset_[++current] = m.col_.size();
+        m.col_.push_back(e.col);
+        m.value_.push_back(e.value);
+    }
+    while (current < rows) m.row_offset_[++current] = m.col_.size();
+    return m;
+}
+
+SparseMatrix SparseMatrix::from_dense(const Matrix& dense,
+                                      double drop_tolerance) {
+    std::vector<SparseEntry> entries;
+    for (std::size_t r = 0; r < dense.rows(); ++r)
+        for (std::size_t c = 0; c < dense.cols(); ++c) {
+            const double v = dense(r, c);
+            if (v == 0.0 || std::fabs(v) <= drop_tolerance) continue;
+            entries.push_back({r, c, v});
+        }
+    return from_triplets(dense.rows(), dense.cols(), entries);
+}
+
+double SparseMatrix::density() const {
+    const double cells =
+        static_cast<double>(rows_) * static_cast<double>(cols_);
+    return cells > 0.0 ? static_cast<double>(nnz()) / cells : 0.0;
+}
+
+Vector SparseMatrix::multiply(const Vector& x) const {
+    SOCBUF_REQUIRE_MSG(x.size() == cols_, "A*x size mismatch");
+    Vector y(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        for (std::size_t k = row_offset_[r]; k < row_offset_[r + 1]; ++k)
+            acc += value_[k] * x[col_[k]];
+        y[r] = acc;
+    }
+    return y;
+}
+
+Vector SparseMatrix::multiply_transposed(const Vector& x) const {
+    SOCBUF_REQUIRE_MSG(x.size() == rows_, "A^T*x size mismatch");
+    Vector y(cols_, 0.0);
+    add_transposed_into(x, y);
+    return y;
+}
+
+void SparseMatrix::add_transposed_into(const Vector& x, Vector& y) const {
+    SOCBUF_REQUIRE_MSG(x.size() == rows_ && y.size() == cols_,
+                       "A^T*x accumulate size mismatch");
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const double xr = x[r];
+        if (xr == 0.0) continue;
+        for (std::size_t k = row_offset_[r]; k < row_offset_[r + 1]; ++k)
+            y[col_[k]] += value_[k] * xr;
+    }
+}
+
+Matrix SparseMatrix::to_dense() const {
+    Matrix out(rows_, cols_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t k = row_offset_[r]; k < row_offset_[r + 1]; ++k)
+            out(r, col_[k]) += value_[k];
+    return out;
+}
+
+}  // namespace socbuf::linalg

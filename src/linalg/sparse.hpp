@@ -1,0 +1,87 @@
+// Compressed-row (CSR) sparse matrix for the structure-exploiting solver
+// paths. Subsystem CTMDP generators have ~flows non-zeros per row, so the
+// dense kernels waste a factor of |S|/flows in both memory traffic and
+// arithmetic; this type stores only the structural non-zeros while keeping
+// the *fold order* of the dense kernels — a CSR mat-vec accumulates a
+// row's stored entries left to right exactly like Matrix::multiply walks
+// the full row, so on models whose skipped entries are exact zeros the
+// results are bit-identical to the dense path (pinned in linalg_test).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace socbuf::linalg {
+
+/// One explicit entry of a sparse matrix under construction.
+struct SparseEntry {
+    std::size_t row = 0;
+    std::size_t col = 0;
+    double value = 0.0;
+};
+
+class SparseMatrix {
+public:
+    SparseMatrix() = default;
+
+    /// Build from explicit entries. Rows must be non-decreasing (the
+    /// builder is a single forward pass); within a row, entries keep their
+    /// given order — that order *is* the mat-vec fold order. Duplicate
+    /// (row, col) entries are kept and accumulate like repeated terms.
+    [[nodiscard]] static SparseMatrix from_triplets(
+        std::size_t rows, std::size_t cols,
+        const std::vector<SparseEntry>& entries);
+
+    /// Compress a dense matrix, dropping exact zeros (and, optionally,
+    /// entries with |v| <= drop_tolerance). Row-major scan, so the stored
+    /// order matches the dense fold order.
+    [[nodiscard]] static SparseMatrix from_dense(const Matrix& dense,
+                                                 double drop_tolerance = 0.0);
+
+    [[nodiscard]] std::size_t rows() const { return rows_; }
+    [[nodiscard]] std::size_t cols() const { return cols_; }
+    [[nodiscard]] std::size_t nnz() const { return value_.size(); }
+    /// nnz / (rows * cols); 0 for an empty shape.
+    [[nodiscard]] double density() const;
+
+    /// Entry range of row r: indices [row_begin(r), row_end(r)) into
+    /// col_index()/value().
+    [[nodiscard]] std::size_t row_begin(std::size_t r) const {
+        return row_offset_[r];
+    }
+    [[nodiscard]] std::size_t row_end(std::size_t r) const {
+        return row_offset_[r + 1];
+    }
+    [[nodiscard]] std::size_t col_index(std::size_t k) const {
+        return col_[k];
+    }
+    [[nodiscard]] double value(std::size_t k) const { return value_[k]; }
+
+    /// y = A x over stored entries; per row, the stored order is the fold
+    /// order (bit-identical to the dense product when the skipped entries
+    /// are exact zeros).
+    [[nodiscard]] Vector multiply(const Vector& x) const;
+
+    /// y = A^T x, scatter form: rows in order, y[col] += v * x[row] —
+    /// the same op order as Matrix::multiply_transposed restricted to the
+    /// stored entries.
+    [[nodiscard]] Vector multiply_transposed(const Vector& x) const;
+
+    /// y[col] += v * x[row] for every stored entry, rows in order — the
+    /// in-place scatter the stationary power iteration uses.
+    void add_transposed_into(const Vector& x, Vector& y) const;
+
+    /// Materialize back to dense (tests / diagnostics).
+    [[nodiscard]] Matrix to_dense() const;
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<std::size_t> row_offset_;  // size rows_ + 1
+    std::vector<std::size_t> col_;
+    std::vector<double> value_;
+};
+
+}  // namespace socbuf::linalg

@@ -11,11 +11,19 @@ namespace socbuf::lp {
 
 namespace {
 
-// Dense tableau:
+// Column-major tableau:
 //   rows 0..m-1: constraint rows, column layout [structural | slack/surplus |
 //                artificial | rhs]
 //   row m      : reduced-cost row for the active phase; its rhs cell holds
 //                minus the current objective value.
+// Columns are stored contiguously (tab_[c * col_stride_ + r]) because the
+// pivot — by far the dominant cost — is a rank-1 update that walks whole
+// columns: the rewritten loop streams each column once, skips columns whose
+// pivot-row entry is zero (the dense update would subtract f * 0
+// everywhere), and skips rows whose elimination factor is zero, which on
+// our sparse occupation-measure LPs leaves most of the tableau untouched.
+// Each surviving cell computes the identical expression the row-major
+// update did (factor * (pivot_entry * inv)), so results are bit-identical.
 class Tableau {
 public:
     Tableau(const LinearProgram& lp, const SimplexOptions& options)
@@ -49,10 +57,10 @@ public:
 
 private:
     [[nodiscard]] double& cell(std::size_t r, std::size_t c) {
-        return tab_[r * stride_ + c];
+        return tab_[c * col_stride_ + r];
     }
     [[nodiscard]] double cell(std::size_t r, std::size_t c) const {
-        return tab_[r * stride_ + c];
+        return tab_[c * col_stride_ + r];
     }
     [[nodiscard]] double rhs(std::size_t r) const {
         return cell(r, n_total_);
@@ -82,8 +90,8 @@ private:
         slack_begin_ = n_struct_;
         art_begin_ = n_struct_ + n_slack;
         n_total_ = n_struct_ + n_slack + n_art;
-        stride_ = n_total_ + 1;
-        tab_.assign((m_ + 1) * stride_, 0.0);
+        col_stride_ = m_ + 1;
+        tab_.assign((n_total_ + 1) * col_stride_, 0.0);
         basis_.assign(m_, 0);
         is_artificial_.assign(n_total_, false);
         needs_phase1_ = n_art > 0;
@@ -250,19 +258,34 @@ private:
     }
 
     void pivot(std::size_t row, std::size_t col) {
-        const double p = cell(row, col);
+        double* entering = &tab_[col * col_stride_];
+        const double p = entering[row];
         SOCBUF_ASSERT(std::fabs(p) > 0.0);
         const double inv = 1.0 / p;
-        for (std::size_t c = 0; c <= n_total_; ++c) cell(row, c) *= inv;
-        cell(row, col) = 1.0;  // kill round-off on the pivot cell
-        for (std::size_t r = 0; r <= m_; ++r) {
-            if (r == row) continue;
-            const double factor = cell(r, col);
-            if (factor == 0.0) continue;
-            for (std::size_t c = 0; c <= n_total_; ++c)
-                cell(r, c) -= factor * cell(row, c);
-            cell(r, col) = 0.0;
+        // Snapshot the entering column first: its entries are the per-row
+        // elimination factors, and the update below overwrites them.
+        factor_buf_.assign(entering, entering + m_ + 1);
+        for (std::size_t c = 0; c <= n_total_; ++c) {
+            if (c == col) continue;
+            double* colp = &tab_[c * col_stride_];
+            const double pr = colp[row];
+            // Zero pivot-row entry: the scaled pivot value is zero, so
+            // every elimination in this column subtracts f * 0 — skip it
+            // wholesale. This is where tableau sparsity pays off.
+            if (pr == 0.0) continue;
+            const double sp = pr * inv;  // scale once, like the dense path
+            colp[row] = sp;
+            for (std::size_t r = 0; r <= m_; ++r) {
+                if (r == row) continue;
+                const double f = factor_buf_[r];
+                if (f == 0.0) continue;
+                colp[r] -= f * sp;
+            }
         }
+        // The entering column becomes the unit vector e_row, exactly as
+        // the row-major update left it.
+        for (std::size_t r = 0; r <= m_; ++r) entering[r] = 0.0;
+        entering[row] = 1.0;
         basis_[row] = col;
         ++iterations_;
     }
@@ -317,13 +340,14 @@ public:
 private:
     SimplexOptions opts_;
     std::vector<double> tab_;
+    std::vector<double> factor_buf_;  // scratch for pivot()
     std::vector<std::size_t> basis_;
     std::vector<bool> is_artificial_;
     std::size_t n_struct_ = 0;
     std::size_t slack_begin_ = 0;
     std::size_t art_begin_ = 0;
     std::size_t n_total_ = 0;
-    std::size_t stride_ = 0;
+    std::size_t col_stride_ = 0;  // m_ + 1 (rows per stored column)
     std::size_t m_ = 0;
     std::size_t iterations_ = 0;
     bool needs_phase1_ = false;

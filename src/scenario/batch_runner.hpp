@@ -83,6 +83,25 @@ struct BatchOptions {
     /// either way — this knob moves only *when* jobs start, which is
     /// what first_eval_latency_s measures.
     bool priority_scheduling = true;
+    /// Nearest-fingerprint warm starts in the batch's own solve cache:
+    /// a miss whose model structure matches an already-solved entry
+    /// seeds PI/VI with that entry's converged policy/bias. Saves
+    /// iterations on budget sweeps, but seeded solves converge along a
+    /// different trajectory — results agree to solver tolerance, NOT bit
+    /// for bit — so this is opt-in and default off: the batch
+    /// determinism contract (identical reports at any worker count)
+    /// holds unconditionally only when it stays off. Ignored when
+    /// shared_cache is set (that cache was constructed with its own
+    /// warm flag) or when use_solve_cache is false.
+    bool warm_start = false;
+    /// Submit same-priority sizing jobs longest-first: jobs are ordered
+    /// by descending estimated solve cost (per subsystem,
+    /// (model_cap+1)^flows states x (flows+1) actions) before entering
+    /// the task graph, so the biggest CTMDPs start before the small fry
+    /// and the batch's makespan is not hostage to a monster job queued
+    /// last. Pure submission-order change: results are folded in
+    /// expansion order and stay bit-identical either way.
+    bool longest_first = true;
 };
 
 /// One (scenario, variant, budget) outcome with its replicated evaluation.

@@ -7,7 +7,7 @@ namespace socbuf {
 Session::Session(SessionOptions options)
     : options_(options),
       executor_(options.threads),
-      cache_(options.cache_capacity) {}
+      cache_(options.cache_capacity, options.warm_start) {}
 
 scenario::BatchReport Session::run(const std::string& name) {
     return run(registry_.expand(name));
@@ -27,6 +27,8 @@ scenario::BatchReport Session::run(
     batch.cache_capacity = options_.cache_capacity;
     batch.shared_cache = &cache_;
     batch.priority_scheduling = options_.priority_scheduling;
+    batch.warm_start = options_.warm_start;  // echoed; cache_ owns the flag
+    batch.longest_first = options_.longest_first;
     scenario::BatchRunner runner(executor_, batch);
     return runner.run(specs);
 }

@@ -52,6 +52,17 @@ struct SessionOptions {
     /// claims. Reports are bit-identical either way — only the schedule
     /// (and BatchReport::first_eval_latency_s) moves.
     bool priority_scheduling = true;
+    /// Warm-start PI/VI solves from the most recent structurally
+    /// identical cached solution (nearest-fingerprint seeding in the
+    /// session's solve cache). Cuts iterations on budget sweeps, but a
+    /// seeded solve converges along a different trajectory: results agree
+    /// to solver tolerance, not bit for bit, so the default stays off —
+    /// the bit-identical-reports contract above holds only then.
+    bool warm_start = false;
+    /// Submit sizing jobs longest-estimated-first inside each batch.
+    /// Schedule-only (results bit-identical); see
+    /// scenario::BatchOptions::longest_first.
+    bool longest_first = true;
 };
 
 class Session {

@@ -1,3 +1,5 @@
+#include "arch/presets.hpp"
+#include "core/subsystem_model.hpp"
 #include "ctmc/birth_death.hpp"
 #include "ctmdp/lp_solver.hpp"
 #include "ctmdp/model.hpp"
@@ -8,6 +10,7 @@
 #include "ctmdp/value_iteration.hpp"
 #include "exec/parallel.hpp"
 #include "exec/thread_pool.hpp"
+#include "split/splitter.hpp"
 #include "util/contracts.hpp"
 
 #include <gtest/gtest.h>
@@ -302,7 +305,7 @@ TEST(Occupation, MarginalsAndQuantiles) {
 TEST(SolverRegistry, ForcedChoicesRunTheRequestedAlgorithm) {
     const auto m = two_state_toy();
     sm::SolverRegistry registry;
-    for (const auto [choice, kind] :
+    for (const auto& [choice, kind] :
          {std::pair{sm::SolverChoice::kLp, sm::SolverKind::kLp},
           std::pair{sm::SolverChoice::kValueIteration,
                     sm::SolverKind::kValueIteration},
@@ -419,4 +422,131 @@ TEST(MakeSolver, StandaloneSolversCarryTheirIdentity) {
         EXPECT_NEAR(sol.gain, 1.0, 1e-8);
         EXPECT_EQ(sol.solved_by, kind);
     }
+}
+
+TEST(Model, BandwidthAndTransitionCountTrackStructure) {
+    sm::CtmdpModel m;
+    for (int i = 0; i < 5; ++i) m.add_state();
+    sm::Action a;
+    a.transitions = {{1, 1.0}, {0, 0.0}};  // zero-rate edge: count, no band
+    m.add_action(0, a);
+    EXPECT_EQ(m.bandwidth(), 1u);
+    EXPECT_EQ(m.transition_count(), 2u);
+    sm::Action b;
+    b.transitions = {{4, 2.0}};
+    m.add_action(1, b);  // |4 - 1| = 3 widens the band
+    EXPECT_EQ(m.bandwidth(), 3u);
+    EXPECT_EQ(m.transition_count(), 3u);
+    for (int i = 0; i < 3; ++i) {
+        sm::Action c;
+        c.transitions = {{0, 1.0}};
+        m.add_action(2 + i, c);
+    }
+    EXPECT_EQ(m.bandwidth(), 4u);  // state 4 -> 0
+}
+
+namespace {
+
+/// Every figure1 subsystem as a CTMDP at the given per-flow cap — the
+/// "preset subsystems" the banded-vs-dense pinning sweeps.
+std::vector<socbuf::core::SubsystemCtmdp> figure1_subsystems(long cap) {
+    static const auto sys = socbuf::arch::figure1_system();
+    static const auto split = socbuf::split::split_architecture(sys);
+    std::vector<socbuf::core::SubsystemCtmdp> models;
+    for (const auto& sub : split.subsystems) {
+        std::vector<long> caps(sub.flows.size(), cap);
+        std::vector<double> rates;
+        for (const auto& f : sub.flows) rates.push_back(f.arrival_rate);
+        models.emplace_back(sub, caps, rates);
+    }
+    return models;
+}
+
+}  // namespace
+
+TEST(PolicyIteration, BandedEvaluationMatchesDenseOnPresetSubsystems) {
+    // The bordered-banded evaluation is a different elimination order, so
+    // agreement is to solver tolerance, not bit for bit; gains, biases
+    // and the selected policies must still coincide. Cap 3 puts the
+    // 3-flow bus over the n >= 40 gate (64 states, bandwidth 16).
+    for (const long cap : {3L, 4L}) {
+        for (const auto& sub : figure1_subsystems(cap)) {
+            const auto& model = sub.model();
+            sm::PiOptions banded;
+            banded.banded_evaluation = true;
+            sm::PiOptions dense;
+            dense.banded_evaluation = false;
+            const auto rb = sm::policy_iteration(model, banded);
+            const auto rd = sm::policy_iteration(model, dense);
+            ASSERT_TRUE(rb.converged);
+            ASSERT_TRUE(rd.converged);
+            EXPECT_NEAR(rb.gain, rd.gain, 1e-8)
+                << "states " << model.state_count();
+            EXPECT_EQ(rb.policy.choices(), rd.policy.choices());
+            ASSERT_EQ(rb.bias.size(), rd.bias.size());
+            for (std::size_t s = 0; s < rb.bias.size(); ++s)
+                EXPECT_NEAR(rb.bias[s], rd.bias[s], 1e-7);
+        }
+    }
+}
+
+TEST(SolverRegistry, SparseVsDensePathsAgreeOnPresetSubsystems) {
+    // Registry-level pinning across every preset subsystem: the banded-PI
+    // and (CSR) VI paths must agree with the LP on the optimal gain.
+    sm::SolverRegistry registry;
+    for (const auto& sub : figure1_subsystems(2)) {
+        const auto& model = sub.model();
+        sm::DispatchOptions lp;
+        lp.choice = sm::SolverChoice::kLp;
+        sm::DispatchOptions pi;
+        pi.choice = sm::SolverChoice::kPolicyIteration;
+        sm::DispatchOptions vi;
+        vi.choice = sm::SolverChoice::kValueIteration;
+        const auto rlp = registry.solve(model, lp);
+        const auto rpi = registry.solve(model, pi);
+        const auto rvi = registry.solve(model, vi);
+        EXPECT_NEAR(rlp.gain, rpi.gain, 1e-6);
+        EXPECT_NEAR(rlp.gain, rvi.gain, 1e-6);
+    }
+}
+
+TEST(PolicyIteration, WarmSeedConvergesInOneUpdate) {
+    const auto models = figure1_subsystems(3);
+    const auto& model = models.front().model();
+    const auto cold = sm::policy_iteration(model);
+    ASSERT_TRUE(cold.converged);
+    sm::PiOptions warm;
+    warm.initial_policy = cold.policy.choices();
+    const auto seeded = sm::policy_iteration(model, warm);
+    ASSERT_TRUE(seeded.converged);
+    // Re-evaluating the converged policy confirms it greedily; one update.
+    EXPECT_EQ(seeded.policy_updates, 1u);
+    EXPECT_LE(seeded.policy_updates, cold.policy_updates);
+    EXPECT_NEAR(seeded.gain, cold.gain, 1e-10);
+    EXPECT_EQ(seeded.policy.choices(), cold.policy.choices());
+    // A malformed seed (wrong size) falls back to the cold start.
+    sm::PiOptions bad;
+    bad.initial_policy = {0};
+    const auto fallback = sm::policy_iteration(model, bad);
+    EXPECT_EQ(fallback.policy_updates, cold.policy_updates);
+    EXPECT_EQ(fallback.policy.choices(), cold.policy.choices());
+}
+
+TEST(ValueIteration, WarmSeedCutsIterations) {
+    const auto models = figure1_subsystems(3);
+    const auto& model = models.front().model();
+    const auto cold = sm::relative_value_iteration(model);
+    ASSERT_TRUE(cold.converged);
+    sm::ViOptions warm;
+    warm.initial_values = cold.bias;
+    const auto seeded = sm::relative_value_iteration(model, warm);
+    ASSERT_TRUE(seeded.converged);
+    EXPECT_LT(seeded.iterations, cold.iterations);
+    EXPECT_NEAR(seeded.gain, cold.gain, 1e-7);
+    // A size-mismatched seed is ignored: identical to the cold run.
+    sm::ViOptions bad;
+    bad.initial_values = {1.0, 2.0};
+    const auto fallback = sm::relative_value_iteration(model, bad);
+    EXPECT_EQ(fallback.iterations, cold.iterations);
+    EXPECT_EQ(fallback.gain, cold.gain);
 }

@@ -1,5 +1,7 @@
+#include "linalg/banded.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
 #include "util/contracts.hpp"
 
 #include <gtest/gtest.h>
@@ -134,3 +136,160 @@ TEST_P(LuPropertyTest, RandomSystemsHaveTinyResiduals) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, LuPropertyTest,
                          ::testing::Values(1, 2, 3, 5, 10, 25, 60, 120));
+
+namespace {
+
+/// Random banded diagonally-dominant system: entries in |c - r| <= bw,
+/// deterministic per (n, bw).
+sl::Matrix random_banded(int n, int bw, unsigned salt) {
+    std::mt19937_64 gen(777u + salt);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    sl::Matrix a(n, n);
+    for (int r = 0; r < n; ++r) {
+        for (int c = std::max(0, r - bw); c <= std::min(n - 1, r + bw); ++c)
+            a(r, c) = dist(gen);
+        a(r, r) += static_cast<double>(n);
+    }
+    return a;
+}
+
+}  // namespace
+
+TEST(Sparse, FromTripletsKeepsOrderAndDuplicates) {
+    // Duplicates stay as repeated terms; within-row order is preserved.
+    const std::vector<sl::SparseEntry> entries{
+        {0, 1, 2.0}, {0, 1, 3.0}, {1, 0, -1.0}, {2, 2, 4.0}};
+    const auto m = sl::SparseMatrix::from_triplets(3, 3, entries);
+    EXPECT_EQ(m.nnz(), 4u);
+    EXPECT_EQ(m.row_begin(0), 0u);
+    EXPECT_EQ(m.row_end(0), 2u);
+    EXPECT_DOUBLE_EQ(m.value(0), 2.0);
+    EXPECT_DOUBLE_EQ(m.value(1), 3.0);
+    const auto y = m.multiply({1.0, 1.0, 1.0});
+    EXPECT_DOUBLE_EQ(y[0], 5.0);  // 2 + 3 accumulate
+    EXPECT_DOUBLE_EQ(y[1], -1.0);
+    EXPECT_DOUBLE_EQ(y[2], 4.0);
+    EXPECT_THROW(sl::SparseMatrix::from_triplets(
+                     2, 2, {{1, 0, 1.0}, {0, 0, 1.0}}),  // rows decrease
+                 socbuf::util::ContractViolation);
+}
+
+TEST(Sparse, RoundTripThroughDense) {
+    const auto dense = random_banded(12, 3, 1u);
+    const auto sparse = sl::SparseMatrix::from_dense(dense);
+    const auto back = sparse.to_dense();
+    for (std::size_t r = 0; r < 12; ++r)
+        for (std::size_t c = 0; c < 12; ++c)
+            EXPECT_EQ(back(r, c), dense(r, c));
+    EXPECT_LT(sparse.density(), 1.0);
+}
+
+TEST(Sparse, MultiplyBitIdenticalToDenseOnBandedSystems) {
+    // The CSR fold visits the same non-zeros in the same order the dense
+    // row walk does; skipped entries are exact zeros, so the sums carry
+    // identical intermediate values: bitwise equality, not just closeness.
+    for (const int n : {5, 23, 60}) {
+        const auto dense = random_banded(n, 4, static_cast<unsigned>(n));
+        const auto sparse = sl::SparseMatrix::from_dense(dense);
+        std::mt19937_64 gen(9000u + static_cast<unsigned>(n));
+        std::uniform_real_distribution<double> dist(-1.0, 1.0);
+        sl::Vector x(n);
+        for (int i = 0; i < n; ++i) x[i] = dist(gen);
+        EXPECT_EQ(sparse.multiply(x), dense.multiply(x));
+        EXPECT_EQ(sparse.multiply_transposed(x),
+                  dense.multiply_transposed(x));
+    }
+}
+
+TEST(Banded, BandwidthsOfDetectsBands) {
+    const auto a = sl::Matrix::from_rows(
+        {{1.0, 2.0, 0.0}, {0.0, 3.0, 4.0}, {5.0, 0.0, 6.0}});
+    const auto bw = sl::bandwidths_of(a);
+    EXPECT_EQ(bw.lower, 2u);  // a(2,0)
+    EXPECT_EQ(bw.upper, 1u);  // a(0,1), a(1,2)
+}
+
+TEST(Banded, MatrixStorageRoundTrip) {
+    sl::BandedMatrix b(4, 1, 1);
+    b.at(0, 0) = 1.0;
+    b.at(0, 1) = 2.0;
+    b.at(2, 1) = -3.0;
+    EXPECT_DOUBLE_EQ(b.get(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(b.get(0, 2), 0.0);  // out of band reads as zero
+    EXPECT_THROW(static_cast<void>(b.at(0, 2)),
+                 socbuf::util::ContractViolation);
+    const auto dense = b.to_dense();
+    EXPECT_DOUBLE_EQ(dense(2, 1), -3.0);
+    EXPECT_DOUBLE_EQ(dense(3, 3), 0.0);
+}
+
+TEST(Banded, SingularMatrixThrows) {
+    sl::BandedMatrix b(2, 1, 1);
+    b.at(0, 0) = 1.0;
+    b.at(0, 1) = 2.0;
+    b.at(1, 0) = 0.5;
+    b.at(1, 1) = 1.0;  // row 1 = 0.5 * row 0: singular
+    EXPECT_THROW(sl::BandedLu{b}, socbuf::util::NumericalError);
+}
+
+class BandedLuPropertyTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(BandedLuPropertyTest, SolveBitIdenticalToDenseLu) {
+    // The headline contract: on banded input, the banded LU makes the
+    // same pivot choices and performs the same arithmetic as the dense
+    // factorization, so the solutions match bit for bit (EXPECT_EQ on
+    // doubles, no tolerance).
+    const auto [n, bw] = GetParam();
+    const auto dense = random_banded(n, bw, static_cast<unsigned>(n * bw));
+    sl::BandedMatrix banded(n, bw, bw);
+    for (int r = 0; r < n; ++r)
+        for (int c = std::max(0, r - bw); c <= std::min(n - 1, r + bw); ++c)
+            banded.at(r, c) = dense(r, c);
+    std::mt19937_64 gen(31u + static_cast<unsigned>(n));
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    sl::Vector b(n);
+    for (int i = 0; i < n; ++i) b[i] = dist(gen);
+    const auto x_banded = sl::solve_banded_system(banded, b);
+    const auto x_dense = sl::solve_linear_system(dense, b);
+    ASSERT_EQ(x_banded.size(), x_dense.size());
+    for (int i = 0; i < n; ++i) EXPECT_EQ(x_banded[i], x_dense[i]);
+    EXPECT_LT(sl::residual_inf(dense, x_banded, b), 1e-9);
+}
+
+TEST_P(BandedLuPropertyTest, PivotingSystemsStayBitIdentical) {
+    // Force row interchanges: build a diagonally dominant system with
+    // band bw - 1, then swap each adjacent row pair. The swapped matrix
+    // is exactly as well conditioned but fits band bw, and every even
+    // column's dominant entry now sits one row below the diagonal, so
+    // partial pivoting must interchange at every even step.
+    const auto [n, bw] = GetParam();
+    if (bw == 0) return;  // band 0 leaves no room for the swapped rows
+    const int inner = bw - 1;
+    sl::Matrix dense(n, n);
+    std::mt19937_64 gen(555u + static_cast<unsigned>(n));
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    for (int r = 0; r < n; ++r)
+        for (int c = std::max(0, r - inner); c <= std::min(n - 1, r + inner);
+             ++c)
+            dense(r, c) = dist(gen);
+    for (int r = 0; r < n; ++r) dense(r, r) += 10.0 * n;
+    for (int r = 0; r + 1 < n; r += 2)
+        for (int c = 0; c < n; ++c) std::swap(dense(r, c), dense(r + 1, c));
+    sl::BandedMatrix banded(n, bw, bw);
+    for (int r = 0; r < n; ++r)
+        for (int c = std::max(0, r - bw); c <= std::min(n - 1, r + bw); ++c)
+            banded.at(r, c) = dense(r, c);
+    sl::Vector b(n);
+    for (int i = 0; i < n; ++i) b[i] = dist(gen);
+    const auto x_banded = sl::solve_banded_system(banded, b);
+    const auto x_dense = sl::solve_linear_system(dense, b);
+    for (int i = 0; i < n; ++i) EXPECT_EQ(x_banded[i], x_dense[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndBands, BandedLuPropertyTest,
+    ::testing::Values(std::pair<int, int>{1, 0}, std::pair<int, int>{4, 1},
+                      std::pair<int, int>{10, 2}, std::pair<int, int>{25, 3},
+                      std::pair<int, int>{60, 5},
+                      std::pair<int, int>{120, 16}));

@@ -453,3 +453,69 @@ TEST(BatchReport, SerializesToJsonAndCsv) {
     // Two runs + header = three lines.
     EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
 }
+
+TEST(BatchRunner, LongestFirstSubmissionMatchesFifoBitForBit) {
+    // Longest-first ordering moves only the submission schedule; the
+    // index-addressed report slots make the serialized report identical
+    // bit for bit, at any width.
+    ss::ScenarioSpec a = small_figure1();
+    a.name = "order-a";
+    a.budgets = {12, 18};
+    ss::ScenarioSpec b = small_figure1();
+    b.name = "order-b";
+    b.budgets = {16};
+    // A costlier job (bigger testbench), so the orderings genuinely
+    // differ: FIFO submits it last, longest-first submits it first.
+    b.testbench = ss::Testbench::kNetworkProcessor;
+    b.budgets = {160};
+    const std::vector<ss::ScenarioSpec> specs{a, b};
+
+    for (const std::size_t threads : {1UL, 4UL}) {
+        socbuf::exec::Executor exec(threads);
+        ss::BatchOptions fifo;
+        fifo.longest_first = false;
+        ss::BatchRunner fifo_runner(exec, fifo);
+        ss::BatchReport fifo_report = fifo_runner.run(specs);
+
+        ss::BatchOptions longest;
+        longest.longest_first = true;
+        ss::BatchRunner longest_runner(exec, longest);
+        ss::BatchReport longest_report = longest_runner.run(specs);
+
+        // Overlap is schedule-reflecting; everything serialized must
+        // agree exactly.
+        longest_report.eval_overlap = fifo_report.eval_overlap;
+        EXPECT_EQ(longest_report.to_json(), fifo_report.to_json())
+            << "threads=" << threads;
+    }
+}
+
+TEST(BatchRunner, WarmStartCountsSeedsWithoutChangingAnswers) {
+    // A budget sweep re-solves structurally identical subsystem CTMDPs
+    // with shifted costs; warm starts must seed those solves (counted in
+    // the report) while landing on the same allocations and losses.
+    ss::ScenarioSpec sweep = small_figure1();
+    sweep.budgets = {12, 14, 16, 18};
+
+    socbuf::exec::Executor serial(1);
+    ss::BatchRunner cold_runner(serial);
+    const auto cold = cold_runner.run(sweep);
+
+    ss::BatchOptions options;
+    options.warm_start = true;
+    ss::BatchRunner warm_runner(serial, options);
+    const auto warm = warm_runner.run(sweep);
+
+    EXPECT_GT(warm.cache.warm_hits, 0u);
+    expect_identical(warm, cold);
+
+    const auto json = socbuf::util::JsonValue::parse(warm.to_json());
+    EXPECT_TRUE(json.at("solve_cache").contains("warm_hits"));
+    EXPECT_TRUE(json.at("solve_cache").contains("iterations_saved"));
+    EXPECT_TRUE(json.at("solve_cache").contains("bytes_resident"));
+    EXPECT_GT(json.at("solve_cache").at("bytes_resident").as_number(), 0.0);
+
+    // Cold reports never count warm activity.
+    EXPECT_EQ(cold.cache.warm_hits, 0u);
+    EXPECT_EQ(cold.cache.iterations_saved, 0u);
+}

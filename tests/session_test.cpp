@@ -179,3 +179,29 @@ TEST(Session, DisabledCacheIsHonored) {
     EXPECT_FALSE(report.cache_enabled);
     EXPECT_EQ(report.cache.lookups(), 0u);
 }
+
+TEST(Session, WarmStartAndLongestFirstOptionsReachTheBatch) {
+    ss::ScenarioSpec sweep = small_figure1("session-sweep");
+    sweep.budgets = {12, 14, 16, 18};
+
+    SessionOptions cold_options;
+    cold_options.threads = 1;
+    Session cold_session(cold_options);
+    const auto cold = cold_session.run(sweep);
+    EXPECT_EQ(cold.cache.warm_hits, 0u);
+
+    SessionOptions warm_options;
+    warm_options.threads = 1;
+    warm_options.warm_start = true;
+    warm_options.longest_first = false;
+    Session warm_session(warm_options);
+    const auto warm = warm_session.run(sweep);
+    EXPECT_GT(warm.cache.warm_hits, 0u);
+
+    // Seeded solves land on the same allocations and losses here.
+    ASSERT_EQ(warm.runs.size(), cold.runs.size());
+    for (std::size_t i = 0; i < warm.runs.size(); ++i) {
+        EXPECT_EQ(warm.runs[i].resized_alloc, cold.runs[i].resized_alloc);
+        EXPECT_EQ(warm.runs[i].post_loss, cold.runs[i].post_loss);
+    }
+}

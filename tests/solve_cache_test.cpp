@@ -322,3 +322,92 @@ TEST(SolveCache, IsSafeToShareAcrossWorkers) {
     EXPECT_EQ(registry.stats().total_solves(), 8u);
     for (std::size_t i = 8; i < 32; ++i) EXPECT_EQ(gains[i], gains[i % 8]);
 }
+
+TEST(ModelStructureFingerprint, IgnoresRatesAndCostsButNotTopology) {
+    // Rate/cost changes keep the structure key (that is what makes a
+    // budget sweep warm-startable); topology changes break it.
+    const std::string key = sm::model_structure_fingerprint(queue_model(4, 0.8));
+    EXPECT_EQ(sm::model_structure_fingerprint(queue_model(4, 1.6)), key);
+    EXPECT_NE(sm::model_structure_fingerprint(queue_model(5, 0.8)), key);
+
+    auto rewired = queue_model(4, 0.8);
+    rewired.add_state("extra");
+    EXPECT_NE(sm::model_structure_fingerprint(rewired), key);
+}
+
+TEST(SolveCache, WarmStartSeedsStructurallyIdenticalSolves) {
+    sm::SolverRegistry registry;
+    sm::SolveCache cache(0, /*warm_start=*/true);
+    EXPECT_TRUE(cache.warm_start());
+    sm::DispatchOptions opts;
+    opts.choice = sm::SolverChoice::kPolicyIteration;
+
+    // Two different rates, one structure: the second solve is a cache
+    // miss (different fingerprint) but a warm hit (same structure), and
+    // the seeded solve still lands on the reference answer.
+    const auto cold = cache.solve(registry, queue_model(6, 0.8), opts);
+    EXPECT_EQ(cache.stats().warm_hits, 0u);
+    const auto warm = cache.solve(registry, queue_model(6, 0.82), opts);
+    EXPECT_EQ(cache.stats().misses, 2u);
+    EXPECT_EQ(cache.stats().warm_hits, 1u);
+
+    sm::SolverRegistry fresh;
+    const auto direct = fresh.solve(queue_model(6, 0.82), opts);
+    EXPECT_NEAR(warm.gain, direct.gain, 1e-9);
+    EXPECT_EQ(warm.policy.mode().choices(), direct.policy.mode().choices());
+
+    // Neighbouring rates share the optimal policy here, so the seeded PI
+    // run converges with fewer updates than the cold reference run.
+    EXPECT_LE(warm.iterations, direct.iterations);
+    EXPECT_EQ(cache.stats().iterations_saved,
+              direct.iterations - warm.iterations);
+}
+
+TEST(SolveCache, WarmStartOffNeverCountsWarmHits) {
+    sm::SolverRegistry registry;
+    sm::SolveCache cache;  // default: warm starts off
+    EXPECT_FALSE(cache.warm_start());
+    const sm::DispatchOptions opts;
+    (void)cache.solve(registry, queue_model(6, 0.8), opts);
+    (void)cache.solve(registry, queue_model(6, 0.82), opts);
+    EXPECT_EQ(cache.stats().misses, 2u);
+    EXPECT_EQ(cache.stats().warm_hits, 0u);
+    EXPECT_EQ(cache.stats().iterations_saved, 0u);
+}
+
+TEST(SolveCache, BytesResidentTracksEntriesAcrossEvictionAndClear) {
+    sm::SolverRegistry registry;
+    sm::SolveCache cache(2);
+    const sm::DispatchOptions opts;
+    EXPECT_EQ(cache.stats().bytes_resident, 0u);
+
+    (void)cache.solve(registry, queue_model(3, 0.7), opts);
+    const std::size_t one = cache.stats().bytes_resident;
+    EXPECT_GT(one, 0u);
+
+    // A bigger model's entry costs more bytes.
+    (void)cache.solve(registry, queue_model(9, 0.7), opts);
+    const std::size_t two = cache.stats().bytes_resident;
+    EXPECT_GT(two - one, one);
+
+    // Hits do not change residency.
+    (void)cache.solve(registry, queue_model(3, 0.7), opts);
+    EXPECT_EQ(cache.stats().bytes_resident, two);
+
+    // Eviction at capacity releases the victim's bytes.
+    (void)cache.solve(registry, queue_model(4, 0.7), opts);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    const std::size_t after_evict = cache.stats().bytes_resident;
+    EXPECT_LT(after_evict, two + (two - one));
+    EXPECT_GT(after_evict, 0u);
+
+    // A failed solve leaves no husk bytes behind.
+    EXPECT_THROW((void)cache.solve(registry, unsolvable_model(), opts),
+                 socbuf::util::ModelError);
+    EXPECT_EQ(cache.stats().bytes_resident, after_evict);
+
+    cache.clear();
+    EXPECT_EQ(cache.stats().bytes_resident, 0u);
+    EXPECT_EQ(cache.stats().warm_hits, 0u);
+    EXPECT_EQ(cache.stats().iterations_saved, 0u);
+}
