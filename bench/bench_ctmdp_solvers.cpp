@@ -15,6 +15,7 @@
 #include "core/subsystem_model.hpp"
 #include "ctmdp/solve_cache.hpp"
 #include "ctmdp/solver.hpp"
+#include "exec/executor.hpp"
 #include "split/splitter.hpp"
 #include "util/json.hpp"
 #include "util/strings.hpp"
@@ -44,6 +45,24 @@ socbuf::core::SubsystemCtmdp make_model(long cap, double rate_scale = 1.0) {
     for (const auto& f : bus_b->flows)
         rates.push_back(f.arrival_rate * rate_scale);
     return socbuf::core::SubsystemCtmdp(*bus_b, caps, rates);
+}
+
+/// An np-cluster-scaling ingress-bus subsystem model: pe PEs per cluster,
+/// every flow capped at `cap` — the wide-band family whose state count
+/// grows as (cap + 1)^(pe + 1), i.e. the VI-rung frontier. Returns the
+/// CTMDP by value (the split it was built from is a local).
+socbuf::ctmdp::CtmdpModel make_np_cluster_model(std::size_t pe, long cap) {
+    socbuf::arch::NetworkProcessorParams params;
+    params.pe_per_cluster = pe;
+    const auto sys = socbuf::arch::network_processor_system(params);
+    const auto split = socbuf::split::split_architecture(sys);
+    const socbuf::split::Subsystem* bus = nullptr;
+    for (const auto& sub : split.subsystems)
+        if (sub.bus_name == "ingress") bus = &sub;
+    std::vector<long> caps(bus->flows.size(), cap);
+    std::vector<double> rates;
+    for (const auto& f : bus->flows) rates.push_back(f.arrival_rate);
+    return socbuf::core::SubsystemCtmdp(*bus, caps, rates).model();
 }
 
 socbuf::ctmdp::DispatchOptions forced(socbuf::ctmdp::SolverChoice choice) {
@@ -175,10 +194,87 @@ void write_json_report(const std::string& path) {
                     cache.stats().iterations_saved, cold_s, warm_s);
     }
 
+    // VI at scale: serial Jacobi vs the executor-fanned sweep at four
+    // workers (bit-identical by contract — the `identical` flag verifies
+    // it) vs the opt-in Gauss–Seidel sweep, at the engine's VI-rung
+    // tolerance. Models: the figure-1 bus-b family (narrow band) and the
+    // np-cluster-scaling ingress buses at pe 6 and 8 (wide band). The
+    // pe-8 cap-3 model (262144 states, ~45 s serial) and pe >= 10 are
+    // beyond the CI budget and deliberately not measured here — the cap
+    // is the pe-8 cap-2 model at 19683 states (see bench/README.md).
+    auto vi_scaling = sj::JsonValue::array();
+    {
+        struct ViCase {
+            const char* label;
+            socbuf::ctmdp::CtmdpModel model;
+        };
+        std::vector<ViCase> cases;
+        cases.push_back({"figure1-bus-b cap=6", make_model(6).model()});
+        cases.push_back({"figure1-bus-b cap=8", make_model(8).model()});
+        cases.push_back({"np-ingress pe=6 cap=2", make_np_cluster_model(6, 2)});
+        cases.push_back({"np-ingress pe=6 cap=3", make_np_cluster_model(6, 3)});
+        cases.push_back({"np-ingress pe=8 cap=2", make_np_cluster_model(8, 2)});
+        socbuf::exec::Executor four(4);
+        for (auto& c : cases) {
+            const auto& model = c.model;
+            const int reps = model.state_count() > 4096 ? 1 : 3;
+            auto jacobi = forced(SolverChoice::kValueIteration);
+            jacobi.solver.vi.tolerance = 1e-7;       // the engine's VI rung
+            jacobi.solver.vi.max_iterations = 50000;
+            auto fanned = jacobi;
+            fanned.solver.vi.executor = &four;
+            fanned.solver.vi.parallel_min_states = 1;  // fan even small rows
+            auto gs = jacobi;
+            gs.solver.vi.sweep = socbuf::ctmdp::ViSweep::kGaussSeidel;
+
+            socbuf::ctmdp::SolverRegistry registry;
+            const auto serial_sol = registry.solve(model, jacobi);
+            const auto fanned_sol = registry.solve(model, fanned);
+            const auto gs_sol = registry.solve(model, gs);
+            const bool identical = serial_sol.gain == fanned_sol.gain &&
+                                   serial_sol.bias == fanned_sol.bias;
+            const double serial_s = best_solve_seconds(model, jacobi, reps);
+            const double fanned_s = best_solve_seconds(model, fanned, reps);
+            const double gs_s = best_solve_seconds(model, gs, reps);
+
+            auto row = sj::JsonValue::object();
+            row.set("label", std::string(c.label));
+            row.set("states", model.state_count());
+            row.set("bandwidth", model.bandwidth());
+            row.set("jacobi_s", serial_s);
+            row.set("jacobi_iterations", serial_sol.iterations);
+            row.set("parallel4_s", fanned_s);
+            row.set("parallel4_speedup",
+                    fanned_s > 0.0 ? serial_s / fanned_s : 0.0);
+            row.set("parallel4_identical", identical);
+            row.set("gs_s", gs_s);
+            row.set("gs_iterations", gs_sol.iterations);
+            row.set("gs_speedup", gs_s > 0.0 ? serial_s / gs_s : 0.0);
+            row.set("gs_iteration_ratio",
+                    gs_sol.iterations > 0
+                        ? static_cast<double>(serial_sol.iterations) /
+                              static_cast<double>(gs_sol.iterations)
+                        : 0.0);
+            row.set("gs_gain_delta", gs_sol.gain - serial_sol.gain);
+            vi_scaling.push_back(std::move(row));
+            std::printf(
+                "%s (%zu states): jacobi %.3fs/%zu it, parallel4 %.3fs "
+                "(identical %s), gs %.3fs/%zu it (%.2fx fewer sweeps)\n",
+                c.label, model.state_count(), serial_s,
+                serial_sol.iterations, fanned_s, identical ? "yes" : "NO",
+                gs_s, gs_sol.iterations,
+                gs_sol.iterations > 0
+                    ? static_cast<double>(serial_sol.iterations) /
+                          static_cast<double>(gs_sol.iterations)
+                    : 0.0);
+        }
+    }
+
     auto root = sj::JsonValue::object();
     root.set("bench", std::string("ctmdp_solvers"));
     root.set("dense_vs_banded_pi", std::move(dense_vs_banded));
     root.set("cold_vs_warm", std::move(cold_vs_warm));
+    root.set("vi_scaling", std::move(vi_scaling));
     std::ofstream out(path);
     out << root.dump(2) << "\n";
     std::printf("wrote %s\n", path.c_str());

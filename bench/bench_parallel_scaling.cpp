@@ -10,11 +10,21 @@
 //      the per-site thresholds) and the full driver get faster with more
 //      workers (on multi-core hardware; a 1-core container shows ~1x,
 //      which the table makes obvious rather than hiding).
+//
+// `--json <file>` writes the same measurements as one JSON document (the
+// perf-trajectory format), adding a VI-sweep thread-scaling column: the
+// executor-fanned Jacobi sweep on a 16384-state np ingress-bus model at
+// threads 1/2/4, with a per-row bit-identity flag against the one-thread
+// solve. The google-benchmark loop is skipped in that mode.
 #include "arch/presets.hpp"
 #include "core/experiments.hpp"
+#include "core/subsystem_model.hpp"
+#include "ctmdp/solver.hpp"
 #include "exec/executor.hpp"
 #include "exec/thread_pool.hpp"
 #include "sim/simulator.hpp"
+#include "split/splitter.hpp"
+#include "util/json.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -22,7 +32,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <functional>
+#include <string>
 
 namespace {
 
@@ -43,7 +55,9 @@ double seconds_of(const std::function<void()>& body) {
     return std::chrono::duration<double>(stop - start).count();
 }
 
-void print_scaling() {
+/// Run the figure-3 scaling measurements; print the table and, when
+/// `json_rows` is non-null, append one JSON row per thread count.
+void print_scaling(socbuf::util::JsonValue* json_rows) {
     std::printf("\n=== A9: parallel scaling on the Figure 3 workload "
                 "(hardware threads: %zu) ===\n",
                 socbuf::exec::resolve_thread_count(0));
@@ -108,8 +122,86 @@ void print_scaling() {
                        socbuf::util::format_fixed(fig_base / fig_s, 2) + "x)",
                    socbuf::util::format_fixed(fig.resized_total, 6),
                    identical ? "yes" : "NO"});
+        if (json_rows != nullptr) {
+            auto row = socbuf::util::JsonValue::object();
+            row.set("threads", threads);
+            row.set("replicate_losses_s", rep_s);
+            row.set("calibrate_s", cal_s);
+            row.set("run_figure3_s", fig_s);
+            row.set("resized_total", fig.resized_total);
+            row.set("identical", identical);
+            json_rows->push_back(std::move(row));
+        }
     }
     std::printf("%s", t.to_string().c_str());
+}
+
+/// The VI-sweep thread-scaling measurement: the executor-fanned Jacobi
+/// sweep on the 16384-state np-cluster-scaling ingress bus (pe = 6,
+/// cap = 3) at one, two and four workers. Results must be bit-identical
+/// at every width (chunk boundaries depend only on the state count);
+/// `identical` verifies gain and bias against the one-thread solve.
+socbuf::util::JsonValue vi_sweep_scaling() {
+    namespace sj = socbuf::util;
+    socbuf::arch::NetworkProcessorParams params;
+    params.pe_per_cluster = 6;
+    const auto sys = socbuf::arch::network_processor_system(params);
+    const auto split = socbuf::split::split_architecture(sys);
+    const socbuf::split::Subsystem* bus = nullptr;
+    for (const auto& sub : split.subsystems)
+        if (sub.bus_name == "ingress") bus = &sub;
+    std::vector<long> caps(bus->flows.size(), 3);
+    std::vector<double> rates;
+    for (const auto& f : bus->flows) rates.push_back(f.arrival_rate);
+    const socbuf::core::SubsystemCtmdp model(*bus, caps, rates);
+
+    auto rows = sj::JsonValue::array();
+    socbuf::ctmdp::SubsystemSolution reference;
+    double base_s = 0.0;
+    for (const std::size_t threads : {1UL, 2UL, 4UL}) {
+        socbuf::exec::Executor executor(threads);
+        socbuf::ctmdp::DispatchOptions d;
+        d.choice = socbuf::ctmdp::SolverChoice::kValueIteration;
+        d.solver.vi.tolerance = 1e-7;  // the engine's VI rung
+        d.solver.vi.max_iterations = 50000;
+        d.solver.vi.executor = &executor;
+        socbuf::ctmdp::SolverRegistry registry;
+        socbuf::ctmdp::SubsystemSolution solution;
+        const double s = seconds_of(
+            [&] { solution = registry.solve(model.model(), d); });
+        if (threads == 1) {
+            reference = solution;
+            base_s = s;
+        }
+        const bool identical = solution.gain == reference.gain &&
+                               solution.bias == reference.bias;
+        auto row = sj::JsonValue::object();
+        row.set("threads", threads);
+        row.set("states", model.model().state_count());
+        row.set("vi_solve_s", s);
+        row.set("speedup", s > 0.0 ? base_s / s : 0.0);
+        row.set("identical", identical);
+        rows.push_back(std::move(row));
+        std::printf("vi sweep (16384 states, %zu threads): %.3fs (%.2fx, "
+                    "identical %s)\n",
+                    threads, s, s > 0.0 ? base_s / s : 0.0,
+                    identical ? "yes" : "NO");
+    }
+    return rows;
+}
+
+void write_json_report(const std::string& path) {
+    namespace sj = socbuf::util;
+    auto figure3 = sj::JsonValue::array();
+    print_scaling(&figure3);
+    auto root = sj::JsonValue::object();
+    root.set("bench", std::string("parallel_scaling"));
+    root.set("hardware_threads", socbuf::exec::resolve_thread_count(0));
+    root.set("figure3_scaling", std::move(figure3));
+    root.set("vi_sweep_scaling", vi_sweep_scaling());
+    std::ofstream out(path);
+    out << root.dump(2) << "\n";
+    std::printf("wrote %s\n", path.c_str());
 }
 
 void BM_ReplicateLosses(benchmark::State& state) {
@@ -134,7 +226,16 @@ BENCHMARK(BM_ReplicateLosses)->Arg(1)->Arg(2)->Arg(4)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
-    print_scaling();
+    std::string json_path;
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::string(argv[i]) == "--json") json_path = argv[i + 1];
+    if (!json_path.empty()) {
+        // JSON mode is the CI/perf-trajectory entry point: the scaling
+        // measurements once, no google-benchmark loop.
+        write_json_report(json_path);
+        return 0;
+    }
+    print_scaling(nullptr);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -44,6 +44,9 @@ ctmdp::DispatchOptions make_dispatch(const SizingOptions& options) {
     // Scores need far less precision than the solver defaults.
     dispatch.solver.vi.tolerance = 1e-7;
     dispatch.solver.vi.max_iterations = 50000;
+    dispatch.solver.vi.sweep = options.gauss_seidel
+                                   ? ctmdp::ViSweep::kGaussSeidel
+                                   : ctmdp::ViSweep::kJacobi;
     return dispatch;
 }
 
@@ -61,7 +64,12 @@ void score_subsystems(const ModelVector& models,
                       ctmdp::SolveCache* cache,
                       const std::vector<double>& measured_occ,
                       SizingReport& report) {
-    const ctmdp::DispatchOptions dispatch = make_dispatch(options);
+    ctmdp::DispatchOptions dispatch = make_dispatch(options);
+    // Large models additionally fan their Bellman/stationary sweeps over
+    // the same executor the per-subsystem solves run on (the sweeps are
+    // nested fan-outs; the executor's caller-participation rule makes
+    // that deadlock-free). Schedule-only: bit-identical for any width.
+    dispatch.solver.vi.executor = &executor;
     const auto solve_one = [&](std::size_t i) {
         if (cache != nullptr)
             return cache->solve(registry, models[i].model(), dispatch);

@@ -1,8 +1,10 @@
 #include "ctmc/stationary.hpp"
 
+#include "exec/executor.hpp"
 #include "linalg/lu.hpp"
 #include "util/contracts.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace socbuf::ctmc {
@@ -51,6 +53,56 @@ linalg::Vector stationary_power(const Generator& q, double tolerance,
     throw util::NumericalError("stationary_power: no convergence after " +
                                std::to_string(max_iterations) +
                                " iterations");
+}
+
+linalg::Vector stationary_power_sparse(const linalg::SparseMatrix& jumps,
+                                       const linalg::Vector& stay,
+                                       double tolerance,
+                                       std::size_t max_iterations,
+                                       exec::Executor* executor,
+                                       std::size_t parallel_min_states) {
+    const std::size_t n = stay.size();
+    SOCBUF_REQUIRE_MSG(n > 0, "empty chain");
+    SOCBUF_REQUIRE_MSG(jumps.rows() == n && jumps.cols() == n,
+                       "jump matrix / stay vector size mismatch");
+    // Gather form: row s of the stable transpose lists every incoming
+    // transition of s in the scatter's op order (see
+    // SparseMatrix::transposed), so next[s] is writable independently per
+    // state — the property that makes the sweep chunkable.
+    const linalg::SparseMatrix gather = jumps.transposed();
+    const bool fan = executor != nullptr && !executor->serial() &&
+                     n >= parallel_min_states;
+    constexpr std::size_t kChunk = 256;
+    std::vector<double> chunk_delta((n + kChunk - 1) / kChunk, 0.0);
+
+    linalg::Vector pi(n, 1.0 / static_cast<double>(n));
+    linalg::Vector next(n, 0.0);
+    const auto sweep = [&](std::size_t lo, std::size_t hi) {
+        double local = 0.0;
+        for (std::size_t s = lo; s < hi; ++s) {
+            double acc = stay[s] * pi[s];
+            for (std::size_t k = gather.row_begin(s); k < gather.row_end(s);
+                 ++k)
+                acc += gather.value(k) * pi[gather.col_index(k)];
+            next[s] = acc;
+            local = std::max(local, std::fabs(acc - pi[s]));
+        }
+        chunk_delta[lo / kChunk] = local;
+    };
+    for (std::size_t it = 0; it < max_iterations; ++it) {
+        std::fill(chunk_delta.begin(), chunk_delta.end(), 0.0);
+        if (fan)
+            executor->for_ranges(n, sweep, kChunk);
+        else
+            sweep(0, n);
+        double delta = 0.0;
+        for (const double d : chunk_delta) delta = std::max(delta, d);
+        std::swap(pi, next);
+        if (delta < tolerance) return pi;
+    }
+    throw util::NumericalError(
+        "stationary_power_sparse: no convergence after " +
+        std::to_string(max_iterations) + " iterations");
 }
 
 double stationarity_residual(const Generator& q, const linalg::Vector& pi) {

@@ -5,6 +5,13 @@
 
 #include "ctmc/generator.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
+
+#include <cstddef>
+
+namespace socbuf::exec {
+class Executor;
+}  // namespace socbuf::exec
 
 namespace socbuf::ctmc {
 
@@ -18,6 +25,24 @@ namespace socbuf::ctmc {
                                               double tolerance = 1e-12,
                                               std::size_t max_iterations =
                                                   200000);
+
+/// Power iteration on an already-uniformized chain given in sparse form:
+/// `jumps` holds the off-diagonal transition probabilities (CSR, source-
+/// row-major), `stay` the strictly positive self-loop probabilities, so
+/// one step is next = P^T pi = stay .* pi + jumps^T pi. The step runs in
+/// *gather* form over a stable transpose of `jumps`: per target state the
+/// additions happen in exactly the order the scatter
+/// (add_transposed_into) would have produced them, and pi stays strictly
+/// positive throughout (uniform start, stay > 0), so the result is
+/// bit-identical to the scatter loop — and, chunked over `executor` when
+/// n >= parallel_min_states, bit-identical for any worker count (each
+/// next[s] lands in its own slot; the convergence delta is a max fold,
+/// which is order-exact). Throws NumericalError on non-convergence.
+[[nodiscard]] linalg::Vector stationary_power_sparse(
+    const linalg::SparseMatrix& jumps, const linalg::Vector& stay,
+    double tolerance, std::size_t max_iterations,
+    exec::Executor* executor = nullptr,
+    std::size_t parallel_min_states = 1024);
 
 /// Max-norm of pi Q — how stationary a candidate distribution is.
 [[nodiscard]] double stationarity_residual(const Generator& q,

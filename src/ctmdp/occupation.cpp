@@ -9,62 +9,46 @@
 
 namespace socbuf::ctmdp {
 
-namespace {
-
-/// Sparse stationary distribution of the policy-induced chain: power
-/// iteration on the uniformized transitions without ever materializing the
-/// dense matrix (queueing models have ~flows transitions per state, so the
-/// dense path wastes a factor of |S|/flows).
-linalg::Vector sparse_stationary(const CtmdpModel& model,
-                                 const RandomizedPolicy& policy,
-                                 double tolerance, std::size_t max_iters) {
+InducedUniformizedChain induced_uniformized_chain(
+    const CtmdpModel& model, const RandomizedPolicy& policy) {
     const std::size_t n = model.state_count();
+    InducedUniformizedChain chain;
     std::vector<linalg::SparseEntry> entries;
     entries.reserve(model.transition_count());
-    std::vector<double> stay(n, 1.0);
+    chain.stay.assign(n, 1.0);
     double max_exit = 0.0;
     for (std::size_t s = 0; s < n; ++s)
         for (std::size_t a = 0; a < model.action_count(s); ++a)
             if (policy.probability(s, a) > 0.0)
                 max_exit = std::max(max_exit, model.exit_rate(s, a));
-    const double lambda = std::max(max_exit, 1e-12) * 1.05 + 1e-9;
+    chain.lambda = std::max(max_exit, 1e-12) * 1.05 + 1e-9;
     for (std::size_t s = 0; s < n; ++s) {
         for (std::size_t a = 0; a < model.action_count(s); ++a) {
             const double pa = policy.probability(s, a);
             if (pa <= 0.0) continue;
             for (const auto& t : model.action(s, a).transitions) {
                 if (t.target == s || t.rate <= 0.0) continue;
-                const double prob = pa * t.rate / lambda;
+                const double prob = pa * t.rate / chain.lambda;
                 entries.push_back({s, t.target, prob});
-                stay[s] -= prob;
+                chain.stay[s] -= prob;
             }
         }
     }
     // CSR keeps the (state, action, transition) append order within each
-    // row, so the transposed accumulation below applies the same additions
-    // in the same order as the old explicit jump list — bit-identical —
-    // while streaming three flat arrays.
-    const linalg::SparseMatrix jumps =
-        linalg::SparseMatrix::from_triplets(n, n, entries);
-    linalg::Vector pi(n, 1.0 / static_cast<double>(n));
-    linalg::Vector next(n, 0.0);
-    for (std::size_t it = 0; it < max_iters; ++it) {
-        for (std::size_t s = 0; s < n; ++s) next[s] = stay[s] * pi[s];
-        jumps.add_transposed_into(pi, next);
-        const double delta = linalg::max_abs_diff(next, pi);
-        std::swap(pi, next);
-        if (delta < tolerance) return pi;
-    }
-    throw util::NumericalError(
-        "occupation_of_policy: stationary iteration did not converge");
+    // row, so the stationary iteration's transposed accumulation applies
+    // the same additions in the same order as the old explicit jump list —
+    // bit-identical — while streaming three flat arrays.
+    chain.jumps = linalg::SparseMatrix::from_triplets(n, n, entries);
+    return chain;
 }
 
-}  // namespace
-
 std::vector<double> occupation_of_policy(const CtmdpModel& model,
-                                         const RandomizedPolicy& policy) {
-    const linalg::Vector pi =
-        sparse_stationary(model, policy, 1e-11, 500000);
+                                         const RandomizedPolicy& policy,
+                                         exec::Executor* executor) {
+    const InducedUniformizedChain chain =
+        induced_uniformized_chain(model, policy);
+    const linalg::Vector pi = ctmc::stationary_power_sparse(
+        chain.jumps, chain.stay, 1e-11, 500000, executor);
     std::vector<double> x(model.pair_count(), 0.0);
     for (std::size_t p = 0; p < model.pair_count(); ++p) {
         const std::size_t s = model.pair_state(p);

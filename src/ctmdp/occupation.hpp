@@ -6,18 +6,43 @@
 #include "ctmdp/model.hpp"
 #include "ctmdp/policy.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
 
 #include <cstddef>
 #include <functional>
 #include <vector>
 
+namespace socbuf::exec {
+class Executor;
+}  // namespace socbuf::exec
+
 namespace socbuf::ctmdp {
+
+/// The uniformized chain a stationary policy induces, in the sparse form
+/// ctmc::stationary_power_sparse consumes: `jumps` holds the off-diagonal
+/// transition probabilities (CSR, source-row-major, per-row entries in
+/// (action, transition) append order), `stay` the strictly positive
+/// self-loop probabilities, `lambda` the uniformization rate.
+struct InducedUniformizedChain {
+    linalg::SparseMatrix jumps;
+    linalg::Vector stay;
+    double lambda = 1.0;
+};
+
+/// Build the uniformized chain induced by `policy` (only policy-positive
+/// actions contribute; lambda = 1.05 * max policy-positive exit rate plus
+/// a margin, keeping every self-loop strictly positive / aperiodic).
+[[nodiscard]] InducedUniformizedChain induced_uniformized_chain(
+    const CtmdpModel& model, const RandomizedPolicy& policy);
 
 /// Occupation measure x(s,a) = pi(s) * phi(a|s) of a stationary policy,
 /// flat-indexed by the model's pair index. pi is computed from the induced
-/// CTMC (power method; works for any finite unichain model).
+/// CTMC (power method; works for any finite unichain model). The sweep
+/// fans over `executor` on large chains — schedule-only, bit-identical
+/// for any worker count (see ctmc::stationary_power_sparse).
 [[nodiscard]] std::vector<double> occupation_of_policy(
-    const CtmdpModel& model, const RandomizedPolicy& policy);
+    const CtmdpModel& model, const RandomizedPolicy& policy,
+    exec::Executor* executor = nullptr);
 
 /// Marginal distribution of an integer feature of the state (e.g. "queue f
 /// occupancy") under the state distribution pi. `feature(s)` must return a

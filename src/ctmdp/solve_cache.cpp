@@ -77,6 +77,18 @@ std::string solve_fingerprint(const CtmdpModel& model,
     // the cache injects them *after* fingerprinting, and a seeded solve
     // must be able to serve later cold lookups of the same key.
     append_size(key, so.pi.banded_evaluation ? 1 : 0);
+    // The sweep variant changes result bits (Gauss-Seidel follows a
+    // different trajectory), so it is part of the key — but appended only
+    // when non-default, keeping every pre-existing Jacobi key (and the
+    // bytes_resident accounting derived from key sizes) byte-identical.
+    // No collision is possible: untagged keys are 2 + 8k bytes long while
+    // tagged keys are 11 + 8k, distinct residues mod 8. vi.executor and
+    // vi.parallel_min_states are schedule-only — bit-identical results
+    // for any worker count — and deliberately are not fingerprinted.
+    if (so.vi.sweep != ViSweep::kJacobi) {
+        key.push_back('G');
+        append_size(key, static_cast<std::size_t>(so.vi.sweep));
+    }
     return key;
 }
 
@@ -121,8 +133,10 @@ std::size_t approx_entry_bytes(const std::string& key,
 
 }  // namespace
 
-SolveCache::SolveCache(std::size_t capacity, bool warm_start)
-    : capacity_(capacity), warm_start_(warm_start) {}
+SolveCache::SolveCache(std::size_t capacity, bool warm_start,
+                       std::size_t byte_budget)
+    : capacity_(capacity), byte_budget_(byte_budget),
+      warm_start_(warm_start) {}
 
 void SolveCache::touch(EntryIter pos) {
     entries_.splice(entries_.begin(), entries_, pos);
@@ -141,9 +155,12 @@ SolveCache::EntryIter SolveCache::drop_entry(EntryIter pos) {
 }
 
 void SolveCache::evict_over_capacity() {
-    if (capacity_ == 0) return;
+    if (capacity_ == 0 && byte_budget_ == 0) return;
     auto candidate = entries_.end();
-    while (entries_.size() > capacity_) {
+    // Either budget being over triggers the same LRU walk; both use the
+    // same pinning rules, so a byte budget composes with a capacity.
+    while ((capacity_ != 0 && entries_.size() > capacity_) ||
+           (byte_budget_ != 0 && bytes_resident_ > byte_budget_)) {
         if (candidate == entries_.begin()) break;
         --candidate;
         // The front entry is the one the completing solve just touched;

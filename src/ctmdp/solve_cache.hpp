@@ -105,7 +105,14 @@ public:
     /// along a different trajectory, so they are NOT bit-identical to
     /// cold solves — which is why this is opt-in and default off:
     /// BatchRunner's bit-determinism contract holds whenever it is off.
-    explicit SolveCache(std::size_t capacity = 0, bool warm_start = false);
+    /// `byte_budget` bounds the *approximate* resident bytes
+    /// (stats().bytes_resident) the same way `capacity` bounds the entry
+    /// count: least-recently-used unpinned entries are evicted until the
+    /// residency is back under budget, with the same pinning rules and
+    /// the same best-effort transients. 0 means unlimited. The two
+    /// budgets compose — whichever is exceeded triggers the LRU walk.
+    explicit SolveCache(std::size_t capacity = 0, bool warm_start = false,
+                        std::size_t byte_budget = 0);
 
     /// Whether nearest-fingerprint warm seeding is enabled.
     [[nodiscard]] bool warm_start() const { return warm_start_; }
@@ -126,6 +133,8 @@ public:
     [[nodiscard]] std::size_t size() const;
     /// The entry budget this cache was constructed with (0 = unlimited).
     [[nodiscard]] std::size_t capacity() const { return capacity_; }
+    /// The byte budget this cache was constructed with (0 = unlimited).
+    [[nodiscard]] std::size_t byte_budget() const { return byte_budget_; }
     /// Drop every entry and reset the counters. Must not race in-flight
     /// solve() calls (call it between batches, not during one).
     void clear();
@@ -164,6 +173,7 @@ private:
     /// structure fingerprint -> most recently solved entry with it.
     std::unordered_map<std::string, EntryIter> warm_index_;
     std::size_t capacity_ = 0;
+    std::size_t byte_budget_ = 0;
     bool warm_start_ = false;
     std::size_t hits_ = 0;
     std::size_t misses_ = 0;

@@ -24,18 +24,21 @@ constexpr double kSwitchingTolerance = 1e-9;
 
 /// Shared tail of the two deterministic-policy solvers: lift the policy,
 /// recover the occupation measure and the stationary distribution it
-/// implies.
+/// implies. The occupation recovery's stationary sweep fans over
+/// `executor` (the shared context ViOptions carries) on large chains —
+/// schedule-only, bit-identical for any worker count.
 SubsystemSolution from_deterministic(const CtmdpModel& model,
                                      const DeterministicPolicy& policy,
                                      double gain, linalg::Vector bias,
                                      std::size_t iterations, bool converged,
-                                     SolverKind kind) {
+                                     SolverKind kind,
+                                     exec::Executor* executor) {
     SubsystemSolution out;
     out.gain = gain;
     out.bias = std::move(bias);
     out.iterations = iterations;
     out.policy = RandomizedPolicy::from_deterministic(policy, model);
-    out.occupation = occupation_of_policy(model, out.policy);
+    out.occupation = occupation_of_policy(model, out.policy, executor);
     out.stationary.assign(model.state_count(), 0.0);
     for (std::size_t p = 0; p < out.occupation.size(); ++p)
         out.stationary[model.pair_state(p)] += out.occupation[p];
@@ -92,7 +95,8 @@ public:
                       vi.span_residual, "); using the last policy");
         return from_deterministic(model, vi.policy, vi.gain, vi.bias,
                                   vi.iterations, vi.converged,
-                                  SolverKind::kValueIteration);
+                                  SolverKind::kValueIteration,
+                                  options.vi.executor);
     }
 };
 
@@ -114,7 +118,8 @@ public:
                       "last policy");
         return from_deterministic(model, pi.policy, pi.gain, pi.bias,
                                   pi.policy_updates, pi.converged,
-                                  SolverKind::kPolicyIteration);
+                                  SolverKind::kPolicyIteration,
+                                  options.vi.executor);
     }
 };
 

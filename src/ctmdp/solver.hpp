@@ -90,17 +90,21 @@ public:
 
 /// Canonical kAuto escalation thresholds. One definition shared by every
 /// consumer (DispatchOptions below, core::SizingOptions, CLI help text) so
-/// a retune lands everywhere at once. Re-measured with the banded PI
-/// evaluation in place, on the figure-1 bus-b family (narrow band,
-/// bw ~ n^(2/3)) and the np-cluster-scaling buses at pe >= 6 (wide band,
-/// bw = n/4): banded PI beats the LP ~13x already at ~300 pairs (LP was
-/// the seed's rung up to 1200), and VI overtakes PI near 1000 states —
-/// PI still wins at 729 states on the narrow-band family (56 ms vs
-/// 72 ms) but loses ~3x at 1024 states on the wide-band np buses, whose
-/// pe >= 6 models (4096+ states) belong to the sparse-swept VI rung
-/// either way.
+/// a retune lands everywhere at once. The LP rung is unchanged from the
+/// banded-PI retune: banded PI beats the LP ~13x already at ~300 pairs.
+/// The PI/VI boundary was re-measured with the scaled VI rung in place
+/// (executor-fanned Jacobi sweeps plus the opt-in Gauss–Seidel sweep; see
+/// the vi_scaling block of BENCH_ctmdp_solvers.json), on the figure-1
+/// bus-b family (narrow band, bw ~ n^(2/3)) and the np-cluster-scaling
+/// ingress buses at pe >= 6 (wide band, bw = n/4): PI still wins at 729
+/// states on the narrow-band family (35 ms vs 41 ms serial Jacobi, ~15%)
+/// but serial VI already ties it at 1000 states (47 ms vs 49 ms), beats
+/// it 3.4x at 1024 states on the wide-band np buses (30 ms vs 103 ms),
+/// and the Gauss–Seidel sweep wins from 729 up (29 ms vs 35 ms) — so the
+/// former crossover band (768, 1000] now belongs to the VI rung, while
+/// 768 keeps the measured 729-state PI win on the PI rung.
 inline constexpr std::size_t kDefaultLpPairLimit = 320;
-inline constexpr std::size_t kDefaultPiStateLimit = 1000;
+inline constexpr std::size_t kDefaultPiStateLimit = 768;
 
 /// Dispatch policy: how kAuto escalates, and the forced choice.
 struct DispatchOptions {

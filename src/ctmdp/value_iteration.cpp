@@ -1,6 +1,8 @@
 #include "ctmdp/value_iteration.hpp"
 
 #include "ctmc/stationary.hpp"
+#include "ctmdp/occupation.hpp"
+#include "exec/executor.hpp"
 #include "util/contracts.hpp"
 
 #include <algorithm>
@@ -17,7 +19,7 @@ namespace {
 /// flat arrays keep the per-pair append order of the old nested vectors,
 /// so the Bellman fold below visits identical values in identical order
 /// (bit-identical results) while the sweep streams three contiguous
-/// arrays instead of chasing a vector-of-vectors.
+/// arrays.
 struct Uniformized {
     double lambda = 1.0;
     std::vector<double> step_cost;
@@ -58,14 +60,75 @@ Uniformized uniformize(const CtmdpModel& model) {
     return u;
 }
 
-}  // namespace
+/// One state's Bellman minimization over the values in `h`. The action
+/// scan and jump fold run in the model's pair order — the fold order every
+/// sweep variant and thread count shares.
+inline void bellman_min(const CtmdpModel& model, const Uniformized& u,
+                        const linalg::Vector& h, std::size_t s,
+                        double& best_out, std::size_t& action_out) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_a = 0;
+    for (std::size_t a = 0; a < model.action_count(s); ++a) {
+        const std::size_t p = model.pair_index(s, a);
+        double value = u.step_cost[p] + u.stay[p] * h[s];
+        for (std::size_t k = u.jump_offset[p]; k < u.jump_offset[p + 1]; ++k)
+            value += u.jump_prob[k] * h[u.jump_target[k]];
+        if (value < best) {
+            best = value;
+            best_a = a;
+        }
+    }
+    best_out = best;
+    action_out = best_a;
+}
 
-ViResult relative_value_iteration(const CtmdpModel& model,
-                                  const ViOptions& options) {
-    model.validate();
-    SOCBUF_REQUIRE_MSG(options.reference_state < model.state_count(),
-                       "reference state out of range");
-    const Uniformized u = uniformize(model);
+/// Bellman minimization with the action's self-loop solved out — the
+/// Gauss–Seidel step of Puterman §8.5.4, in candidate-bias form. For a
+/// gain estimate g, each action's optimality equation
+///     g + h(s) = c/L + stay * h(s) + sum_{t != s} P(t|s,a) v(t)
+/// is solved exactly for h(s):
+///     h_a = (c/L + sum_{t != s} P(t|s,a) v(t) - g) / (1 - stay)
+/// — the value a plain sweep only reaches in the stay-probability limit.
+/// Since th_a = h_a + g, the minimization is over the same ordering as
+/// the explicit update's around the fixed point: h_a is the explicit
+/// residual scaled by 1/(1 - stay) > 0, so the argmin set and the fixed
+/// point are unchanged; only the approach is faster. The uniformization
+/// margin makes `stay` large exactly for low-exit states, which is where
+/// the acceleration pays. Degenerate all-self-loop actions (stay == 1)
+/// fall back to the explicit update. Returns h_a, not th_a.
+inline void bellman_min_implicit(const CtmdpModel& model,
+                                 const Uniformized& u,
+                                 const linalg::Vector& h, std::size_t s,
+                                 double g, double& best_out,
+                                 std::size_t& action_out) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_a = 0;
+    for (std::size_t a = 0; a < model.action_count(s); ++a) {
+        const std::size_t p = model.pair_index(s, a);
+        double value = u.step_cost[p];
+        for (std::size_t k = u.jump_offset[p]; k < u.jump_offset[p + 1]; ++k)
+            value += u.jump_prob[k] * h[u.jump_target[k]];
+        const double move = 1.0 - u.stay[p];
+        value = move > 1e-12 ? (value - g) / move
+                             : value + u.stay[p] * h[s] - g;
+        if (value < best) {
+            best = value;
+            best_a = a;
+        }
+    }
+    best_out = best;
+    action_out = best_a;
+}
+
+/// Fixed chunk width of every fan-out below. Chunk boundaries depend only
+/// on the index range (exec::parallel_for_ranges), so the per-chunk
+/// min/max partials land in fixed slots and their refold — an order-exact
+/// operation — is bit-identical for any worker count, including the
+/// serial body(0, whole-range) call that writes slot 0 only.
+constexpr std::size_t kSweepChunk = 256;
+
+ViResult jacobi_rvi(const CtmdpModel& model, const Uniformized& u,
+                    const ViOptions& options, exec::Executor* executor) {
     const std::size_t n = model.state_count();
 
     // Cold start from zeros; a size-matched warm seed (the converged bias
@@ -76,32 +139,37 @@ ViResult relative_value_iteration(const CtmdpModel& model,
     linalg::Vector th(n, 0.0);
     std::vector<std::size_t> greedy(n, 0);
 
-    ViResult out;
-    for (std::size_t it = 0; it < options.max_iterations; ++it) {
-        for (std::size_t s = 0; s < n; ++s) {
-            double best = std::numeric_limits<double>::infinity();
-            std::size_t best_a = 0;
-            for (std::size_t a = 0; a < model.action_count(s); ++a) {
-                const std::size_t p = model.pair_index(s, a);
-                double value = u.step_cost[p] + u.stay[p] * h[s];
-                for (std::size_t k = u.jump_offset[p];
-                     k < u.jump_offset[p + 1]; ++k)
-                    value += u.jump_prob[k] * h[u.jump_target[k]];
-                if (value < best) {
-                    best = value;
-                    best_a = a;
-                }
-            }
-            th[s] = best;
-            greedy[s] = best_a;
-        }
-        // Span of the update delta bounds the gain error (Puterman 8.5.5).
+    const std::size_t chunks = (n + kSweepChunk - 1) / kSweepChunk;
+    std::vector<double> chunk_lo(chunks), chunk_hi(chunks);
+    const auto sweep = [&](std::size_t lo_s, std::size_t hi_s) {
         double lo = std::numeric_limits<double>::infinity();
         double hi = -lo;
-        for (std::size_t s = 0; s < n; ++s) {
+        for (std::size_t s = lo_s; s < hi_s; ++s) {
+            bellman_min(model, u, h, s, th[s], greedy[s]);
             const double d = th[s] - h[s];
             lo = std::min(lo, d);
             hi = std::max(hi, d);
+        }
+        chunk_lo[lo_s / kSweepChunk] = lo;
+        chunk_hi[lo_s / kSweepChunk] = hi;
+    };
+
+    ViResult out;
+    for (std::size_t it = 0; it < options.max_iterations; ++it) {
+        std::fill(chunk_lo.begin(), chunk_lo.end(),
+                  std::numeric_limits<double>::infinity());
+        std::fill(chunk_hi.begin(), chunk_hi.end(),
+                  -std::numeric_limits<double>::infinity());
+        if (executor != nullptr)
+            executor->for_ranges(n, sweep, kSweepChunk);
+        else
+            sweep(0, n);
+        // Span of the update delta bounds the gain error (Puterman 8.5.5).
+        double lo = std::numeric_limits<double>::infinity();
+        double hi = -lo;
+        for (std::size_t c = 0; c < chunks; ++c) {
+            lo = std::min(lo, chunk_lo[c]);
+            hi = std::max(hi, chunk_hi[c]);
         }
         out.span_residual = hi - lo;
         out.iterations = it + 1;
@@ -112,7 +180,13 @@ ViResult relative_value_iteration(const CtmdpModel& model,
         }
         // Relative normalization keeps h bounded.
         const double ref = th[options.reference_state];
-        for (std::size_t s = 0; s < n; ++s) h[s] = th[s] - ref;
+        const auto normalize = [&](std::size_t lo_s, std::size_t hi_s) {
+            for (std::size_t s = lo_s; s < hi_s; ++s) h[s] = th[s] - ref;
+        };
+        if (executor != nullptr)
+            executor->for_ranges(n, normalize, kSweepChunk);
+        else
+            normalize(0, n);
     }
     if (!out.converged) {
         // Best estimate anyway; the caller can inspect `converged`.
@@ -130,11 +204,171 @@ ViResult relative_value_iteration(const CtmdpModel& model,
     return out;
 }
 
-double average_cost_of_policy(const CtmdpModel& model,
-                              const RandomizedPolicy& policy) {
+/// Red-black Gauss–Seidel relative value iteration, reference-pinned.
+///
+/// Naively normalizing a Gauss–Seidel sweep the way the Jacobi loop does
+/// (subtract th[ref] at the end) converges to a fixed point whose gain is
+/// NOT the optimal average cost — mixing old and new values shifts the
+/// invariant. The correct scheme pins h(ref) = 0 and subtracts the gain
+/// estimate inside the sweep (White's relative method):
+///
+///   g = min_a [ c(ref,a)/L + sum_t P(t|ref,a) h_old(t) ]
+///       — the explicit Bellman value at the pinned reference state
+///       (h_old(ref) = 0), fixed for the whole sweep *before* any state
+///       updates: feeding g through ref's own implicit update would
+///       amplify the gain error by stay/(1 - stay) > 1 and oscillate
+///   phase 1 (states with the reference state's parity, ref included):
+///       h_new(s) = min_a implicit(s, a, h_old, g)   — see
+///               bellman_min_implicit: the self-loop is solved out; at
+///               ref the minimizing numerator is g - g = 0 bit-exactly,
+///               so h_new(ref) = 0 exactly, every sweep
+///   phase 2 (the other parity):
+///       h_new(s) = min_a implicit(s, a, v, g),
+///           v(t) = phase-1 parity ? h_new(t) : h_old(t)
+///
+/// At a fixed point h = h_new, both phases reduce to T(h) = h + g — the
+/// average-cost optimality equation — so g * lambda is the optimal gain
+/// and h the bias with h(ref) = 0.
+///
+/// Parity is *not* a two-coloring of these models (same-parity jumps
+/// exist), so each phase is Jacobi within itself: compute every th from a
+/// pre-phase snapshot, then write. That makes the sweep deterministic for
+/// any worker count — the in-place speedup comes only from phase 2
+/// reading phase 1's results.
+ViResult gauss_seidel_rvi(const CtmdpModel& model, const Uniformized& u,
+                          const ViOptions& options,
+                          exec::Executor* executor) {
+    const std::size_t n = model.state_count();
+    const std::size_t ref = options.reference_state;
+    const std::size_t ref_parity = ref % 2;
+
+    std::vector<std::size_t> phase1;
+    std::vector<std::size_t> phase2;
+    phase1.reserve((n + 1) / 2);
+    phase2.reserve(n / 2);
+    for (std::size_t s = 0; s < n; ++s)
+        (s % 2 == ref_parity ? phase1 : phase2).push_back(s);
+
+    linalg::Vector h(n, 0.0);
+    if (options.initial_values.size() == n) {
+        h = options.initial_values;
+        // Re-pin the seed to the h(ref) = 0 convention.
+        const double shift = h[ref];
+        for (double& v : h) v -= shift;
+    }
+    linalg::Vector th(n, 0.0);
+    std::vector<std::size_t> greedy(n, 0);
+
+    const std::size_t max_phase = std::max(phase1.size(), phase2.size());
+    const std::size_t chunks =
+        max_phase == 0 ? 1 : (max_phase + kSweepChunk - 1) / kSweepChunk;
+    std::vector<double> chunk_delta(chunks, 0.0);
+    const auto fan = [&](std::size_t count,
+                         const std::function<void(std::size_t, std::size_t)>&
+                             body) {
+        if (executor != nullptr)
+            executor->for_ranges(count, body, kSweepChunk);
+        else if (count > 0)
+            body(0, count);
+    };
+
+    ViResult out;
+    double g = 0.0;
+    double g_prev = std::numeric_limits<double>::infinity();
+    for (std::size_t it = 0; it < options.max_iterations; ++it) {
+        // The sweep's gain estimate: the explicit Bellman value at the
+        // pinned reference state, from the pre-sweep h alone.
+        std::size_t ref_action = 0;
+        bellman_min(model, u, h, ref, g, ref_action);
+        // Phase 1 Bellman: reads only the pre-sweep h and g; th holds
+        // the candidate bias (bellman_min_implicit returns h_a directly).
+        fan(phase1.size(), [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+                const std::size_t s = phase1[i];
+                bellman_min_implicit(model, u, h, s, g, th[s], greedy[s]);
+            }
+        });
+        // Phase 1 write-back: h(s) <- candidate, tracking the sup-norm
+        // step per chunk (max folds are order-exact).
+        std::fill(chunk_delta.begin(), chunk_delta.end(), 0.0);
+        fan(phase1.size(), [&](std::size_t lo, std::size_t hi) {
+            double local = 0.0;
+            for (std::size_t i = lo; i < hi; ++i) {
+                const std::size_t s = phase1[i];
+                local = std::max(local, std::fabs(th[s] - h[s]));
+                h[s] = th[s];
+            }
+            chunk_delta[lo / kSweepChunk] =
+                std::max(chunk_delta[lo / kSweepChunk], local);
+        });
+        double delta = 0.0;
+        for (const double d : chunk_delta) delta = std::max(delta, d);
+        // Phase 2 Bellman: h now mixes updated phase-1 and old phase-2
+        // values — the Gauss–Seidel read — and is constant through the
+        // phase (phase 2 writes only after its own barrier).
+        fan(phase2.size(), [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+                const std::size_t s = phase2[i];
+                bellman_min_implicit(model, u, h, s, g, th[s], greedy[s]);
+            }
+        });
+        std::fill(chunk_delta.begin(), chunk_delta.end(), 0.0);
+        fan(phase2.size(), [&](std::size_t lo, std::size_t hi) {
+            double local = 0.0;
+            for (std::size_t i = lo; i < hi; ++i) {
+                const std::size_t s = phase2[i];
+                local = std::max(local, std::fabs(th[s] - h[s]));
+                h[s] = th[s];
+            }
+            chunk_delta[lo / kSweepChunk] =
+                std::max(chunk_delta[lo / kSweepChunk], local);
+        });
+        for (const double d : chunk_delta) delta = std::max(delta, d);
+
+        delta = std::max(delta, std::fabs(g - g_prev));
+        g_prev = g;
+        out.span_residual = delta;
+        out.iterations = it + 1;
+        if (delta < options.tolerance) {
+            out.converged = true;
+            break;
+        }
+    }
+    out.gain = g * u.lambda;
+    out.bias = h;  // h(ref) = 0 exactly: th(ref) - g == 0 by construction
+    out.policy = DeterministicPolicy(std::move(greedy));
+    return out;
+}
+
+}  // namespace
+
+ViResult relative_value_iteration(const CtmdpModel& model,
+                                  const ViOptions& options) {
     model.validate();
-    const ctmc::Generator gen = induced_generator(model, policy);
-    const linalg::Vector pi = ctmc::stationary_power(gen);
+    SOCBUF_REQUIRE_MSG(options.reference_state < model.state_count(),
+                       "reference state out of range");
+    const Uniformized u = uniformize(model);
+    // The fan gate: a serial executor or a small model runs the exact
+    // serial loop (one chunk), so "no executor" and "executor with one
+    // worker" share the code path with any-width runs byte for byte.
+    exec::Executor* executor =
+        (options.executor != nullptr && !options.executor->serial() &&
+         model.state_count() >= options.parallel_min_states)
+            ? options.executor
+            : nullptr;
+    if (options.sweep == ViSweep::kGaussSeidel)
+        return gauss_seidel_rvi(model, u, options, executor);
+    return jacobi_rvi(model, u, options, executor);
+}
+
+double average_cost_of_policy(const CtmdpModel& model,
+                              const RandomizedPolicy& policy,
+                              exec::Executor* executor) {
+    model.validate();
+    const InducedUniformizedChain chain =
+        induced_uniformized_chain(model, policy);
+    const linalg::Vector pi = ctmc::stationary_power_sparse(
+        chain.jumps, chain.stay, 1e-12, 500000, executor);
     double cost = 0.0;
     for (std::size_t s = 0; s < model.state_count(); ++s) {
         const auto& dist = policy.distribution(s);

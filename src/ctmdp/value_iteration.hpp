@@ -10,6 +10,10 @@
 
 #include <cstddef>
 
+namespace socbuf::exec {
+class Executor;
+}  // namespace socbuf::exec
+
 namespace socbuf::ctmdp {
 
 struct ViResult {
@@ -20,6 +24,22 @@ struct ViResult {
     double span_residual = 0.0;   // final span of the Bellman update delta
     bool converged = false;
 };
+
+/// Which sweep the iteration runs.
+///
+///   * kJacobi — the classic relative value iteration: th = T(h) reads
+///     only the previous iterate, gain from the span bounds
+///     (Puterman 8.5.5). The reference rung; its results are the
+///     bit-identity contract every report pins against.
+///   * kGaussSeidel — red-black accelerated sweep: states are split by
+///     parity, the half containing the reference state updates first
+///     from the old iterate, the other half then reads the *updated*
+///     first half (and the old second half). Reusing fresh values within
+///     a sweep roughly halves the iteration count on the birth-death-like
+///     buffer chains, but follows a different trajectory — the gain
+///     agrees with Jacobi to the stopping tolerance, not bit for bit, so
+///     the knob is opt-in exactly like warm starts.
+enum class ViSweep { kJacobi = 0, kGaussSeidel = 1 };
 
 struct ViOptions {
     double tolerance = 1e-10;        // on the per-step gain bounds
@@ -32,6 +52,18 @@ struct ViOptions {
     /// to the fixed point (fewer iterations), so the result agrees with
     /// the cold solve to the stopping tolerance, not bit for bit.
     linalg::Vector initial_values;
+    /// Sweep variant. kGaussSeidel changes result bits (within
+    /// tolerance); everything below is schedule-only and never does.
+    ViSweep sweep = ViSweep::kJacobi;
+    /// Shared execution context for the Bellman sweeps, or nullptr for
+    /// serial. Schedule-only: per-state results land in index-addressed
+    /// slots and every fold is order-exact (min/max) or runs in state
+    /// order, so results are bit-identical for any worker count.
+    /// Excluded from SolveCache fingerprints, like warm seeds.
+    exec::Executor* executor = nullptr;
+    /// Don't fan sweeps below this state count — chunk bookkeeping beats
+    /// the arithmetic on small models. Schedule-only.
+    std::size_t parallel_min_states = 1024;
 };
 
 /// Minimize long-run average cost with relative value iteration on the
@@ -41,8 +73,12 @@ struct ViOptions {
                                                 const ViOptions& options = {});
 
 /// Long-run average cost of a fixed randomized policy (policy evaluation
-/// via the induced CTMC's stationary distribution).
+/// via the induced CTMC's stationary distribution, sparse power
+/// iteration). The sweep fans over `executor` on large chains —
+/// schedule-only, bit-identical for any worker count.
 [[nodiscard]] double average_cost_of_policy(const CtmdpModel& model,
-                                            const RandomizedPolicy& policy);
+                                            const RandomizedPolicy& policy,
+                                            exec::Executor* executor =
+                                                nullptr);
 
 }  // namespace socbuf::ctmdp

@@ -16,4 +16,16 @@ void Executor::for_each(std::size_t n,
     parallel_for_index(*pool_, n, body);
 }
 
+void Executor::for_ranges(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t min_chunk) {
+    if (n == 0) return;
+    if (pool_ == nullptr) {
+        body(0, n);
+        return;
+    }
+    parallel_for_ranges(*pool_, n, body, min_chunk);
+}
+
 }  // namespace socbuf::exec

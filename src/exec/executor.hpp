@@ -57,6 +57,16 @@ public:
     /// Run body(i) for every i in [0, n); no result collection.
     void for_each(std::size_t n, const std::function<void(std::size_t)>& body);
 
+    /// Chunked fan-out for tight per-index loops (a Bellman sweep, a CSR
+    /// row gather): run body(lo, hi) over contiguous chunks of
+    /// `min_chunk` indices, inline (one body(0, n) call, no locking) when
+    /// the executor is serial or n < 2 * min_chunk. Chunk boundaries
+    /// depend only on n and min_chunk, never on the worker count — see
+    /// exec::parallel_for_ranges for the determinism contract.
+    void for_ranges(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& body,
+                    std::size_t min_chunk = 256);
+
 private:
     std::size_t workers_ = 1;
     std::unique_ptr<ThreadPool> pool_;

@@ -82,4 +82,21 @@ void parallel_for_index(ThreadPool& pool, std::size_t n,
     if (state->error != nullptr) std::rethrow_exception(state->error);
 }
 
+void parallel_for_ranges(
+    ThreadPool& pool, std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t min_chunk) {
+    if (n == 0) return;
+    if (min_chunk == 0) min_chunk = 1;
+    const std::size_t chunks = (n + min_chunk - 1) / min_chunk;
+    if (pool.size() <= 1 || chunks <= 1) {
+        body(0, n);
+        return;
+    }
+    parallel_for_index(pool, chunks, [&](std::size_t c) {
+        const std::size_t lo = c * min_chunk;
+        body(lo, std::min(lo + min_chunk, n));
+    });
+}
+
 }  // namespace socbuf::exec

@@ -33,6 +33,20 @@ namespace socbuf::exec {
 void parallel_for_index(ThreadPool& pool, std::size_t n,
                         const std::function<void(std::size_t)>& body);
 
+/// Split [0, n) into contiguous chunks of `min_chunk` indices (the last
+/// chunk takes the remainder) and run body(lo, hi) for each chunk on the
+/// pool's workers (caller participating, same nesting guarantee as
+/// parallel_for_index). The chunk boundaries depend only on n and
+/// min_chunk — never on the pool size or scheduling — so a body whose
+/// chunk results land in index-addressed storage is bit-identical for any
+/// worker count, and even per-chunk partial folds can be refolded in chunk
+/// order deterministically. Runs body(0, n) inline when one chunk
+/// suffices.
+void parallel_for_ranges(ThreadPool& pool, std::size_t n,
+                         const std::function<void(std::size_t, std::size_t)>&
+                             body,
+                         std::size_t min_chunk = 256);
+
 /// Map fn over [0, n) and return results in index order. fn's result type
 /// must be default-constructible and movable. Runs inline (no locking)
 /// when the pool has a single worker or n <= 1.

@@ -77,6 +77,30 @@ void SparseMatrix::add_transposed_into(const Vector& x, Vector& y) const {
     }
 }
 
+SparseMatrix SparseMatrix::transposed() const {
+    SparseMatrix t;
+    t.rows_ = cols_;
+    t.cols_ = rows_;
+    t.row_offset_.assign(cols_ + 1, 0);
+    t.col_.resize(nnz());
+    t.value_.resize(nnz());
+    // Counting sort on the column index: count, prefix-sum, then walk the
+    // entries in storage order so each output row fills front to back in
+    // that same order (stability).
+    for (const std::size_t c : col_) ++t.row_offset_[c + 1];
+    for (std::size_t c = 0; c < cols_; ++c)
+        t.row_offset_[c + 1] += t.row_offset_[c];
+    std::vector<std::size_t> cursor(t.row_offset_.begin(),
+                                    t.row_offset_.end() - 1);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t k = row_offset_[r]; k < row_offset_[r + 1]; ++k) {
+            const std::size_t slot = cursor[col_[k]]++;
+            t.col_[slot] = r;
+            t.value_[slot] = value_[k];
+        }
+    return t;
+}
+
 Matrix SparseMatrix::to_dense() const {
     Matrix out(rows_, cols_);
     for (std::size_t r = 0; r < rows_; ++r)

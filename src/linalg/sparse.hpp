@@ -73,6 +73,16 @@ public:
     /// in-place scatter the stationary power iteration uses.
     void add_transposed_into(const Vector& x, Vector& y) const;
 
+    /// A^T in CSR form, built by a stable counting sort: row r of the
+    /// result holds every stored (row, col = r, v) entry of *this in
+    /// original storage order. That stability is the determinism contract
+    /// the parallel stationary iteration leans on: gathering the
+    /// transpose's row t left to right accumulates into y[t] in exactly
+    /// the order add_transposed_into's scatter would have, so the two
+    /// forms produce bit-identical results when x is dense (no zero-skip
+    /// divergence, see stationary_power_sparse).
+    [[nodiscard]] SparseMatrix transposed() const;
+
     /// Materialize back to dense (tests / diagnostics).
     [[nodiscard]] Matrix to_dense() const;
 

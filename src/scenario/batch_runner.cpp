@@ -53,10 +53,14 @@ struct EvalSample {
 
 SizingOutcome run_sizing(const ScenarioSpec& spec, const SizingJob& job,
                          exec::Executor& executor,
-                         ctmdp::SolveCache* cache) {
+                         ctmdp::SolveCache* cache,
+                         bool force_gauss_seidel) {
     SizingOutcome out;
     out.system = spec.build_system(job.variant);
-    const core::SizingOptions options = spec.sizing_options(job.budget);
+    core::SizingOptions options = spec.sizing_options(job.budget);
+    // The batch-level knob forces the accelerated sweep on; a spec that
+    // already opted in keeps it regardless.
+    if (force_gauss_seidel) options.gauss_seidel = true;
     const core::BufferSizingEngine engine(options);
     const core::SizingReport report = engine.run(out.system, executor, cache);
     out.initial = report.initial;
@@ -179,7 +183,8 @@ BatchReport BatchRunner::run(const std::vector<ScenarioSpec>& specs) {
             eval_offset[j] + specs[jobs[j].spec].replications;
 
     ctmdp::SolveCache local_cache(options_.cache_capacity,
-                                  options_.warm_start);
+                                  options_.warm_start,
+                                  options_.cache_byte_budget);
     ctmdp::SolveCache& cache = options_.shared_cache != nullptr
                                    ? *options_.shared_cache
                                    : local_cache;
@@ -248,7 +253,8 @@ BatchReport BatchRunner::run(const std::vector<ScenarioSpec>& specs) {
             [&, j] {
                 ++sizing_in_flight;
                 sized[j] = run_sizing(specs[jobs[j].spec], jobs[j],
-                                      executor_, cache_ptr);
+                                      executor_, cache_ptr,
+                                      options_.gauss_seidel);
                 --sizing_in_flight;
                 for (std::size_t e = eval_offset[j]; e < eval_offset[j + 1];
                      ++e) {
@@ -330,6 +336,7 @@ BatchReport BatchRunner::run(const std::vector<ScenarioSpec>& specs) {
     report.cache = cache.stats();
     report.cache_enabled = options_.use_solve_cache;
     report.cache_capacity = cache.capacity();
+    report.cache_byte_budget = cache.byte_budget();
     return report;
 }
 
@@ -378,6 +385,10 @@ std::string BatchReport::to_json(int indent) const {
     cache_node.set("enabled", cache_enabled);
     if (cache_enabled) {
         cache_node.set("capacity", cache_capacity);
+        // Only when set: a default (unlimited) budget keeps pre-existing
+        // report bytes unchanged, like the optional keys below.
+        if (cache_byte_budget != 0)
+            cache_node.set("byte_budget", cache_byte_budget);
         cache_node.set("hits", cache.hits);
         cache_node.set("misses", cache.misses);
         cache_node.set("evictions", cache.evictions);

@@ -77,6 +77,13 @@ struct BatchOptions {
     /// batches if per-batch counters matter. Ignored when use_solve_cache
     /// is false.
     ctmdp::SolveCache* shared_cache = nullptr;
+    /// Approximate byte budget for the batch-wide solve cache: 0 =
+    /// unlimited, otherwise LRU entries are evicted until
+    /// stats().bytes_resident is back under budget (composes with
+    /// cache_capacity; same pinning rules, same counter caveats as a
+    /// tight capacity). Ignored when shared_cache is set — that cache
+    /// was constructed with its own budget.
+    std::size_t cache_byte_budget = 0;
     /// Claim-order evaluation replications ahead of still-queued sizing
     /// jobs (exec::Priority::kEvaluation > kSizing). Off = plain FIFO
     /// claims, the pre-priority schedule. Results are bit-identical
@@ -102,6 +109,14 @@ struct BatchOptions {
     /// last. Pure submission-order change: results are folded in
     /// expansion order and stay bit-identical either way.
     bool longest_first = true;
+    /// Force the red-black Gauss-Seidel VI sweep on every sizing job in
+    /// the batch, on top of whatever each spec says (a spec with
+    /// gauss_seidel = true keeps it either way). Opt-in like warm_start
+    /// and with the same caveat: tolerance-level, not bit-identical,
+    /// results. Off (the default) leaves the per-spec knob in charge and
+    /// preserves the bit-identical-report contract for default-knob
+    /// specs.
+    bool gauss_seidel = false;
 };
 
 /// One (scenario, variant, budget) outcome with its replicated evaluation.
@@ -144,6 +159,8 @@ struct BatchReport {
     bool cache_enabled = true;
     /// The cache's entry budget (0 = unlimited), echoed for the report.
     std::size_t cache_capacity = 0;
+    /// The cache's byte budget (0 = unlimited), echoed for the report.
+    std::size_t cache_byte_budget = 0;
     std::size_t workers = 1;
     /// Pipelining diagnostic: evaluation jobs that *started* while some
     /// other job's sizing run was still in flight — 0 under a serial

@@ -7,7 +7,8 @@ namespace socbuf {
 Session::Session(SessionOptions options)
     : options_(options),
       executor_(options.threads),
-      cache_(options.cache_capacity, options.warm_start) {}
+      cache_(options.cache_capacity, options.warm_start,
+             options.cache_byte_budget) {}
 
 scenario::BatchReport Session::run(const std::string& name) {
     return run(registry_.expand(name));
@@ -25,10 +26,12 @@ scenario::BatchReport Session::run(
     scenario::BatchOptions batch;
     batch.use_solve_cache = options_.use_solve_cache;
     batch.cache_capacity = options_.cache_capacity;
+    batch.cache_byte_budget = options_.cache_byte_budget;
     batch.shared_cache = &cache_;
     batch.priority_scheduling = options_.priority_scheduling;
     batch.warm_start = options_.warm_start;  // echoed; cache_ owns the flag
     batch.longest_first = options_.longest_first;
+    batch.gauss_seidel = options_.gauss_seidel;
     scenario::BatchRunner runner(executor_, batch);
     return runner.run(specs);
 }

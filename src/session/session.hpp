@@ -42,6 +42,10 @@ struct SessionOptions {
     bool use_solve_cache = true;
     /// Entry budget of the session's solve cache (0 = unlimited).
     std::size_t cache_capacity = 0;
+    /// Approximate byte budget of the session's solve cache (0 =
+    /// unlimited); LRU eviction until back under budget, composing with
+    /// cache_capacity. See ctmdp::SolveCache.
+    std::size_t cache_byte_budget = 0;
     /// Keep the solve cache warm *across* run() calls instead of clearing
     /// it per batch. Results never change; the per-report cache counters
     /// then accumulate session history (a repeated workload reports ~100%
@@ -63,6 +67,11 @@ struct SessionOptions {
     /// Schedule-only (results bit-identical); see
     /// scenario::BatchOptions::longest_first.
     bool longest_first = true;
+    /// Force the red-black Gauss-Seidel VI sweep on every sizing job
+    /// (scenario::BatchOptions::gauss_seidel). Fewer iterations on large
+    /// models; tolerance-level, not bit-identical, results — default off
+    /// like warm_start.
+    bool gauss_seidel = false;
 };
 
 class Session {

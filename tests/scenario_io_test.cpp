@@ -67,6 +67,7 @@ TEST(ScenarioIo, RoundTripCoversEveryKnob) {
             .sizing_iterations(5)
             .sizing_eval_replications(2)
             .solver(socbuf::core::SolverChoice::kValueIteration)
+            .gauss_seidel()
             .modulated_models()
             .timeout_policy(2.5)
             .calibration_replications(4)

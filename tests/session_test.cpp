@@ -35,6 +35,23 @@ ss::ScenarioSpec small_figure1(const std::string& name = "figure1-small") {
         .build();
 }
 
+/// A network-processor scenario whose ingress-bus CTMDP lands on the VI
+/// rung past the fan gate: the default pe_per_cluster = 4 and
+/// model_cap = 3 give (3 + 1)^(4 + 1) = 1024 states, which is past
+/// kDefaultPiStateLimit (768) *and* meets the default
+/// parallel_min_states (1024) — so a multi-thread session actually runs
+/// the executor-fanned Jacobi sweep on it.
+ss::ScenarioSpec vi_rung_np(const std::string& name = "np-vi-rung") {
+    return ss::ScenarioBuilder(name)
+        .testbench(ss::Testbench::kNetworkProcessor)
+        .budgets({160})
+        .replications(2)
+        .sizing_iterations(2)
+        .horizon(400.0, 40.0)
+        .seed(11)
+        .build();
+}
+
 }  // namespace
 
 TEST(Session, RunByNameEqualsRunBySpec) {
@@ -203,5 +220,57 @@ TEST(Session, WarmStartAndLongestFirstOptionsReachTheBatch) {
     for (std::size_t i = 0; i < warm.runs.size(); ++i) {
         EXPECT_EQ(warm.runs[i].resized_alloc, cold.runs[i].resized_alloc);
         EXPECT_EQ(warm.runs[i].post_loss, cold.runs[i].post_loss);
+    }
+}
+
+TEST(Session, MixedBatchWithViRungModelsIsThreadInvariant) {
+    // The batch determinism contract must survive the scaled VI rung: a
+    // mixed batch — a tiny figure-1 spec plus an np spec whose 1024-state
+    // ingress-bus CTMDP takes the executor-fanned Jacobi path on
+    // multi-thread sessions — reports bit-identically at every width.
+    Session serial({1});
+    serial.registry().add(small_figure1("mixed-fig1"));
+    serial.registry().add(vi_rung_np("mixed-np"));
+    const auto reference = serial.run_batch({"mixed-fig1", "mixed-np"});
+    ASSERT_EQ(reference.runs.size(), 3u);  // two budgets + one
+    EXPECT_GT(reference.runs[2].vi_solves, 0u);  // np spec hit the VI rung
+    for (const std::size_t threads : {2UL, 4UL}) {
+        Session parallel({threads});
+        parallel.registry().add(small_figure1("mixed-fig1"));
+        parallel.registry().add(vi_rung_np("mixed-np"));
+        auto got = parallel.run_batch({"mixed-fig1", "mixed-np"});
+        got.workers = reference.workers;  // the one width-reflecting field
+        got.eval_overlap = reference.eval_overlap;  // diagnostics
+        got.first_eval_latency_s = reference.first_eval_latency_s;
+        EXPECT_EQ(got.to_json(), reference.to_json())
+            << "threads=" << threads;
+    }
+}
+
+TEST(Session, GaussSeidelSessionIsThreadInvariant) {
+    // The session-level Gauss–Seidel opt-in: a different sweep (and a
+    // different report trajectory is allowed vs the default), but the
+    // red-black phases keep the determinism contract, so the GS report
+    // too must be bit-identical at every thread count.
+    SessionOptions gs_serial;
+    gs_serial.threads = 1;
+    gs_serial.gauss_seidel = true;
+    Session serial(gs_serial);
+    serial.registry().add(vi_rung_np());
+    const auto reference = serial.run("np-vi-rung");
+    ASSERT_EQ(reference.runs.size(), 1u);
+    EXPECT_GT(reference.runs[0].vi_solves, 0u);
+    for (const std::size_t threads : {2UL, 4UL}) {
+        SessionOptions gs_options;
+        gs_options.threads = threads;
+        gs_options.gauss_seidel = true;
+        Session parallel(gs_options);
+        parallel.registry().add(vi_rung_np());
+        auto got = parallel.run("np-vi-rung");
+        got.workers = reference.workers;
+        got.eval_overlap = reference.eval_overlap;
+        got.first_eval_latency_s = reference.first_eval_latency_s;
+        EXPECT_EQ(got.to_json(), reference.to_json())
+            << "threads=" << threads;
     }
 }

@@ -38,6 +38,13 @@
 //   --no-cache           disable the batch-wide CTMDP solve cache
 //   --cache-capacity N   bound the solve cache to N entries with LRU
 //                        eviction (0 = unlimited, the default)
+//   --cache-byte-budget B
+//                        bound the solve cache's approximate resident
+//                        bytes (LRU eviction; 0 = unlimited, the default)
+//   --gauss-seidel       run the VI rung with the red-black Gauss-Seidel
+//                        sweep: fewer iterations on large models, gains
+//                        agree with Jacobi to solver tolerance (not bit
+//                        for bit — like warm starts, off by default)
 //   --json FILE          write the full structured report ("-" = stdout)
 //   --csv FILE           write the summary as CSV ("-" = stdout)
 //
@@ -84,6 +91,7 @@ int usage(const char* argv0) {
                  "      [--threads N] [--budgets A,B,...] [--replications R]\n"
                  "      [--iterations I] [--horizon H] [--warmup W]\n"
                  "      [--seed S] [--no-cache] [--cache-capacity N]\n"
+                 "      [--cache-byte-budget B] [--gauss-seidel]\n"
                  "      [--json FILE] [--csv FILE]\n",
                  argv0, argv0, argv0, argv0, argv0);
     return 2;
@@ -480,6 +488,14 @@ int run_scenarios(const std::vector<std::string>& args) {
             if (!parse_number(*v, session_options.cache_capacity))
                 return bad_value(
                     arg, *v, "expected a whole number >= 0 (0 = unlimited)");
+        } else if (arg == "--cache-byte-budget") {
+            const std::string* v = next_value();
+            if (v == nullptr) return 2;
+            if (!parse_number(*v, session_options.cache_byte_budget))
+                return bad_value(
+                    arg, *v, "expected a whole number >= 0 (0 = unlimited)");
+        } else if (arg == "--gauss-seidel") {
+            session_options.gauss_seidel = true;
         } else if (arg == "--json") {
             const std::string* v = next_value();
             if (v == nullptr) return 2;
