@@ -45,6 +45,16 @@ const std::string& CtmdpModel::state_name(std::size_t state) const {
     return states_[state].name;
 }
 
+// Double-checked entry to the lazy rebuild: concurrent const accessors on
+// a shared model only pay an acquire load once the index is built, and
+// exactly one thread rebuilds after an invalidation. The release store in
+// rebuild_pair_index() publishes the rebuilt vectors to later acquirers.
+void CtmdpModel::ensure_pair_index() const {
+    if (!index_dirty_.load(std::memory_order_acquire)) return;
+    const std::scoped_lock lock(cache_mutex_);
+    if (index_dirty_.load(std::memory_order_relaxed)) rebuild_pair_index();
+}
+
 void CtmdpModel::rebuild_pair_index() const {
     pair_offset_.assign(states_.size() + 1, 0);
     pair_to_state_.clear();
@@ -53,31 +63,38 @@ void CtmdpModel::rebuild_pair_index() const {
         for (std::size_t a = 0; a < states_[s].actions.size(); ++a)
             pair_to_state_.push_back(s);
     }
-    index_dirty_ = false;
+    index_dirty_.store(false, std::memory_order_release);
 }
 
 std::size_t CtmdpModel::pair_count() const {
-    if (index_dirty_) rebuild_pair_index();
+    ensure_pair_index();
     return pair_to_state_.size();
 }
 
 std::size_t CtmdpModel::pair_index(std::size_t state, std::size_t a) const {
-    if (index_dirty_) rebuild_pair_index();
+    ensure_pair_index();
     SOCBUF_REQUIRE_MSG(state < states_.size(), "unknown state");
     SOCBUF_REQUIRE_MSG(a < states_[state].actions.size(), "unknown action");
     return pair_offset_[state] + a;
 }
 
 std::size_t CtmdpModel::pair_state(std::size_t pair) const {
-    if (index_dirty_) rebuild_pair_index();
+    ensure_pair_index();
     SOCBUF_REQUIRE_MSG(pair < pair_to_state_.size(), "pair out of range");
     return pair_to_state_[pair];
 }
 
 std::size_t CtmdpModel::pair_action(std::size_t pair) const {
-    if (index_dirty_) rebuild_pair_index();
+    ensure_pair_index();
     SOCBUF_REQUIRE_MSG(pair < pair_to_state_.size(), "pair out of range");
     return pair - pair_offset_[pair_to_state_[pair]];
+}
+
+void CtmdpModel::ensure_structure() const {
+    if (!structure_dirty_.load(std::memory_order_acquire)) return;
+    const std::scoped_lock lock(cache_mutex_);
+    if (structure_dirty_.load(std::memory_order_relaxed))
+        rebuild_structure();
 }
 
 void CtmdpModel::rebuild_structure() const {
@@ -94,16 +111,16 @@ void CtmdpModel::rebuild_structure() const {
             }
         }
     }
-    structure_dirty_ = false;
+    structure_dirty_.store(false, std::memory_order_release);
 }
 
 std::size_t CtmdpModel::bandwidth() const {
-    if (structure_dirty_) rebuild_structure();
+    ensure_structure();
     return bandwidth_;
 }
 
 std::size_t CtmdpModel::transition_count() const {
-    if (structure_dirty_) rebuild_structure();
+    ensure_structure();
     return transition_count_;
 }
 

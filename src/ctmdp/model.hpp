@@ -7,8 +7,11 @@
 // builds on).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace socbuf::ctmdp {
@@ -30,6 +33,34 @@ public:
     /// Number of extra cost signals every action must carry (default 0).
     explicit CtmdpModel(std::size_t extra_cost_count = 0)
         : extra_cost_count_(extra_cost_count) {}
+
+    // The lazy caches carry a mutex and atomic flags, so copies and moves
+    // transfer only the model itself; the destination's caches start
+    // dirty and rebuild on first use.
+    CtmdpModel(const CtmdpModel& other)
+        : states_(other.states_),
+          extra_cost_count_(other.extra_cost_count_) {}
+    CtmdpModel(CtmdpModel&& other) noexcept
+        : states_(std::move(other.states_)),
+          extra_cost_count_(other.extra_cost_count_) {}
+    CtmdpModel& operator=(const CtmdpModel& other) {
+        if (this != &other) {
+            states_ = other.states_;
+            extra_cost_count_ = other.extra_cost_count_;
+            index_dirty_ = true;
+            structure_dirty_ = true;
+        }
+        return *this;
+    }
+    CtmdpModel& operator=(CtmdpModel&& other) noexcept {
+        if (this != &other) {
+            states_ = std::move(other.states_);
+            extra_cost_count_ = other.extra_cost_count_;
+            index_dirty_ = true;
+            structure_dirty_ = true;
+        }
+        return *this;
+    }
 
     std::size_t add_state(std::string name = {});
 
@@ -84,19 +115,27 @@ private:
         std::vector<Action> actions;
     };
 
+    void ensure_pair_index() const;
+    void ensure_structure() const;
     void rebuild_pair_index() const;
     void rebuild_structure() const;
 
     std::vector<StateEntry> states_;
     std::size_t extra_cost_count_;
+    // Guards the lazy rebuilds below: const accessors on a shared model
+    // are safe from any thread (double-checked on the atomic flags, so
+    // the warm path is a single acquire load). Pure synchronization —
+    // no result, iteration order or report byte depends on it.
+    // socbuf-lint: allow(raw-thread) — serializes only the const-lazy cache rebuilds; results never observe it.
+    mutable std::mutex cache_mutex_;
     // Lazily rebuilt flat indexing caches.
     mutable std::vector<std::size_t> pair_offset_;
     mutable std::vector<std::size_t> pair_to_state_;
-    mutable bool index_dirty_ = true;
+    mutable std::atomic<bool> index_dirty_{true};
     // Lazily rebuilt structural summary (bandwidth / non-zero count).
     mutable std::size_t bandwidth_ = 0;
     mutable std::size_t transition_count_ = 0;
-    mutable bool structure_dirty_ = true;
+    mutable std::atomic<bool> structure_dirty_{true};
 };
 
 }  // namespace socbuf::ctmdp

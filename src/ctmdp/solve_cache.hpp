@@ -169,8 +169,13 @@ private:
     mutable std::mutex mutex_;
     std::condition_variable slot_ready_;
     std::list<Entry> entries_;  // front = most recently used
+    // Lookup-only indexes: find/emplace/erase by exact fingerprint, never
+    // iterated — recency (and therefore eviction order) lives in the
+    // entries_ list, so hash order cannot reach results or reports.
+    // socbuf-lint: allow(unordered-container) — keyed lookups only; eviction order comes from entries_.
     std::unordered_map<std::string, EntryIter> index_;
     /// structure fingerprint -> most recently solved entry with it.
+    // socbuf-lint: allow(unordered-container) — keyed lookups only; warm seeding picks one exact entry.
     std::unordered_map<std::string, EntryIter> warm_index_;
     std::size_t capacity_ = 0;
     std::size_t byte_budget_ = 0;

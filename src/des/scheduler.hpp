@@ -61,6 +61,9 @@ private:
 
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
     std::vector<std::function<void()>> actions_;  // indexed by EventId
+    // Membership tests only (count/insert/erase); firing order is decided
+    // by the ordered min-heap above, so hash order stays invisible.
+    // socbuf-lint: allow(unordered-container) — membership set; never iterated, order decided by queue_.
     std::unordered_set<EventId> cancelled_;
     double now_ = 0.0;
     std::uint64_t fired_ = 0;

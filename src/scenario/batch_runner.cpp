@@ -246,6 +246,7 @@ BatchReport BatchRunner::run(const std::vector<ScenarioSpec>& specs) {
     // microseconds since batch start (-1 = none finished yet). A
     // CAS-min keeps the earliest value under concurrent finishes.
     std::atomic<std::int64_t> first_eval_us{-1};
+    // socbuf-lint: allow(wall-clock) — feeds first_eval_latency_s, a scheduling diagnostic; report folds never read it.
     const auto batch_start = std::chrono::steady_clock::now();
     exec::TaskGraph graph(executor_);
     for (const std::size_t j : order) {
@@ -272,6 +273,7 @@ BatchReport BatchRunner::run(const std::vector<ScenarioSpec>& specs) {
                             const auto us =
                                 std::chrono::duration_cast<
                                     std::chrono::microseconds>(
+                                    // socbuf-lint: allow(wall-clock) — first_eval_latency_s diagnostic; never folded into results.
                                     std::chrono::steady_clock::now() -
                                     batch_start)
                                     .count();

@@ -274,6 +274,7 @@ bool arbiter_from_string(const std::string& text, sim::ArbiterKind& out) {
 
 util::JsonValue to_json(const ScenarioSpec& spec) {
     util::JsonValue root = util::JsonValue::object();
+    root.set("version", kScenarioSchemaVersion);
     root.set("name", spec.name);
     root.set("description", spec.description);
     root.set("testbench", scenario::to_string(spec.testbench));
@@ -309,6 +310,20 @@ ScenarioSpec spec_from_json(const util::JsonValue& value,
     ScenarioSpec spec;
     ObjectReader reader(value, path);
 
+    // Absent means version 1 (every file written before the field
+    // existed); anything else is a document this reader does not
+    // understand, rejected up front so a future-version file fails on
+    // the version line, not on whichever new key happens to come first.
+    if (const auto* version = reader.find("version")) {
+        const long long value_read =
+            read_integer(*version, path + ".version", 0);
+        if (value_read != kScenarioSchemaVersion)
+            fail(path + ".version",
+                 "unsupported schema version " +
+                     std::to_string(value_read) + " (this reader "
+                     "understands version " +
+                     std::to_string(kScenarioSchemaVersion) + ")");
+    }
     spec.name = read_string(reader.require("name"), path + ".name");
     if (spec.name.empty()) fail(path + ".name", "must not be empty");
     if (const auto* description = reader.find("description"))

@@ -16,6 +16,8 @@
 // The schema (documented field by field in scenarios/README.md):
 //
 //   {
+//     "version": 1,                       optional; absent = 1; anything
+//                                         else is rejected at $.version
 //     "name": "np-load-sweep",            required, non-empty
 //     "description": "...",               optional string
 //     "testbench": "network-processor",   "figure1" | "network-processor"
@@ -50,6 +52,12 @@
 #include <vector>
 
 namespace socbuf::scenario {
+
+/// The scenario schema version this reader and writer speak. to_json
+/// stamps it on every document; spec_from_json accepts absent-or-equal
+/// and rejects everything else with a $.version diagnostic. Bump it only
+/// with a migration story for the shipped scenarios/ catalog.
+inline constexpr int kScenarioSchemaVersion = 1;
 
 /// A malformed scenario document: the message always leads with the JSON
 /// path (or file name) of the offending value.

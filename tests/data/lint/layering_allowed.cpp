@@ -1,0 +1,6 @@
+// Fixture: the same upward include as layering_bad.cpp, silenced by an
+// argued suppression on the line above the offending include.
+// socbuf-lint: allow(layering) — fixture: migration shim, tracked for removal.
+#include "scenario/scenario.hpp"
+
+void probe();

@@ -1,0 +1,5 @@
+// Fixture: linted as src/arch/layering_bad.cpp — arch (rank 1) reaching
+// up into scenario (rank 6) must fire the layering rule.
+#include "scenario/scenario.hpp"
+
+void probe();

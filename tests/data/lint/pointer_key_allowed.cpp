@@ -1,0 +1,8 @@
+// Fixture: the same pointer-keyed map as pointer_key_bad.cpp, justified
+// inline.
+#include <map>
+
+struct Site;
+
+// socbuf-lint: allow(pointer-key) — fixture: keyed lookups only, never iterated.
+std::map<Site*, int> ranks;

@@ -1,0 +1,8 @@
+// Fixture: linted as src/split/pointer_key_bad.cpp — an ordered
+// container keyed by a pointer iterates in address order, which changes
+// from run to run.
+#include <map>
+
+struct Site;
+
+std::map<Site*, int> ranks;

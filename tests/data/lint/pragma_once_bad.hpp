@@ -1,0 +1,5 @@
+// Fixture: linted as src/util/pragma_once_bad.hpp — a header without
+// #pragma once.
+struct Probe {
+    int value = 0;
+};

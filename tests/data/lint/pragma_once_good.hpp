@@ -1,0 +1,6 @@
+#pragma once
+// Fixture: the fixed twin of pragma_once_bad.hpp — the guard is the fix;
+// no suppression needed.
+struct Probe {
+    int value = 0;
+};

@@ -1,0 +1,10 @@
+// Fixture: the same ambient randomness as random_source_bad.cpp, each
+// use carrying an argued suppression.
+#include <cstdlib>
+#include <random>
+
+// socbuf-lint: allow(random-source) — fixture: value is discarded, never folded.
+int jitter() { return std::rand(); }
+
+// socbuf-lint: allow(random-source) — fixture: entropy probe for a diagnostic only.
+unsigned seed_entropy() { return std::random_device{}(); }

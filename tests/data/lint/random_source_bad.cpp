@@ -1,0 +1,8 @@
+// Fixture: linted as src/sim/random_source_bad.cpp — ambient randomness
+// (rand, std::random_device) bypasses the seeded rng layer.
+#include <cstdlib>
+#include <random>
+
+int jitter() { return std::rand(); }
+
+unsigned seed_entropy() { return std::random_device{}(); }

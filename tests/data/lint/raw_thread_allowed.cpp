@@ -1,0 +1,13 @@
+// Fixture: the same primitives as raw_thread_bad.cpp, each carrying an
+// argued suppression.
+#include <mutex>
+#include <thread>
+
+// socbuf-lint: allow(raw-thread) — fixture: guards a debug-only counter.
+std::mutex gate;
+
+void spin() {
+    // socbuf-lint: allow(raw-thread) — fixture: joined before any result is read.
+    std::thread worker([] {});
+    worker.join();
+}

@@ -1,0 +1,12 @@
+// Fixture: linted as src/core/raw_thread_bad.cpp — raw threading
+// primitives outside src/exec/ (and the solve cache) undermine the
+// deterministic claim-and-fold contract.
+#include <mutex>
+#include <thread>
+
+std::mutex gate;
+
+void spin() {
+    std::thread worker([] {});
+    worker.join();
+}

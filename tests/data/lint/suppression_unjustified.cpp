@@ -1,0 +1,7 @@
+// Fixture: linted as src/core/suppression_unjustified.cpp — a
+// suppression with no justification text is itself a diagnostic, and it
+// suppresses nothing (the rand() below still fires).
+#include <cstdlib>
+
+// socbuf-lint: allow(random-source)
+int jitter() { return std::rand(); }

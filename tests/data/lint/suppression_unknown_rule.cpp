@@ -1,0 +1,5 @@
+// Fixture: linted as src/util/suppression_unknown_rule.cpp — naming a
+// rule the analyzer does not know is a diagnostic (typos cannot silently
+// disable checking).
+// socbuf-lint: allow(made-up-rule) — justified, but the rule id is a typo.
+int probe();

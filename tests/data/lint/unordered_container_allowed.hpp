@@ -1,0 +1,11 @@
+#pragma once
+// Fixture: the same unordered member as unordered_container_bad.hpp,
+// justified inline (end-of-line form of the suppression).
+
+#include <string>
+#include <unordered_map>
+
+struct Probe {
+    // socbuf-lint: allow(unordered-container) — lookup-only; never iterated.
+    std::unordered_map<std::string, int> table;
+};

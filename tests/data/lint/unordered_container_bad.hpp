@@ -1,0 +1,10 @@
+#pragma once
+// Fixture: linted as src/core/unordered_container_bad.hpp — an unordered
+// member in determinism-scoped code needs an argued justification.
+
+#include <string>
+#include <unordered_map>
+
+struct Probe {
+    std::unordered_map<std::string, int> table;
+};

@@ -1,0 +1,17 @@
+// Fixture: the same iterations as unordered_iteration_bad.cpp, each
+// carrying an argued suppression (the fold result is order-independent).
+#include <string>
+#include <unordered_map>
+
+// socbuf-lint: allow(unordered-container) — fixture isolates the iteration rule.
+std::unordered_map<std::string, double> totals;
+
+double fold() {
+    double sum = 0.0;
+    // socbuf-lint: allow(unordered-iteration) — sum is commutative; order cannot leak.
+    for (const auto& [key, value] : totals) sum += value;
+    return sum;
+}
+
+// socbuf-lint: allow(unordered-iteration) — fixture: begin() feeds no fold here.
+double first() { return totals.begin()->second; }

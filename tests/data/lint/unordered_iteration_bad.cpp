@@ -1,0 +1,17 @@
+// Fixture: linted as src/core/unordered_iteration_bad.cpp — iterating an
+// unordered container (range-for and begin()) in determinism-scoped code.
+// The declaration itself carries a justified suppression so this fixture
+// isolates the iteration rule.
+#include <string>
+#include <unordered_map>
+
+// socbuf-lint: allow(unordered-container) — fixture isolates the iteration rule.
+std::unordered_map<std::string, double> totals;
+
+double fold() {
+    double sum = 0.0;
+    for (const auto& [key, value] : totals) sum += value;
+    return sum;
+}
+
+double first() { return totals.begin()->second; }

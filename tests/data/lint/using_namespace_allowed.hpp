@@ -1,0 +1,8 @@
+#pragma once
+// Fixture: the same directive as using_namespace_bad.hpp, suppressed
+// with a justification.
+
+#include <string>
+
+// socbuf-lint: allow(using-namespace-header) — fixture: header is test-only.
+using namespace std;

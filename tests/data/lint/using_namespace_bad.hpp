@@ -1,0 +1,7 @@
+#pragma once
+// Fixture: linted as src/util/using_namespace_bad.hpp — using namespace
+// at header scope leaks into every includer.
+
+#include <string>
+
+using namespace std;

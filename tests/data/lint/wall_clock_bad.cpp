@@ -1,0 +1,8 @@
+// Fixture: linted as src/scenario/wall_clock_bad.cpp — a wall-clock read
+// outside bench/ makes results depend on when the code runs.
+#include <chrono>
+
+double stamp() {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now.time_since_epoch()).count();
+}

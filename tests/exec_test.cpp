@@ -55,7 +55,7 @@ TEST(ThreadPool, RejectsThreadCountsPastTheMaximum) {
     EXPECT_EQ(se::resolve_thread_count(se::kMaxThreads), se::kMaxThreads);
     // A runaway literal (--threads 18446744073709551615) must fail the
     // contract up front, not die inside std::vector growth.
-    EXPECT_THROW(se::resolve_thread_count(se::kMaxThreads + 1),
+    EXPECT_THROW((void)se::resolve_thread_count(se::kMaxThreads + 1),
                  socbuf::util::ContractViolation);
 }
 

@@ -39,7 +39,7 @@ TEST(Problem, DuplicateTermsAreMerged) {
     slp::LinearProgram p;
     const auto x = p.add_variable(1.0);
     const auto c =
-        p.add_constraint({{{x, 1.0}, {x, 2.0}}, slp::Relation::kEqual, 3.0});
+        p.add_constraint({{{x, 1.0}, {x, 2.0}}, slp::Relation::kEqual, 3.0, ""});
     ASSERT_EQ(p.constraint(c).terms.size(), 1u);
     EXPECT_DOUBLE_EQ(p.constraint(c).terms[0].second, 3.0);
 }
@@ -48,15 +48,15 @@ TEST(Problem, UnknownVariableRejected) {
     slp::LinearProgram p;
     p.add_variable(1.0);
     EXPECT_THROW(
-        p.add_constraint({{{7, 1.0}}, slp::Relation::kEqual, 0.0}),
+        p.add_constraint({{{7, 1.0}}, slp::Relation::kEqual, 0.0, ""}),
         socbuf::util::ContractViolation);
 }
 
 TEST(Problem, MaxViolationMeasuresAllRelations) {
     slp::LinearProgram p;
     const auto x = p.add_variable(0.0);
-    p.add_constraint({{{x, 1.0}}, slp::Relation::kLessEqual, 1.0});
-    p.add_constraint({{{x, 1.0}}, slp::Relation::kGreaterEqual, 0.5});
+    p.add_constraint({{{x, 1.0}}, slp::Relation::kLessEqual, 1.0, ""});
+    p.add_constraint({{{x, 1.0}}, slp::Relation::kGreaterEqual, 0.5, ""});
     EXPECT_DOUBLE_EQ(p.max_violation({2.0}), 1.0);   // <= violated by 1
     EXPECT_DOUBLE_EQ(p.max_violation({0.0}), 0.5);   // >= violated by 0.5
     EXPECT_DOUBLE_EQ(p.max_violation({0.75}), 0.0);  // feasible
@@ -76,8 +76,8 @@ TEST(Simplex, SolvesMinimizationWithEqualities) {
     slp::LinearProgram p;
     const auto x = p.add_variable(1.0);
     const auto y = p.add_variable(2.0);
-    p.add_constraint({{{x, 1.0}, {y, 1.0}}, slp::Relation::kEqual, 1.0});
-    p.add_constraint({{{x, 1.0}}, slp::Relation::kLessEqual, 0.4});
+    p.add_constraint({{{x, 1.0}, {y, 1.0}}, slp::Relation::kEqual, 1.0, ""});
+    p.add_constraint({{{x, 1.0}}, slp::Relation::kLessEqual, 0.4, ""});
     const auto sol = slp::solve(p);
     ASSERT_EQ(sol.status, slp::SolveStatus::kOptimal);
     EXPECT_NEAR(sol.objective, 1.6, 1e-9);
@@ -88,8 +88,8 @@ TEST(Simplex, SolvesMinimizationWithEqualities) {
 TEST(Simplex, DetectsInfeasibility) {
     slp::LinearProgram p;
     const auto x = p.add_variable(1.0);
-    p.add_constraint({{{x, 1.0}}, slp::Relation::kLessEqual, 1.0});
-    p.add_constraint({{{x, 1.0}}, slp::Relation::kGreaterEqual, 2.0});
+    p.add_constraint({{{x, 1.0}}, slp::Relation::kLessEqual, 1.0, ""});
+    p.add_constraint({{{x, 1.0}}, slp::Relation::kGreaterEqual, 2.0, ""});
     EXPECT_EQ(slp::solve(p).status, slp::SolveStatus::kInfeasible);
 }
 
@@ -97,7 +97,7 @@ TEST(Simplex, DetectsUnboundedness) {
     slp::LinearProgram p;
     p.set_sense(slp::Sense::kMaximize);
     const auto x = p.add_variable(1.0);
-    p.add_constraint({{{x, -1.0}}, slp::Relation::kLessEqual, 0.0});
+    p.add_constraint({{{x, -1.0}}, slp::Relation::kLessEqual, 0.0, ""});
     EXPECT_EQ(slp::solve(p).status, slp::SolveStatus::kUnbounded);
 }
 
@@ -105,7 +105,7 @@ TEST(Simplex, HandlesNegativeRhsByRowFlip) {
     // -x <= -2  <=>  x >= 2; min x => x = 2.
     slp::LinearProgram p;
     const auto x = p.add_variable(1.0);
-    p.add_constraint({{{x, -1.0}}, slp::Relation::kLessEqual, -2.0});
+    p.add_constraint({{{x, -1.0}}, slp::Relation::kLessEqual, -2.0, ""});
     const auto sol = slp::solve(p);
     ASSERT_EQ(sol.status, slp::SolveStatus::kOptimal);
     EXPECT_NEAR(sol.x[0], 2.0, 1e-9);
@@ -117,7 +117,7 @@ TEST(Simplex, RedundantEqualitiesAreTolerated) {
     const auto x = p.add_variable(1.0);
     const auto y = p.add_variable(1.0);
     for (int i = 0; i < 3; ++i)
-        p.add_constraint({{{x, 1.0}, {y, 1.0}}, slp::Relation::kEqual, 2.0});
+        p.add_constraint({{{x, 1.0}, {y, 1.0}}, slp::Relation::kEqual, 2.0, ""});
     const auto sol = slp::solve(p);
     ASSERT_EQ(sol.status, slp::SolveStatus::kOptimal);
     EXPECT_NEAR(sol.objective, 2.0, 1e-9);
@@ -131,10 +131,10 @@ TEST(Simplex, DegenerateProblemTerminates) {
     const auto x = p.add_variable(1.0);
     const auto y = p.add_variable(1.0);
     const auto z = p.add_variable(1.0);
-    p.add_constraint({{{x, 1.0}}, slp::Relation::kLessEqual, 0.0});
-    p.add_constraint({{{x, 1.0}, {y, 1.0}}, slp::Relation::kLessEqual, 0.0});
+    p.add_constraint({{{x, 1.0}}, slp::Relation::kLessEqual, 0.0, ""});
+    p.add_constraint({{{x, 1.0}, {y, 1.0}}, slp::Relation::kLessEqual, 0.0, ""});
     p.add_constraint(
-        {{{x, 1.0}, {y, 1.0}, {z, 1.0}}, slp::Relation::kLessEqual, 1.0});
+        {{{x, 1.0}, {y, 1.0}, {z, 1.0}}, slp::Relation::kLessEqual, 1.0, ""});
     const auto sol = slp::solve(p);
     ASSERT_EQ(sol.status, slp::SolveStatus::kOptimal);
     EXPECT_NEAR(sol.objective, 1.0, 1e-9);
@@ -144,7 +144,7 @@ TEST(Simplex, EqualityOnlyProblemNeedsNoSlacks) {
     slp::LinearProgram p;
     const auto x = p.add_variable(2.0);
     const auto y = p.add_variable(1.0);
-    p.add_constraint({{{x, 1.0}, {y, 1.0}}, slp::Relation::kEqual, 5.0});
+    p.add_constraint({{{x, 1.0}, {y, 1.0}}, slp::Relation::kEqual, 5.0, ""});
     const auto sol = slp::solve(p);
     ASSERT_EQ(sol.status, slp::SolveStatus::kOptimal);
     EXPECT_NEAR(sol.objective, 5.0, 1e-9);  // all mass on y
@@ -225,7 +225,8 @@ TEST(Simplex, TotallyDegenerateBalanceSystemTerminates) {
                            {x[static_cast<std::size_t>((i + n - 1) % n)],
                             -1.0}},
                           slp::Relation::kEqual,
-                          0.0});
+                          0.0,
+                          ""});
     }
     slp::Constraint norm;
     norm.relation = slp::Relation::kEqual;
@@ -249,7 +250,7 @@ TEST(Simplex, PerturbationErrorStaysBelowFeasibilityTolerance) {
     slp::LinearProgram p;
     const auto x = p.add_variable(1.0);
     const auto y = p.add_variable(2.0);
-    p.add_constraint({{{x, 1.0}, {y, 1.0}}, slp::Relation::kEqual, 1.0});
+    p.add_constraint({{{x, 1.0}, {y, 1.0}}, slp::Relation::kEqual, 1.0, ""});
     const auto sol = slp::solve(p);
     ASSERT_EQ(sol.status, slp::SolveStatus::kOptimal);
     EXPECT_NEAR(sol.x[0], 1.0, 1e-8);

@@ -53,11 +53,11 @@ TEST(Mm1k, MinCapacitySearch) {
 }
 
 TEST(Mm1k, RejectsBadArguments) {
-    EXPECT_THROW(sq::analyze_mm1k(-1.0, 1.0, 3),
+    EXPECT_THROW((void)sq::analyze_mm1k(-1.0, 1.0, 3),
                  socbuf::util::ContractViolation);
-    EXPECT_THROW(sq::analyze_mm1k(1.0, 0.0, 3),
+    EXPECT_THROW((void)sq::analyze_mm1k(1.0, 0.0, 3),
                  socbuf::util::ContractViolation);
-    EXPECT_THROW(sq::analyze_mm1k(1.0, 1.0, 0),
+    EXPECT_THROW((void)sq::analyze_mm1k(1.0, 1.0, 0),
                  socbuf::util::ContractViolation);
 }
 

@@ -118,6 +118,31 @@ TEST(ScenarioIo, AbsentKeysKeepDefaults) {
     EXPECT_TRUE(spec == defaults);
 }
 
+TEST(ScenarioIo, SchemaVersionIsStampedAndEnforced) {
+    // Every emitted document leads with the schema version...
+    const ss::ScenarioSpec spec = [] {
+        ss::ScenarioSpec s;
+        s.name = "versioned";
+        return s;
+    }();
+    const JsonValue doc = ss::to_json(spec);
+    ASSERT_TRUE(doc.contains("version"));
+    EXPECT_EQ(doc.at("version").as_number(), ss::kScenarioSchemaVersion);
+    // ...an explicit current version parses, absent means current
+    // (AbsentKeysKeepDefaults), and anything else is rejected at
+    // $.version before any other key is validated.
+    EXPECT_TRUE(ss::spec_from_json(JsonValue::parse(
+                    "{\"version\": 1, \"name\": \"v\"}")) ==
+                ss::spec_from_json(JsonValue::parse("{\"name\": \"v\"}")));
+    expect_io_error("{\"version\": 2, \"name\": \"v\"}", "$.version");
+    expect_io_error("{\"version\": 0, \"name\": \"v\"}", "$.version");
+    expect_io_error("{\"version\": \"1\", \"name\": \"v\"}", "$.version");
+    // Rejection happens up front: a future-version document fails on the
+    // version line even when later keys would also be unknown.
+    expect_io_error("{\"version\": 2, \"name\": \"v\", \"zzz\": 1}",
+                    "$.version");
+}
+
 TEST(ScenarioIo, DiagnosticsNameTheJsonPath) {
     expect_io_error("{\"name\": \"x\", \"budgetz\": [3]}", "$.budgetz");
     expect_io_error("{\"name\": \"x\", \"budgets\": \"320\"}", "$.budgets");

@@ -153,7 +153,7 @@ TEST(Simulator, LossAttributionCrossesBridges) {
     EXPECT_GT(r.site_losses[bridge_hop], 0u);
     EXPECT_EQ(r.lost[1], r.site_losses[bridge_hop]);  // charged to origin
     for (std::size_t p = 0; p < r.lost.size(); ++p)
-        if (p != 1) EXPECT_EQ(r.lost[p], 0u);
+        if (p != 1) { EXPECT_EQ(r.lost[p], 0u); }
 }
 
 TEST(Simulator, TimeoutPolicyDropsSlowPackets) {

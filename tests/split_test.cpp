@@ -79,8 +79,9 @@ TEST(Split, SiteMappingIsConsistent) {
     for (const auto& sub : split.subsystems)
         for (const auto& f : sub.flows) used.insert(f.site);
     for (std::size_t s = 0; s < split.sites.size(); ++s)
-        if (!used.count(s))
+        if (!used.count(s)) {
             EXPECT_EQ(split.subsystem_of_site[s], sp::SplitResult::npos);
+        }
 }
 
 TEST(Split, LinearityCheckCatchesCorruption) {

@@ -1,0 +1,817 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace socbuf::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool starts_with(const std::string& text, const char* prefix) {
+    return text.rfind(prefix, 0) == 0;
+}
+
+bool ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// ------------------------------------------------------------------ layers
+//
+// The ROADMAP's architecture layers as a *dependency* rank table: a file
+// may include only modules of strictly lower rank (its own module is
+// always fine). Ranks order the real dependency DAG of the tree — note
+// that `exec` sits low (it depends on nothing but util; everything else
+// fans work through it), even though the ROADMAP's pipeline narrative
+// lists it mid-stack. Same-rank modules are mutually independent:
+// a sideways include is as much a violation as an upward one.
+
+struct LayerEntry {
+    const char* module;
+    int rank;
+};
+
+constexpr LayerEntry kLayerTable[] = {
+    {"util", 0},
+    {"arch", 1},
+    {"des", 1},
+    {"exec", 1},
+    {"linalg", 1},
+    {"lp", 1},
+    {"rng", 1},
+    {"ctmc", 2},
+    {"traffic", 2},
+    {"ctmdp", 3},
+    {"queueing", 3},
+    {"sim", 3},
+    {"split", 3},
+    {"nonlinear", 4},
+    {"core", 5},
+    {"scenario", 6},
+    {"session", 7},
+    {"experiments", 8},
+};
+
+/// src/core/experiments.* is the ROADMAP's topmost layer (thin presets
+/// over scenario/session) living in the core directory; mapping it above
+/// session keeps its downward reach legal and bans everything below the
+/// scenario stack from including it.
+const char* file_module_override(const std::string& virtual_path) {
+    if (virtual_path == "src/core/experiments.hpp" ||
+        virtual_path == "src/core/experiments.cpp")
+        return "experiments";
+    return nullptr;
+}
+
+int module_rank(const std::string& module) {
+    for (const LayerEntry& entry : kLayerTable)
+        if (module == entry.module) return entry.rank;
+    return -1;
+}
+
+/// Module a repo-relative path belongs to ("" when outside src/ or in an
+/// unknown src/ subdirectory).
+std::string module_of(const std::string& virtual_path) {
+    if (const char* override_module = file_module_override(virtual_path))
+        return override_module;
+    if (!starts_with(virtual_path, "src/")) return "";
+    const std::size_t begin = 4;
+    const std::size_t end = virtual_path.find('/', begin);
+    if (end == std::string::npos) return "";
+    const std::string module = virtual_path.substr(begin, end - begin);
+    return module_rank(module) >= 0 ? module : "";
+}
+
+// ------------------------------------------------------------- text views
+//
+// Pattern rules must not fire on comment or string-literal text (the
+// linter's own sources spell every banned token inside string literals),
+// and suppression markers must be read from comments *only* (a marker
+// inside a string literal is data, not an annotation). So each file is
+// split into two same-shape views: `code` with comments and literals
+// blanked, `comments` with everything else blanked. Newlines survive in
+// both so line numbers stay aligned.
+
+struct Views {
+    std::string code;
+    std::string comments;
+};
+
+Views split_views(const std::string& text) {
+    Views views;
+    views.code.assign(text.size(), ' ');
+    views.comments.assign(text.size(), ' ');
+    enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+    State state = State::kCode;
+    std::string raw_delim;
+    std::size_t i = 0;
+    while (i < text.size()) {
+        const char c = text[i];
+        const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+        if (c == '\n') {
+            views.code[i] = '\n';
+            views.comments[i] = '\n';
+            if (state == State::kLine) state = State::kCode;
+            ++i;
+            continue;
+        }
+        switch (state) {
+            case State::kCode:
+                if (c == '/' && next == '/') {
+                    state = State::kLine;
+                    i += 2;
+                } else if (c == '/' && next == '*') {
+                    state = State::kBlock;
+                    i += 2;
+                } else if (c == '"') {
+                    const bool raw =
+                        i > 0 && text[i - 1] == 'R' &&
+                        (i < 2 || !ident_char(text[i - 2]));
+                    views.code[i] = '"';
+                    ++i;
+                    if (raw) {
+                        raw_delim.clear();
+                        while (i < text.size() && text[i] != '(')
+                            raw_delim.push_back(text[i++]);
+                        if (i < text.size()) ++i;  // consume '('
+                        state = State::kRaw;
+                    } else {
+                        state = State::kString;
+                    }
+                } else if (c == '\'') {
+                    ++i;
+                    state = State::kChar;
+                } else {
+                    views.code[i] = c;
+                    ++i;
+                }
+                break;
+            case State::kLine:
+                views.comments[i] = c;
+                ++i;
+                break;
+            case State::kBlock:
+                if (c == '*' && next == '/') {
+                    state = State::kCode;
+                    i += 2;
+                } else {
+                    views.comments[i] = c;
+                    ++i;
+                }
+                break;
+            case State::kString:
+                if (c == '\\') {
+                    i += 2;
+                } else if (c == '"') {
+                    views.code[i] = '"';
+                    ++i;
+                    state = State::kCode;
+                } else {
+                    ++i;
+                }
+                break;
+            case State::kChar:
+                if (c == '\\') {
+                    i += 2;
+                } else if (c == '\'') {
+                    ++i;
+                    state = State::kCode;
+                } else {
+                    ++i;
+                }
+                break;
+            case State::kRaw:
+                if (c == ')' &&
+                    text.compare(i + 1, raw_delim.size(), raw_delim) == 0 &&
+                    i + 1 + raw_delim.size() < text.size() &&
+                    text[i + 1 + raw_delim.size()] == '"') {
+                    i += 2 + raw_delim.size();
+                    state = State::kCode;
+                } else {
+                    ++i;
+                }
+                break;
+        }
+    }
+    return views;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+    std::vector<std::string> lines;
+    std::size_t begin = 0;
+    while (begin <= text.size()) {
+        const std::size_t end = text.find('\n', begin);
+        if (end == std::string::npos) {
+            lines.push_back(text.substr(begin));
+            break;
+        }
+        lines.push_back(text.substr(begin, end - begin));
+        begin = end + 1;
+    }
+    return lines;
+}
+
+bool blank_line(const std::string& line) {
+    return std::all_of(line.begin(), line.end(), [](char c) {
+        return std::isspace(static_cast<unsigned char>(c)) != 0;
+    });
+}
+
+std::string trim(const std::string& text) {
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin])) != 0)
+        ++begin;
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1])) != 0)
+        --end;
+    return text.substr(begin, end - begin);
+}
+
+// ----------------------------------------------------------- suppressions
+
+constexpr const char* kMarker = "socbuf-lint:";
+
+struct SuppressionScan {
+    /// Rules suppressed per 1-based target line.
+    std::map<std::size_t, std::set<std::string>> by_line;
+    /// Malformed-annotation diagnostics (rule "suppression").
+    std::vector<Diagnostic> malformed;
+};
+
+bool known_rule(const std::string& rule) {
+    const std::vector<std::string>& ids = rule_ids();
+    return std::find(ids.begin(), ids.end(), rule) != ids.end();
+}
+
+/// Parse one comment line for a suppression annotation. Grammar (the
+/// marker word, then): allow(rule[, rule...]) <justification>. The
+/// justification must contain at least one alphanumeric character — an
+/// exception nobody argued for is itself a diagnostic. Rule lists with
+/// angle-bracket placeholders are documentation examples and ignored.
+void scan_suppressions(const std::vector<std::string>& comment_lines,
+                       const std::vector<std::string>& code_lines,
+                       SuppressionScan& scan) {
+    for (std::size_t index = 0; index < comment_lines.size(); ++index) {
+        const std::string& comment = comment_lines[index];
+        const std::size_t marker = comment.find(kMarker);
+        if (marker == std::string::npos) continue;
+        const std::size_t line = index + 1;
+        std::size_t pos = marker + std::string(kMarker).size();
+        while (pos < comment.size() &&
+               std::isspace(static_cast<unsigned char>(comment[pos])) != 0)
+            ++pos;
+        const std::string expect = "allow(";
+        if (comment.compare(pos, expect.size(), expect) != 0) {
+            scan.malformed.push_back(
+                {"", line, "suppression",
+                 "malformed annotation: expected "
+                 "'allow(rule[, rule...]) <justification>' after the "
+                 "marker"});
+            continue;
+        }
+        pos += expect.size();
+        const std::size_t close = comment.find(')', pos);
+        if (close == std::string::npos) {
+            scan.malformed.push_back({"", line, "suppression",
+                                      "malformed annotation: missing ')'"});
+            continue;
+        }
+        const std::string list = comment.substr(pos, close - pos);
+        if (list.find('<') != std::string::npos ||
+            list.find('>') != std::string::npos)
+            continue;  // documentation example, not an annotation
+        std::set<std::string> rules;
+        bool ok = true;
+        std::stringstream stream(list);
+        std::string item;
+        while (std::getline(stream, item, ',')) {
+            const std::string rule = trim(item);
+            if (rule.empty() || !known_rule(rule) || rule == "suppression") {
+                scan.malformed.push_back({"", line, "suppression",
+                                          "unknown rule '" + rule + "'"});
+                ok = false;
+                continue;
+            }
+            rules.insert(rule);
+        }
+        if (!ok || rules.empty()) continue;
+        const std::string justification = comment.substr(close + 1);
+        const bool justified =
+            std::any_of(justification.begin(), justification.end(),
+                        [](char c) {
+                            return std::isalnum(
+                                       static_cast<unsigned char>(c)) != 0;
+                        });
+        if (!justified) {
+            scan.malformed.push_back(
+                {"", line, "suppression",
+                 "suppression needs a justification after the rule list"});
+            continue;
+        }
+        // A comment-only line annotates the line below it; an end-of-line
+        // comment annotates its own line.
+        const bool own_code = index < code_lines.size() &&
+                              !blank_line(code_lines[index]);
+        const std::size_t target = own_code ? line : line + 1;
+        scan.by_line[target].insert(rules.begin(), rules.end());
+    }
+}
+
+// ------------------------------------------------------------ rule scopes
+
+bool is_header(const std::string& virtual_path) {
+    const auto dot = virtual_path.rfind('.');
+    if (dot == std::string::npos) return false;
+    const std::string ext = virtual_path.substr(dot);
+    return ext == ".hpp" || ext == ".h";
+}
+
+/// Determinism rules cover everything that feeds results or reports:
+/// src/ (minus the exec layer, whose whole job is threads and claims),
+/// tools/ and examples/. bench/ is measurement code — clocks are its
+/// purpose — and tests/ is not scanned at all.
+bool determinism_scope(const std::string& virtual_path) {
+    if (starts_with(virtual_path, "src/"))
+        return module_of(virtual_path) != "exec";
+    return starts_with(virtual_path, "tools/") ||
+           starts_with(virtual_path, "examples/");
+}
+
+/// The one sanctioned home for raw threading primitives outside exec:
+/// the solve cache's slot locking (ROADMAP layer 5).
+bool raw_thread_exempt(const std::string& virtual_path) {
+    return virtual_path == "src/ctmdp/solve_cache.hpp" ||
+           virtual_path == "src/ctmdp/solve_cache.cpp";
+}
+
+// ---------------------------------------------------------- rule patterns
+
+const std::regex& include_prefix_re() {
+    static const std::regex re(R"re(^\s*#\s*include\s*")re");
+    return re;
+}
+
+const std::regex& include_path_re() {
+    static const std::regex re(R"re(^\s*#\s*include\s*"([^"]+)")re");
+    return re;
+}
+
+const std::regex& include_any_re() {
+    static const std::regex re(R"re(^\s*#\s*include\b)re");
+    return re;
+}
+
+const std::regex& random_re() {
+    static const std::regex re(R"re(\b(srand|rand)\s*\(|\brandom_device\b)re");
+    return re;
+}
+
+const std::regex& wall_clock_re() {
+    static const std::regex re(
+        R"re(_clock\s*::\s*now\b|\bgettimeofday\b|\bclock_gettime\b|\bclock\s*\(|\btime\s*\()re");
+    return re;
+}
+
+const std::regex& raw_thread_re() {
+    static const std::regex re(
+        R"re(\bstd\s*::\s*(jthread|thread|async|timed_mutex|recursive_mutex|recursive_timed_mutex|shared_mutex|shared_timed_mutex|mutex|condition_variable_any|condition_variable)\b)re");
+    return re;
+}
+
+const std::regex& pointer_key_re() {
+    static const std::regex re(
+        R"re(\bstd\s*::\s*(multimap|multiset|map|set)\s*<\s*[^,<>]*\*)re");
+    return re;
+}
+
+const std::regex& unordered_re() {
+    static const std::regex re(
+        R"re(\bunordered_(map|set|multimap|multiset)\b)re");
+    return re;
+}
+
+const std::regex& unordered_decl_re() {
+    static const std::regex re(
+        R"re(\bunordered_(?:map|set|multimap|multiset)\s*<)re");
+    return re;
+}
+
+const std::regex& begin_call_re() {
+    static const std::regex re(
+        R"re(\b([A-Za-z_]\w*)\s*\.\s*(?:c|r|cr)?begin\s*\()re");
+    return re;
+}
+
+const std::regex& range_for_re() {
+    static const std::regex re(R"re(\bfor\s*\(([^;(){}]*)\))re");
+    return re;
+}
+
+const std::regex& pragma_once_re() {
+    static const std::regex re(R"re(^\s*#\s*pragma\s+once\b)re");
+    return re;
+}
+
+const std::regex& using_namespace_re() {
+    static const std::regex re(R"re(\busing\s+namespace\b)re");
+    return re;
+}
+
+/// Names of unordered containers declared in the given blanked code
+/// (variables, members and parameters of a direct unordered_* type;
+/// aliases are out of reach of a text-level scan and documented so).
+std::set<std::string> unordered_names(const std::string& code) {
+    std::set<std::string> names;
+    const auto end = std::sregex_iterator();
+    for (auto it = std::sregex_iterator(code.begin(), code.end(),
+                                        unordered_decl_re());
+         it != end; ++it) {
+        std::size_t pos =
+            static_cast<std::size_t>(it->position() + it->length());
+        int depth = 1;
+        while (pos < code.size() && depth > 0) {
+            if (code[pos] == '<') ++depth;
+            if (code[pos] == '>') --depth;
+            ++pos;
+        }
+        while (pos < code.size() &&
+               (std::isspace(static_cast<unsigned char>(code[pos])) != 0 ||
+                code[pos] == '*' || code[pos] == '&'))
+            ++pos;
+        std::string name;
+        while (pos < code.size() && ident_char(code[pos]))
+            name.push_back(code[pos++]);
+        if (name.empty() || std::isdigit(static_cast<unsigned char>(name[0])))
+            continue;
+        while (pos < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[pos])) != 0)
+            ++pos;
+        const char next = pos < code.size() ? code[pos] : ';';
+        if (next == ';' || next == ',' || next == '=' || next == '{' ||
+            next == '(' || next == ')' || next == '[')
+            names.insert(name);
+    }
+    return names;
+}
+
+/// Identifiers appearing in a range-for's range expression.
+std::vector<std::string> range_identifiers(const std::string& expr) {
+    std::vector<std::string> out;
+    std::size_t i = 0;
+    while (i < expr.size()) {
+        if (std::isalpha(static_cast<unsigned char>(expr[i])) != 0 ||
+            expr[i] == '_') {
+            std::string name;
+            while (i < expr.size() && ident_char(expr[i]))
+                name.push_back(expr[i++]);
+            out.push_back(name);
+        } else {
+            ++i;
+        }
+    }
+    return out;
+}
+
+/// The range expression of a range-based for capture, or "" for a
+/// classic for. The separating ':' is the first one not part of '::'.
+std::string range_expression(const std::string& capture) {
+    for (std::size_t i = 0; i < capture.size(); ++i) {
+        if (capture[i] != ':') continue;
+        if (i + 1 < capture.size() && capture[i + 1] == ':') {
+            ++i;
+            continue;
+        }
+        if (i > 0 && capture[i - 1] == ':') continue;
+        return capture.substr(i + 1);
+    }
+    return "";
+}
+
+// ------------------------------------------------------------- rule table
+
+struct RuleInfo {
+    const char* id;
+    const char* description;
+};
+
+constexpr RuleInfo kRules[] = {
+    {"layering",
+     "an upward or sideways #include between source layers (each layer "
+     "only reaches downward; see tools/README.md for the rank table)"},
+    {"unordered-container",
+     "std::unordered_map/set declared in determinism-scoped code; "
+     "iteration order is unspecified, so justify order-safety with a "
+     "suppression or use an ordered container"},
+    {"unordered-iteration",
+     "iteration over an unordered container in determinism-scoped code "
+     "(range-for or begin()); the visit order may differ across runs "
+     "and library versions"},
+    {"random-source",
+     "ambient randomness (rand, srand, std::random_device) — all "
+     "stochastic behavior must flow from the seeded rng layer"},
+    {"wall-clock",
+     "wall-clock read (chrono ::now, time, clock_gettime, ...) outside "
+     "bench/; timing diagnostics need an explicit justification"},
+    {"raw-thread",
+     "raw threading primitive (std::thread/async/mutex/...) outside "
+     "src/exec/ and the solve cache; fan out through exec::Executor"},
+    {"pointer-key",
+     "ordered container keyed by a pointer; address order changes from "
+     "run to run, so iteration feeds nondeterminism into folds"},
+    {"pragma-once", "header without #pragma once"},
+    {"using-namespace-header", "using namespace at header scope"},
+    {"suppression",
+     "malformed or unjustified suppression annotation (not itself "
+     "suppressible)"},
+};
+
+// ------------------------------------------------------------ file linting
+
+struct FileLint {
+    const std::string& display_path;
+    const std::string& virtual_path;
+    std::vector<std::string> raw_lines;
+    std::vector<std::string> code_lines;
+    SuppressionScan suppressions;
+    std::vector<Diagnostic> output;
+
+    void emit(const char* rule, std::size_t line, std::string message) {
+        const auto found = suppressions.by_line.find(line);
+        if (found != suppressions.by_line.end() &&
+            found->second.count(rule) != 0)
+            return;
+        output.push_back({display_path, line, rule, std::move(message)});
+    }
+};
+
+void check_layering(FileLint& file) {
+    const std::string includer_module = module_of(file.virtual_path);
+    const int includer_rank =
+        includer_module.empty() ? -1 : module_rank(includer_module);
+    if (includer_rank < 0) return;  // tools/bench/examples sit on top
+    for (std::size_t index = 0; index < file.code_lines.size(); ++index) {
+        if (!std::regex_search(file.code_lines[index], include_prefix_re()))
+            continue;
+        std::smatch match;
+        if (!std::regex_search(file.raw_lines[index], match,
+                               include_path_re()))
+            continue;
+        const std::string target_path = "src/" + match[1].str();
+        const std::string target_module = module_of(target_path);
+        if (target_module.empty() || target_module == includer_module)
+            continue;
+        const int target_rank = module_rank(target_module);
+        if (target_rank < includer_rank) continue;
+        const char* relation = target_rank == includer_rank
+                                   ? "same-rank modules stay independent"
+                                   : "layers reach only downward";
+        file.emit("layering", index + 1,
+                  "layer " + includer_module + " (rank " +
+                      std::to_string(includer_rank) +
+                      ") may not include layer " + target_module + " (rank " +
+                      std::to_string(target_rank) + "): " + relation);
+    }
+}
+
+void check_patterns(FileLint& file) {
+    const bool determinism = determinism_scope(file.virtual_path);
+    const bool header = is_header(file.virtual_path);
+    const bool thread_ok = !determinism ||
+                           raw_thread_exempt(file.virtual_path);
+    for (std::size_t index = 0; index < file.code_lines.size(); ++index) {
+        const std::string& line = file.code_lines[index];
+        const std::size_t number = index + 1;
+        if (header && std::regex_search(line, using_namespace_re()))
+            file.emit("using-namespace-header", number,
+                      "using namespace at header scope leaks into every "
+                      "includer");
+        if (!determinism) continue;
+        if (std::regex_search(line, random_re()))
+            file.emit("random-source", number,
+                      "ambient randomness; derive all stochastic behavior "
+                      "from the seeded rng layer");
+        if (std::regex_search(line, wall_clock_re()))
+            file.emit("wall-clock", number,
+                      "wall-clock read outside bench/; results must not "
+                      "depend on when or how fast the code runs");
+        if (!thread_ok && std::regex_search(line, raw_thread_re()))
+            file.emit("raw-thread", number,
+                      "raw threading primitive outside src/exec/ (and the "
+                      "solve cache); fan out through exec::Executor so "
+                      "claims stay deterministic");
+        if (std::regex_search(line, pointer_key_re()))
+            file.emit("pointer-key", number,
+                      "ordered container keyed by a pointer; address order "
+                      "varies run to run");
+        if (std::regex_search(line, unordered_re()) &&
+            !std::regex_search(line, include_any_re()))
+            file.emit("unordered-container", number,
+                      "unordered container in determinism-scoped code; "
+                      "justify that its order never feeds results or "
+                      "reports (or use an ordered container)");
+    }
+}
+
+void check_unordered_iteration(FileLint& file,
+                               const std::set<std::string>& names) {
+    if (!determinism_scope(file.virtual_path) || names.empty()) return;
+    const auto end = std::sregex_iterator();
+    for (std::size_t index = 0; index < file.code_lines.size(); ++index) {
+        const std::string& line = file.code_lines[index];
+        const std::size_t number = index + 1;
+        for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                            begin_call_re());
+             it != end; ++it) {
+            if (names.count((*it)[1].str()) != 0)
+                file.emit("unordered-iteration", number,
+                          "iteration over unordered container '" +
+                              (*it)[1].str() +
+                              "': the visit order is unspecified");
+        }
+        for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                            range_for_re());
+             it != end; ++it) {
+            const std::string range = range_expression((*it)[1].str());
+            for (const std::string& name : range_identifiers(range)) {
+                if (names.count(name) != 0)
+                    file.emit("unordered-iteration", number,
+                              "range-for over unordered container '" + name +
+                                  "': the visit order is unspecified");
+            }
+        }
+    }
+}
+
+void check_pragma_once(FileLint& file) {
+    if (!is_header(file.virtual_path)) return;
+    for (const std::string& line : file.code_lines)
+        if (std::regex_search(line, pragma_once_re())) return;
+    file.emit("pragma-once", 1, "header is missing #pragma once");
+}
+
+}  // namespace
+
+const std::vector<std::string>& rule_ids() {
+    static const std::vector<std::string> ids = [] {
+        std::vector<std::string> out;
+        for (const RuleInfo& rule : kRules) out.emplace_back(rule.id);
+        return out;
+    }();
+    return ids;
+}
+
+std::string rule_description(const std::string& rule) {
+    for (const RuleInfo& info : kRules)
+        if (rule == info.id) return info.description;
+    return "";
+}
+
+int layer_rank(const std::string& virtual_path) {
+    const std::string module = module_of(virtual_path);
+    return module.empty() ? -1 : module_rank(module);
+}
+
+std::vector<Diagnostic> lint_text(const std::string& display_path,
+                                  const std::string& virtual_path,
+                                  const std::string& text,
+                                  const std::string* paired_header) {
+    const Views views = split_views(text);
+    FileLint file{display_path, virtual_path, split_lines(text),
+                  split_lines(views.code), SuppressionScan{}, {}};
+    scan_suppressions(split_lines(views.comments), file.code_lines,
+                      file.suppressions);
+
+    check_layering(file);
+    check_patterns(file);
+    std::set<std::string> names = unordered_names(views.code);
+    if (paired_header != nullptr) {
+        const std::set<std::string> header_names =
+            unordered_names(split_views(*paired_header).code);
+        names.insert(header_names.begin(), header_names.end());
+    }
+    check_unordered_iteration(file, names);
+    check_pragma_once(file);
+
+    for (Diagnostic& diagnostic : file.suppressions.malformed) {
+        diagnostic.file = display_path;
+        file.output.push_back(std::move(diagnostic));
+    }
+    std::sort(file.output.begin(), file.output.end(),
+              [](const Diagnostic& a, const Diagnostic& b) {
+                  return std::tie(a.line, a.rule, a.message) <
+                         std::tie(b.line, b.rule, b.message);
+              });
+    return file.output;
+}
+
+namespace {
+
+bool lintable_extension(const fs::path& path) {
+    const std::string ext = path.extension().string();
+    return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+bool read_file(const fs::path& path, std::string& out) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad()) return false;
+    out = buffer.str();
+    return true;
+}
+
+}  // namespace
+
+int run(const RunOptions& options, std::ostream& out, std::ostream& err) {
+    const fs::path root =
+        options.root.empty() ? fs::current_path() : fs::path(options.root);
+
+    std::vector<fs::path> files;
+    bool scanned_directory = false;
+    for (const std::string& input : options.paths) {
+        const fs::path path(input);
+        std::error_code ec;
+        if (fs::is_directory(path, ec)) {
+            scanned_directory = true;
+            for (fs::recursive_directory_iterator it(path, ec), done;
+                 it != done; it.increment(ec)) {
+                if (ec) break;
+                if (it->is_regular_file() && lintable_extension(it->path()))
+                    files.push_back(it->path());
+            }
+        } else if (fs::is_regular_file(path, ec)) {
+            files.push_back(path);
+        } else {
+            err << "socbuf_lint: cannot read '" << input << "'\n";
+            return 2;
+        }
+    }
+    if (files.empty()) {
+        err << "socbuf_lint: no .hpp/.cpp inputs\n";
+        return 2;
+    }
+    if (!options.as.empty() && (files.size() != 1 || scanned_directory)) {
+        err << "socbuf_lint: --as needs exactly one input file\n";
+        return 2;
+    }
+    // Directory iteration order is unspecified; sort so the report (and
+    // therefore the tool itself) is deterministic.
+    std::sort(files.begin(), files.end(),
+              [](const fs::path& a, const fs::path& b) {
+                  return a.generic_string() < b.generic_string();
+              });
+
+    std::size_t count = 0;
+    for (const fs::path& path : files) {
+        std::string text;
+        if (!read_file(path, text)) {
+            err << "socbuf_lint: cannot read '" << path.generic_string()
+                << "'\n";
+            return 2;
+        }
+        std::string virtual_path = options.as;
+        if (virtual_path.empty()) {
+            const fs::path relative =
+                fs::absolute(path).lexically_normal().lexically_relative(
+                    fs::absolute(root).lexically_normal());
+            virtual_path = relative.generic_string();
+            if (virtual_path.empty() || starts_with(virtual_path, "../"))
+                virtual_path = path.generic_string();
+        }
+        std::string header_text;
+        const std::string* paired_header = nullptr;
+        if (path.extension() == ".cpp") {
+            fs::path header = path;
+            header.replace_extension(".hpp");
+            if (fs::exists(header) && read_file(header, header_text))
+                paired_header = &header_text;
+        }
+        const std::string display = path.generic_string();
+        for (const Diagnostic& diagnostic :
+             lint_text(display, virtual_path, text, paired_header)) {
+            out << diagnostic.file << ":" << diagnostic.line << ": ["
+                << diagnostic.rule << "] " << diagnostic.message << "\n";
+            ++count;
+        }
+    }
+    if (count != 0) {
+        err << "socbuf_lint: " << count << " diagnostic"
+            << (count == 1 ? "" : "s") << "\n";
+        return 1;
+    }
+    return 0;
+}
+
+}  // namespace socbuf::lint
