@@ -1,0 +1,17 @@
+// Fixture: an allow-file buried past the first 10 lines does not
+// apply; it is flagged and the finding still fires.
+#include <chrono>
+
+namespace socbuf::core {
+
+inline int padding_one() { return 1; }
+inline int padding_two() { return 2; }
+inline int padding_three() { return 3; }
+
+// socbuf-lint: allow-file(wall-clock) — fixture: declared too late.
+inline double stamp() {
+    const auto tick = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(tick.time_since_epoch()).count();
+}
+
+}  // namespace socbuf::core

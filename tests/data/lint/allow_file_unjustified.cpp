@@ -1,0 +1,14 @@
+// Fixture: an allow-file with no justification after the rule list is
+// itself a diagnostic, and the opt-out does not apply.
+// socbuf-lint: allow-file(wall-clock)
+#include <chrono>
+
+namespace socbuf::core {
+
+inline double stamp() {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+}  // namespace socbuf::core

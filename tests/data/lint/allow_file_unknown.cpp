@@ -1,0 +1,14 @@
+// Fixture: an allow-file naming an unknown rule is an unsuppressible
+// diagnostic that suggests the nearest valid rule id.
+// socbuf-lint: allow-file(wall-clok) — fixture: typo in the rule id.
+#include <chrono>
+
+namespace socbuf::core {
+
+inline double stamp() {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+}  // namespace socbuf::core

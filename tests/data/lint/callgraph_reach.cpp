@@ -1,0 +1,22 @@
+// Fixture: analyzed as src/core/callgraph_reach.cpp — reachability
+// flows from the entry call through a named lambda into plain
+// functions: a static two frames down the chain is still worker
+// context.
+#include <cstddef>
+
+namespace socbuf::core {
+
+double leaf(double x) {
+    static double memo = 0.0;
+    memo = memo + x;
+    return memo;
+}
+
+double middle(double x) { return leaf(x) + 1.0; }
+
+void drive(exec::Executor& executor, std::size_t n, double* out) {
+    const auto solve_one = [&](std::size_t i) { out[i] = middle(i); };
+    executor.map(n, solve_one);
+}
+
+}  // namespace socbuf::core

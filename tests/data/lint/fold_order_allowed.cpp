@@ -1,0 +1,25 @@
+// Fixture: the same fold with per-chunk index-addressed slots,
+// reduced in index order on the submitting thread after the barrier.
+#include <cstddef>
+#include <vector>
+
+namespace socbuf::ctmc {
+
+double fold_losses(exec::Executor& executor, const double* losses,
+                   std::size_t n) {
+    const std::size_t chunks = (n + 63) / 64;
+    std::vector<double> partial(chunks, 0.0);
+    executor.for_ranges(
+        n,
+        [&](std::size_t lo, std::size_t hi) {
+            double local = 0.0;
+            for (std::size_t s = lo; s < hi; ++s) local += losses[s];
+            partial[lo / 64] = local;
+        },
+        64);
+    double total = 0.0;
+    for (std::size_t c = 0; c < chunks; ++c) total += partial[c];
+    return total;
+}
+
+}  // namespace socbuf::ctmc

@@ -1,0 +1,20 @@
+// Fixture: analyzed as src/ctmc/fold_order_bad.cpp — accumulating
+// into a shared total from worker bodies folds in schedule order;
+// floating-point addition does not commute bit-for-bit.
+#include <cstddef>
+
+namespace socbuf::ctmc {
+
+double fold_losses(exec::Executor& executor, const double* losses,
+                   std::size_t n) {
+    double total = 0.0;
+    executor.for_ranges(
+        n,
+        [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t s = lo; s < hi; ++s) total += losses[s];
+        },
+        64);
+    return total;
+}
+
+}  // namespace socbuf::ctmc

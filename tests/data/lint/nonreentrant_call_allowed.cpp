@@ -1,0 +1,24 @@
+// Fixture: the same strtok loop with argued suppressions — here the
+// caller serializes all parses behind the batch lock.
+#include <cstddef>
+#include <cstring>
+
+namespace socbuf::scenario {
+
+int count_fields(char* text) {
+    int count = 0;
+    // socbuf-lint: allow(nonreentrant-call) — fixture: caller holds the batch lock.
+    for (char* tok = std::strtok(text, ";"); tok != nullptr;
+         // socbuf-lint: allow(nonreentrant-call) — fixture: caller holds the batch lock.
+         tok = std::strtok(nullptr, ";"))
+        ++count;
+    return count;
+}
+
+void parse_all(exec::TaskGraph& graph, char** rows, int* out,
+               std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i)
+        graph.submit([&, i] { out[i] = count_fields(rows[i]); });
+}
+
+}  // namespace socbuf::scenario

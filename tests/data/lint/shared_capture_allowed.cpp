@@ -1,0 +1,21 @@
+// Fixture: the same gather made safe — an index-addressed slot per
+// task, an atomic progress counter, and one argued suppression.
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace socbuf::core {
+
+void gather(exec::Executor& executor, std::size_t n) {
+    std::vector<double> slots(n, 0.0);
+    std::atomic<std::size_t> done{0};
+    double scratch = 0.0;
+    executor.map(n, [&](std::size_t i) {
+        slots[i] = static_cast<double>(i);
+        done.fetch_add(1);
+        // socbuf-lint: allow(shared-capture) — fixture: n == 1 on this path.
+        scratch = slots[i];
+    });
+}
+
+}  // namespace socbuf::core

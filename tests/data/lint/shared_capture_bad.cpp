@@ -1,0 +1,18 @@
+// Fixture: analyzed as src/core/shared_capture_bad.cpp — a
+// by-reference capture mutated inside a worker body is a data race;
+// results must flow through index-addressed slots.
+#include <cstddef>
+#include <vector>
+
+namespace socbuf::core {
+
+void gather(exec::Executor& executor, std::size_t n) {
+    std::vector<double> hits;
+    std::size_t last_index = 0;
+    executor.map(n, [&](std::size_t i) {
+        hits.push_back(static_cast<double>(i));
+        last_index = i;
+    });
+}
+
+}  // namespace socbuf::core

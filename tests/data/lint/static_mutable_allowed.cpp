@@ -1,0 +1,24 @@
+// Fixture: the same shapes as static_mutable_bad.cpp, made safe — an
+// atomic counter, a const static table, and an argued suppression for
+// a debug-only remnant.
+#include <atomic>
+#include <cstddef>
+
+namespace socbuf::core {
+
+std::atomic<long> g_solve_count{0};
+
+double score_once(double x) {
+    static const double kScale = 2.0;
+    ++g_solve_count;
+    // socbuf-lint: allow(static-mutable) — fixture: single-threaded debug path.
+    static double debug_last = 0.0;
+    debug_last = x;
+    return x * kScale + debug_last;
+}
+
+void score_all(exec::Executor& executor, std::size_t n, double* out) {
+    executor.map(n, [&](std::size_t i) { out[i] = score_once(i); });
+}
+
+}  // namespace socbuf::core

@@ -1,0 +1,21 @@
+// Fixture: analyzed as src/core/static_mutable_bad.cpp — mutable
+// shared state reachable from a sanctioned fan-out entry point races
+// across workers (and the winner's value leaks into the report).
+#include <cstddef>
+
+namespace socbuf::core {
+
+long g_solve_count = 0;
+
+double score_once(double x) {
+    static double last_score = 0.0;
+    last_score = x;
+    ++g_solve_count;
+    return last_score;
+}
+
+void score_all(exec::Executor& executor, std::size_t n, double* out) {
+    executor.map(n, [&](std::size_t i) { out[i] = score_once(i); });
+}
+
+}  // namespace socbuf::core

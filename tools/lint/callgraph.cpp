@@ -1,0 +1,916 @@
+#include "callgraph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace socbuf::lint::callgraph {
+
+namespace {
+
+// ---------------------------------------------------------------- tokens
+
+struct Token {
+    enum class Kind { kIdent, kNumber, kPunct };
+    Kind kind = Kind::kPunct;
+    std::string text;
+    std::size_t line = 0;
+};
+
+bool ident_start(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+bool ident_char(char c) { return ident_start(c) || (c >= '0' && c <= '9'); }
+
+bool space_char(char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f';
+}
+
+/// Multi-character punctuators the passes care about (assignment and
+/// increment operators must not be split into single chars; '::' and
+/// '->' carry name-chain structure). Longest match first.
+const char* const kPuncts3[] = {"<<=", ">>=", "->*", "..."};
+const char* const kPuncts2[] = {"::", "->", "++", "--", "+=", "-=", "*=",
+                                "/=", "%=", "&=", "|=", "^=", "==", "!=",
+                                "<=", ">=", "&&", "||", "<<", ">>"};
+
+/// Tokenize one blanked code view. Preprocessor lines (first
+/// non-whitespace char '#') are skipped wholesale — a #define with
+/// unbalanced braces must not derail brace tracking — honoring '\'
+/// continuations.
+std::vector<Token> tokenize(const std::string& code) {
+    std::vector<Token> out;
+    std::size_t line = 1;
+    bool at_line_start = true;
+    std::size_t i = 0;
+    while (i < code.size()) {
+        const char c = code[i];
+        if (c == '\n') {
+            ++line;
+            at_line_start = true;
+            ++i;
+            continue;
+        }
+        if (space_char(c)) {
+            ++i;
+            continue;
+        }
+        if (at_line_start && c == '#') {
+            while (i < code.size() && code[i] != '\n') {
+                if (code[i] == '\\' && i + 1 < code.size() &&
+                    code[i + 1] == '\n') {
+                    ++line;
+                    i += 2;
+                    continue;
+                }
+                ++i;
+            }
+            continue;
+        }
+        at_line_start = false;
+        if (ident_start(c)) {
+            std::size_t j = i;
+            while (j < code.size() && ident_char(code[j])) ++j;
+            out.push_back({Token::Kind::kIdent, code.substr(i, j - i), line});
+            i = j;
+            continue;
+        }
+        if (c >= '0' && c <= '9') {
+            std::size_t j = i;
+            while (j < code.size() &&
+                   (ident_char(code[j]) || code[j] == '.' || code[j] == '\''))
+                ++j;
+            out.push_back({Token::Kind::kNumber, code.substr(i, j - i),
+                           line});
+            i = j;
+            continue;
+        }
+        bool matched = false;
+        for (const char* punct : kPuncts3) {
+            if (code.compare(i, 3, punct) == 0) {
+                out.push_back({Token::Kind::kPunct, punct, line});
+                i += 3;
+                matched = true;
+                break;
+            }
+        }
+        if (matched) continue;
+        for (const char* punct : kPuncts2) {
+            if (code.compare(i, 2, punct) == 0) {
+                out.push_back({Token::Kind::kPunct, punct, line});
+                i += 2;
+                matched = true;
+                break;
+            }
+        }
+        if (matched) continue;
+        out.push_back({Token::Kind::kPunct, std::string(1, c), line});
+        ++i;
+    }
+    return out;
+}
+
+// -------------------------------------------------------------- keywords
+
+bool in_list(const std::string& s, const char* const* list, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i)
+        if (s == list[i]) return true;
+    return false;
+}
+
+/// Keywords that can precede a '(' without the '(' being a call.
+const char* const kNonCallKeywords[] = {
+    "if",       "for",      "while",        "switch",   "catch",
+    "return",   "sizeof",   "alignof",      "decltype", "noexcept",
+    "typeid",   "throw",    "new",          "delete",   "alignas",
+    "co_await", "co_return"};
+
+bool non_call_keyword(const std::string& s) {
+    return in_list(s, kNonCallKeywords,
+                   sizeof(kNonCallKeywords) / sizeof(kNonCallKeywords[0]));
+}
+
+const char* const kControlKeywords[] = {"if", "for", "while", "switch",
+                                        "catch"};
+
+bool control_keyword(const std::string& s) {
+    return in_list(s, kControlKeywords,
+                   sizeof(kControlKeywords) / sizeof(kControlKeywords[0]));
+}
+
+/// Trailing qualifiers between a signature's ')' and the body's '{'.
+const char* const kSigQualifiers[] = {"const", "noexcept", "override",
+                                      "final", "mutable", "constexpr",
+                                      "try"};
+
+bool sig_qualifier(const std::string& s) {
+    return in_list(s, kSigQualifiers,
+                   sizeof(kSigQualifiers) / sizeof(kSigQualifiers[0]));
+}
+
+/// Statement keywords that disqualify a namespace/class-scope statement
+/// from being a variable definition.
+const char* const kNonVarKeywords[] = {
+    "using",  "typedef", "static_assert", "extern",   "template",
+    "friend", "struct",  "class",         "enum",     "union",
+    "return", "throw",   "namespace",     "operator", "if",
+    "for",    "while",   "switch",        "case",     "goto"};
+
+bool non_var_keyword(const std::string& s) {
+    return in_list(s, kNonVarKeywords,
+                   sizeof(kNonVarKeywords) / sizeof(kNonVarKeywords[0]));
+}
+
+/// Member calls that mutate their object.
+const char* const kMutatingMembers[] = {
+    "push_back", "push_front", "pop_back",     "pop_front", "insert",
+    "emplace",   "emplace_back", "emplace_front", "clear",  "erase",
+    "resize",    "assign",      "append"};
+
+bool mutating_member(const std::string& s) {
+    return in_list(s, kMutatingMembers,
+                   sizeof(kMutatingMembers) / sizeof(kMutatingMembers[0]));
+}
+
+std::string base_name(const std::string& qualified) {
+    const std::size_t pos = qualified.rfind("::");
+    return pos == std::string::npos ? qualified : qualified.substr(pos + 2);
+}
+
+/// The sanctioned fan-out entry points. Free functions must be
+/// unqualified or exec-qualified (std::for_each must not count); the
+/// executor/pool/graph surface is member calls only.
+bool entry_point(const std::string& callee, const std::string& qualifier,
+                 bool member) {
+    if (callee == "parallel_map" || callee == "parallel_for_index" ||
+        callee == "parallel_for_ranges") {
+        return qualifier.empty() || qualifier == "exec" ||
+               qualifier == "socbuf::exec";
+    }
+    if (!member) return false;
+    return callee == "map" || callee == "for_each" ||
+           callee == "for_ranges" || callee == "submit";
+}
+
+// ------------------------------------------------------------ the parser
+
+struct BraceCtx {
+    enum class Kind { kNamespace, kType, kFunction, kLambda, kOther };
+    Kind kind = Kind::kOther;
+    std::size_t fn = npos;        ///< innermost enclosing function def
+    std::vector<Token> stmt;      ///< statement tokens at this level
+};
+
+struct ParenCtx {
+    bool call = false;
+    bool entry = false;
+    std::string callee;
+    std::size_t brace_depth = 0;    ///< braces.size() at open
+    std::size_t bracket_depth = 0;  ///< '[' nesting at open
+    // Entry frames track whether the current argument is one bare
+    // identifier (a named callable: a worker root by name).
+    std::size_t seg_tokens = 0;
+    std::string seg_ident;
+};
+
+class FileParser {
+public:
+    FileParser(Graph& graph, std::size_t file_index,
+               const std::string& code,
+               std::vector<std::vector<std::pair<std::string, std::size_t>>>&
+                   ident_uses)
+        : graph_(graph), file_(file_index), tokens_(tokenize(code)),
+          ident_uses_(ident_uses) {}
+
+    void parse();
+
+private:
+    // ------------------------------------------------- backward helpers
+
+    /// Index of the '(' / '[' / '{' matching the closer at `close`,
+    /// or npos.
+    std::size_t match_back(std::size_t close) const {
+        const std::string& c = tokens_[close].text;
+        std::string open;
+        if (c == ")") open = "(";
+        else if (c == "]") open = "[";
+        else if (c == "}") open = "{";
+        else return npos;
+        int depth = 1;
+        std::size_t i = close;
+        while (i > 0) {
+            --i;
+            if (tokens_[i].text == c) ++depth;
+            else if (tokens_[i].text == open && --depth == 0) return i;
+        }
+        return npos;
+    }
+
+    /// Read a qualified name chain `A::B::name` ending at token `last`
+    /// (an identifier). Returns the chain's first token index; fills
+    /// `name` with the joined chain.
+    std::size_t read_chain_back(std::size_t last, std::string& name) const {
+        name = tokens_[last].text;
+        std::size_t first = last;
+        while (first >= 2 && tokens_[first - 1].text == "::" &&
+               tokens_[first - 2].kind == Token::Kind::kIdent) {
+            first -= 2;
+            name = tokens_[first].text + "::" + name;
+        }
+        return first;
+    }
+
+    // -------------------------------------------------- classification
+
+    struct BraceClass {
+        BraceCtx::Kind kind = BraceCtx::Kind::kOther;
+        std::string name;              // function name
+        std::size_t sig_open = npos;   // '(' of the signature, if any
+        std::size_t capture_open = npos;  // '[' of a lambda capture list
+    };
+
+    BraceClass classify_brace(std::size_t i) const;
+    void parse_captures(Function& fn, std::size_t lb, std::size_t rb) const;
+    void parse_params(Function& fn, std::size_t open) const;
+
+    // --------------------------------------------------------- actions
+
+    void open_function(std::size_t brace, const BraceClass& cls);
+    void handle_open_paren(std::size_t i);
+    void handle_statement(BraceCtx& ctx);
+    void record_assignment(std::size_t i, MutationSite::Kind kind);
+    void record_increment(std::size_t i);
+    void note_local_decl(std::size_t i);
+
+    /// Resolve the object chain ending at `last` (Ident or ']') to its
+    /// base identifier; true on success.
+    bool resolve_chain_back(std::size_t last, std::string& name,
+                            bool& subscripted) const;
+
+    Function* current() {
+        return current_fn_ == npos ? nullptr : &graph_.functions[current_fn_];
+    }
+
+    Graph& graph_;
+    std::size_t file_;
+    std::vector<Token> tokens_;
+    std::vector<std::vector<std::pair<std::string, std::size_t>>>&
+        ident_uses_;
+
+    std::vector<BraceCtx> braces_;
+    std::vector<ParenCtx> parens_;
+    std::size_t bracket_depth_ = 0;
+    std::size_t current_fn_ = npos;
+};
+
+FileParser::BraceClass FileParser::classify_brace(std::size_t i) const {
+    BraceClass out;
+    if (i == 0) return out;
+    std::size_t k = i - 1;
+
+    // Skip trailing signature qualifiers (const, noexcept, try, ...).
+    while (k > 0 && tokens_[k].kind == Token::Kind::kIdent &&
+           sig_qualifier(tokens_[k].text))
+        --k;
+    if (tokens_[k].kind == Token::Kind::kIdent &&
+        sig_qualifier(tokens_[k].text))
+        return out;  // ran out of tokens
+
+    // Trailing return type: walk back over type-ish tokens to '->' and
+    // take the ')' before it as the signature's closer. Bounded; gives
+    // up harmlessly on anything weirder.
+    if (tokens_[k].text != ")" && tokens_[k].text != "]") {
+        std::size_t probe = k;
+        std::size_t steps = 0;
+        while (probe > 0 && steps++ < 60) {
+            const std::string& t = tokens_[probe].text;
+            if (t == "->") {
+                if (probe > 0 && tokens_[probe - 1].text == ")") k = probe - 1;
+                break;
+            }
+            const bool type_ish =
+                tokens_[probe].kind != Token::Kind::kPunct || t == "::" ||
+                t == "<" || t == ">" || t == ">>" || t == "*" || t == "&" ||
+                t == "&&" || t == "," || t == "(" || t == ")" || t == "{" ||
+                t == "}" || t == "[" || t == "]";
+            if (!type_ish) break;
+            --probe;
+        }
+    }
+
+    if (tokens_[k].text == "]") {
+        // Lambda without a parameter list: `[&, j] {`.
+        const std::size_t lb = match_back(k);
+        if (lb == npos) return out;
+        // A subscript or array declarator is not a capture list.
+        if (lb > 0 && (tokens_[lb - 1].kind == Token::Kind::kIdent ||
+                       tokens_[lb - 1].text == "]" ||
+                       tokens_[lb - 1].text == ")"))
+            return out;
+        out.kind = BraceCtx::Kind::kLambda;
+        out.capture_open = lb;
+        return out;
+    }
+
+    if (tokens_[k].text == ")") {
+        std::size_t close = k;
+        std::size_t open = match_back(close);
+        if (open == npos) return out;
+        while (true) {
+            if (open == 0) return out;
+            const Token& before = tokens_[open - 1];
+            if (before.text == "]") {
+                const std::size_t lb = match_back(open - 1);
+                if (lb == npos) return out;
+                if (lb > 0 && (tokens_[lb - 1].kind == Token::Kind::kIdent ||
+                               tokens_[lb - 1].text == "]" ||
+                               tokens_[lb - 1].text == ")"))
+                    return out;
+                out.kind = BraceCtx::Kind::kLambda;
+                out.capture_open = lb;
+                out.sig_open = open;
+                return out;
+            }
+            if (before.kind != Token::Kind::kIdent) return out;
+            if (control_keyword(before.text) || non_call_keyword(before.text))
+                return out;
+            std::string name;
+            const std::size_t first = read_chain_back(open - 1, name);
+            if (first == 0) {
+                out.kind = BraceCtx::Kind::kFunction;
+                out.name = name;
+                out.sig_open = open;
+                return out;
+            }
+            const Token& lead = tokens_[first - 1];
+            if (lead.text == ":" || lead.text == ",") {
+                // Constructor init-list item: the real signature is the
+                // ')' (or '}') group before the ':'/','.
+                if (first < 2) return out;
+                const Token& group = tokens_[first - 2];
+                if (group.text != ")" && group.text != "}") return out;
+                const std::size_t g = match_back(first - 2);
+                if (g == npos || g == 0) return out;
+                if (group.text == "}" &&
+                    tokens_[g - 1].kind != Token::Kind::kIdent)
+                    return out;
+                if (group.text == "}") {
+                    // brace-init member: keep walking from its name
+                    open = g;  // reuse loop: treat '}' group like '(' group
+                    close = first - 2;
+                    continue;
+                }
+                open = g;
+                close = first - 2;
+                continue;
+            }
+            out.kind = BraceCtx::Kind::kFunction;
+            out.name = name;
+            out.sig_open = open;
+            return out;
+        }
+    }
+
+    // No ')' form: namespace, type, do/else/try, or an initializer.
+    if (tokens_[k].kind == Token::Kind::kIdent &&
+        (tokens_[k].text == "do" || tokens_[k].text == "else" ||
+         tokens_[k].text == "try"))
+        return out;
+    // Scan back to the statement head looking for namespace / type
+    // keywords (`namespace a::b {`, `struct X : Base<T> {`).
+    std::size_t probe = k;
+    std::size_t steps = 0;
+    while (steps++ < 40) {
+        const std::string& t = tokens_[probe].text;
+        if (t == ";" || t == "{" || t == "}" || t == ")") break;
+        if (tokens_[probe].kind == Token::Kind::kIdent) {
+            if (t == "namespace") {
+                out.kind = BraceCtx::Kind::kNamespace;
+                return out;
+            }
+            if (t == "class" || t == "struct" || t == "union" ||
+                t == "enum") {
+                out.kind = BraceCtx::Kind::kType;
+                return out;
+            }
+        }
+        if (probe == 0) break;
+        --probe;
+    }
+    return out;
+}
+
+void FileParser::parse_captures(Function& fn, std::size_t lb,
+                                std::size_t rb) const {
+    std::vector<std::vector<const Token*>> segments(1);
+    int depth = 0;
+    for (std::size_t i = lb + 1; i < rb; ++i) {
+        const std::string& t = tokens_[i].text;
+        if (t == "(" || t == "[" || t == "{") ++depth;
+        else if (t == ")" || t == "]" || t == "}") --depth;
+        else if (t == "," && depth == 0) {
+            segments.emplace_back();
+            continue;
+        }
+        segments.back().push_back(&tokens_[i]);
+    }
+    for (const auto& seg : segments) {
+        if (seg.empty()) continue;
+        if (seg.size() == 1 && seg[0]->text == "&") {
+            fn.captures_default_ref = true;
+            continue;
+        }
+        if (seg.size() == 1 && seg[0]->text == "=") {
+            fn.captures_default_copy = true;
+            continue;
+        }
+        if (seg[0]->text == "this" ||
+            (seg.size() >= 2 && seg[0]->text == "*" &&
+             seg[1]->text == "this")) {
+            fn.captures_this = true;
+            continue;
+        }
+        if (seg[0]->text == "&") {
+            if (seg.size() >= 2 && seg[1]->kind == Token::Kind::kIdent)
+                fn.captures_by_ref.insert(seg[1]->text);
+            continue;
+        }
+        if (seg[0]->kind == Token::Kind::kIdent)
+            fn.captures_by_copy.insert(seg[0]->text);
+    }
+}
+
+void FileParser::parse_params(Function& fn, std::size_t open) const {
+    const std::size_t close = [&] {
+        int depth = 1;
+        std::size_t i = open;
+        while (++i < tokens_.size()) {
+            if (tokens_[i].text == "(") ++depth;
+            else if (tokens_[i].text == ")" && --depth == 0) return i;
+        }
+        return tokens_.size();
+    }();
+    // Per comma-separated segment (depth 1 only): the parameter name is
+    // the last identifier before a default '=' (or the segment's end).
+    std::string last_ident;
+    bool saw_default = false;
+    int depth = 1;
+    for (std::size_t i = open + 1; i < close; ++i) {
+        const Token& t = tokens_[i];
+        if (t.text == "(" || t.text == "[" || t.text == "{" || t.text == "<")
+            ++depth;
+        else if (t.text == ")" || t.text == "]" || t.text == "}" ||
+                 t.text == ">")
+            --depth;
+        else if (t.text == "," && depth == 1) {
+            if (!last_ident.empty()) fn.locals.insert(last_ident);
+            last_ident.clear();
+            saw_default = false;
+        } else if (t.text == "=" && depth == 1) {
+            saw_default = true;
+        } else if (t.kind == Token::Kind::kIdent && depth == 1 &&
+                   !saw_default) {
+            last_ident = t.text;
+        }
+    }
+    if (!last_ident.empty()) fn.locals.insert(last_ident);
+}
+
+void FileParser::open_function(std::size_t brace, const BraceClass& cls) {
+    Function fn;
+    fn.file = file_;
+    fn.line = tokens_[brace].line;
+    fn.parent = current_fn_;
+    if (cls.kind == BraceCtx::Kind::kLambda) {
+        fn.is_lambda = true;
+        parse_captures(fn, cls.capture_open,
+                       cls.sig_open == npos
+                           ? [&] {  // `] {` form: ']' right before quals
+                                 int depth = 1;
+                                 std::size_t i = cls.capture_open;
+                                 while (++i < tokens_.size()) {
+                                     if (tokens_[i].text == "[") ++depth;
+                                     else if (tokens_[i].text == "]" &&
+                                              --depth == 0)
+                                         return i;
+                                 }
+                                 return tokens_.size();
+                             }()
+                           : cls.sig_open - 1);
+        // Bound lambda: `auto name = [..](..) {` — the variable is how
+        // call sites and entry arguments name this body.
+        if (cls.capture_open >= 2 &&
+            tokens_[cls.capture_open - 1].text == "=" &&
+            tokens_[cls.capture_open - 2].kind == Token::Kind::kIdent)
+            fn.name = tokens_[cls.capture_open - 2].text;
+        else
+            fn.name = "<lambda:" + std::to_string(fn.line) + ">";
+        if (!parens_.empty() && parens_.back().entry) {
+            fn.worker_entry_arg = true;
+            fn.entry_name = parens_.back().callee;
+        }
+    } else {
+        fn.name = cls.name;
+    }
+    if (cls.sig_open != npos) parse_params(fn, cls.sig_open);
+
+    const std::size_t index = graph_.functions.size();
+    graph_.functions.push_back(std::move(fn));
+    ident_uses_.emplace_back();
+    if (current_fn_ != npos)
+        graph_.functions[current_fn_].nested.push_back(index);
+    current_fn_ = index;
+}
+
+bool FileParser::resolve_chain_back(std::size_t last, std::string& name,
+                                    bool& subscripted) const {
+    std::size_t k = last;
+    subscripted = false;
+    std::size_t steps = 0;
+    while (steps++ < 40) {
+        if (tokens_[k].text == "]") {
+            const std::size_t lb = match_back(k);
+            if (lb == npos || lb == 0) return false;
+            subscripted = true;
+            k = lb - 1;
+            continue;
+        }
+        if (tokens_[k].kind != Token::Kind::kIdent) return false;
+        if (k >= 2 && (tokens_[k - 1].text == "." ||
+                       tokens_[k - 1].text == "->" ||
+                       tokens_[k - 1].text == "::")) {
+            k -= 2;
+            continue;
+        }
+        name = tokens_[k].text;
+        return true;
+    }
+    return false;
+}
+
+void FileParser::note_local_decl(std::size_t i) {
+    // `Type name =`, `Type& name;`, `auto name :` — the token before the
+    // name decides: an identifier / '>' / '&' / '*' marks a declaration.
+    Function* fn = current();
+    if (fn == nullptr || i < 2) return;
+    const Token& name = tokens_[i - 1];
+    if (name.kind != Token::Kind::kIdent) return;
+    const Token& before = tokens_[i - 2];
+    const bool decl = before.kind == Token::Kind::kIdent ||
+                      before.text == ">" || before.text == "&" ||
+                      before.text == "*" || before.text == "&&";
+    if (decl && !non_var_keyword(name.text)) fn->locals.insert(name.text);
+}
+
+void FileParser::record_assignment(std::size_t i, MutationSite::Kind kind) {
+    Function* fn = current();
+    if (i == 0) return;
+    // Declarations with initializers are locals, not mutations.
+    if (kind == MutationSite::Kind::kAssign) {
+        note_local_decl(i);
+        if (fn != nullptr && i >= 2 &&
+            tokens_[i - 1].kind == Token::Kind::kIdent &&
+            fn->locals.count(tokens_[i - 1].text) != 0 &&
+            (tokens_[i - 2].kind == Token::Kind::kIdent ||
+             tokens_[i - 2].text == ">" || tokens_[i - 2].text == "&" ||
+             tokens_[i - 2].text == "*" || tokens_[i - 2].text == "&&"))
+            return;
+    }
+    if (fn == nullptr || !fn->is_lambda) return;
+    std::string name;
+    bool subscripted = false;
+    if (!resolve_chain_back(i - 1, name, subscripted)) return;
+    fn->mutations.push_back({name, kind, subscripted, tokens_[i].line});
+}
+
+void FileParser::record_increment(std::size_t i) {
+    Function* fn = current();
+    if (fn == nullptr || !fn->is_lambda) return;
+    std::string name;
+    bool subscripted = false;
+    // Prefix: `++chain`; the chain reads forward, so resolve its base
+    // directly. Postfix: `chain++` resolves backward.
+    if (i + 1 < tokens_.size() &&
+        tokens_[i + 1].kind == Token::Kind::kIdent) {
+        name = tokens_[i + 1].text;
+        subscripted = i + 2 < tokens_.size() && tokens_[i + 2].text == "[";
+        fn->mutations.push_back({name, MutationSite::Kind::kIncrement,
+                                 subscripted, tokens_[i].line});
+        return;
+    }
+    if (i > 0 && resolve_chain_back(i - 1, name, subscripted))
+        fn->mutations.push_back({name, MutationSite::Kind::kIncrement,
+                                 subscripted, tokens_[i].line});
+}
+
+void FileParser::handle_open_paren(std::size_t i) {
+    ParenCtx ctx;
+    ctx.brace_depth = braces_.size();
+    ctx.bracket_depth = bracket_depth_;
+    if (i > 0 && tokens_[i - 1].kind == Token::Kind::kIdent &&
+        !non_call_keyword(tokens_[i - 1].text)) {
+        std::string chain;
+        const std::size_t first = read_chain_back(i - 1, chain);
+        const std::string callee = tokens_[i - 1].text;
+        std::string qualifier;
+        if (chain.size() > callee.size())
+            qualifier = chain.substr(0, chain.size() - callee.size() - 2);
+        const bool member =
+            first > 0 && (tokens_[first - 1].text == "." ||
+                          tokens_[first - 1].text == "->");
+        ctx.call = true;
+        ctx.callee = callee;
+        ctx.entry = entry_point(callee, qualifier, member);
+        if (Function* fn = current())
+            fn->calls.push_back({callee, qualifier, member,
+                                 tokens_[i].line});
+        // A mutating member call on a captured object is a write.
+        if (member && mutating_member(callee)) {
+            Function* fn = current();
+            if (fn != nullptr && fn->is_lambda && first >= 2) {
+                std::string name;
+                bool subscripted = false;
+                if (resolve_chain_back(first - 2, name, subscripted))
+                    fn->mutations.push_back(
+                        {name, MutationSite::Kind::kMutatingCall,
+                         subscripted, tokens_[i].line});
+            }
+        }
+    }
+    parens_.push_back(ctx);
+}
+
+/// End of a statement at some brace level: harvest namespace-scope
+/// mutable globals, static class members, function-local statics and
+/// std::atomic declarations from the collected top-level tokens.
+void FileParser::handle_statement(BraceCtx& ctx) {
+    std::vector<Token> stmt = std::move(ctx.stmt);
+    ctx.stmt.clear();
+    if (stmt.empty()) return;
+
+    bool has_static = false, has_const = false, has_atomic = false,
+         has_paren = false, disqualified = false;
+    for (const Token& t : stmt) {
+        if (t.kind == Token::Kind::kIdent) {
+            if (t.text == "static") has_static = true;
+            else if (t.text == "const" || t.text == "constexpr" ||
+                     t.text == "constinit" || t.text == "consteval" ||
+                     t.text == "thread_local")
+                has_const = true;
+            else if (t.text == "atomic") has_atomic = true;
+            else if (non_var_keyword(t.text)) disqualified = true;
+        } else if (t.text == "(") {
+            has_paren = true;
+        }
+    }
+    if (disqualified) return;
+
+    // Declared name: the last identifier before '=', '{' or '['.
+    std::string name;
+    std::size_t line = stmt.front().line;
+    for (const Token& t : stmt) {
+        if (t.text == "=" || t.text == "{" || t.text == "[") break;
+        if (t.kind == Token::Kind::kIdent && !sig_qualifier(t.text) &&
+            t.text != "static" && t.text != "inline") {
+            name = t.text;
+            line = t.line;
+        }
+    }
+    if (name.empty()) return;
+
+    if (has_atomic) graph_.atomic_names.insert(name);
+    if (has_const || has_paren) return;
+
+    switch (ctx.kind) {
+        case BraceCtx::Kind::kNamespace:
+            graph_.globals.push_back({name, file_, line, has_atomic});
+            break;
+        case BraceCtx::Kind::kType:
+            // Only *static* data members are shared state; instance
+            // members belong to their object.
+            if (has_static)
+                graph_.globals.push_back({name, file_, line, has_atomic});
+            break;
+        default:
+            if (has_static && !has_atomic && ctx.fn != npos)
+                graph_.functions[ctx.fn].local_statics.emplace_back(name,
+                                                                    line);
+            break;
+    }
+}
+
+void FileParser::parse() {
+    // File scope behaves like an unnamed namespace for statement
+    // harvesting.
+    braces_.push_back({BraceCtx::Kind::kNamespace, npos, {}});
+
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+        const Token& t = tokens_[i];
+        const bool stmt_level = parens_.empty() && bracket_depth_ == 0;
+
+        if (t.text == "(") {
+            if (stmt_level && !braces_.empty())
+                braces_.back().stmt.push_back(t);
+            handle_open_paren(i);
+        } else if (t.text == ")") {
+            if (!parens_.empty()) {
+                ParenCtx& frame = parens_.back();
+                if (frame.entry && frame.seg_tokens == 1 &&
+                    !frame.seg_ident.empty())
+                    graph_.root_names.insert(frame.seg_ident);
+                parens_.pop_back();
+            }
+        } else if (t.text == "[") {
+            ++bracket_depth_;
+        } else if (t.text == "]") {
+            if (bracket_depth_ > 0) --bracket_depth_;
+        } else if (t.text == "{") {
+            const BraceClass cls = classify_brace(i);
+            BraceCtx ctx;
+            ctx.kind = cls.kind;
+            ctx.fn = current_fn_;
+            if (cls.kind == BraceCtx::Kind::kFunction ||
+                cls.kind == BraceCtx::Kind::kLambda) {
+                open_function(i, cls);
+                ctx.fn = current_fn_;
+            } else if (cls.kind == BraceCtx::Kind::kNamespace ||
+                       cls.kind == BraceCtx::Kind::kType) {
+                // A definition consumed the pending statement tokens.
+                if (!braces_.empty()) braces_.back().stmt.clear();
+            }
+            braces_.push_back(std::move(ctx));
+        } else if (t.text == "}") {
+            if (braces_.size() > 1) {
+                const BraceCtx closed = std::move(braces_.back());
+                braces_.pop_back();
+                if (closed.kind == BraceCtx::Kind::kFunction ||
+                    closed.kind == BraceCtx::Kind::kLambda) {
+                    current_fn_ = graph_.functions[closed.fn].parent;
+                    braces_.back().stmt.clear();
+                } else if (closed.kind == BraceCtx::Kind::kNamespace ||
+                           closed.kind == BraceCtx::Kind::kType) {
+                    braces_.back().stmt.clear();
+                }
+            }
+        } else if (t.text == ";") {
+            if (stmt_level && !braces_.empty())
+                handle_statement(braces_.back());
+        } else {
+            if (stmt_level && !braces_.empty() &&
+                braces_.back().stmt.size() < 64)
+                braces_.back().stmt.push_back(t);
+        }
+
+        // Worker-root names: one bare identifier as a whole argument of
+        // a sanctioned entry call (`executor.map(n, solve_one)`).
+        if (!parens_.empty()) {
+            ParenCtx& frame = parens_.back();
+            const bool frame_level = braces_.size() == frame.brace_depth &&
+                                     bracket_depth_ == frame.bracket_depth;
+            if (frame.entry && frame_level && t.text != "(") {
+                if (t.text == ",") {
+                    if (frame.seg_tokens == 1 && !frame.seg_ident.empty())
+                        graph_.root_names.insert(frame.seg_ident);
+                    frame.seg_tokens = 0;
+                    frame.seg_ident.clear();
+                } else {
+                    ++frame.seg_tokens;
+                    frame.seg_ident = (frame.seg_tokens == 1 &&
+                                       t.kind == Token::Kind::kIdent)
+                                          ? t.text
+                                          : std::string();
+                }
+            }
+        }
+
+        // Declarations, mutations and identifier uses.
+        if (t.text == "=") {
+            record_assignment(i, MutationSite::Kind::kAssign);
+        } else if (t.text == "+=" || t.text == "-=" || t.text == "*=" ||
+                   t.text == "/=") {
+            record_assignment(i, MutationSite::Kind::kAccumulate);
+        } else if (t.text == "%=" || t.text == "&=" || t.text == "|=" ||
+                   t.text == "^=" || t.text == "<<=" || t.text == ">>=") {
+            record_assignment(i, MutationSite::Kind::kAssign);
+        } else if (t.text == "++" || t.text == "--") {
+            record_increment(i);
+        } else if (t.text == ":") {
+            note_local_decl(i);
+        } else if (t.text == ";") {
+            note_local_decl(i);
+        } else if (t.kind == Token::Kind::kIdent && current_fn_ != npos &&
+                   !non_var_keyword(t.text)) {
+            ident_uses_[current_fn_].emplace_back(t.text, t.line);
+        }
+    }
+}
+
+}  // namespace
+
+Graph build(const std::vector<SourceInput>& inputs) {
+    Graph graph;
+    // Parallel to graph.functions: every identifier used in each body,
+    // matched against the global table once all files are parsed.
+    std::vector<std::vector<std::pair<std::string, std::size_t>>> uses;
+    for (std::size_t f = 0; f < inputs.size(); ++f) {
+        graph.files.push_back(
+            {inputs[f].display_path, inputs[f].virtual_path});
+        FileParser parser(graph, f, inputs[f].code, uses);
+        parser.parse();
+    }
+
+    std::map<std::string, const GlobalVar*> mutable_globals;
+    for (const GlobalVar& global : graph.globals)
+        if (!global.atomic) mutable_globals[global.name] = &global;
+    for (std::size_t fn = 0; fn < graph.functions.size(); ++fn) {
+        std::set<std::pair<std::string, std::size_t>> seen;
+        for (const auto& [name, line] : uses[fn]) {
+            if (mutable_globals.find(name) == mutable_globals.end())
+                continue;
+            if (graph.functions[fn].locals.count(name) != 0) continue;
+            if (seen.insert({name, line}).second)
+                graph.functions[fn].global_uses.emplace_back(name, line);
+        }
+    }
+    return graph;
+}
+
+std::vector<bool> worker_reachable(const Graph& graph) {
+    std::map<std::string, std::vector<std::size_t>> by_base;
+    for (std::size_t i = 0; i < graph.functions.size(); ++i)
+        by_base[base_name(graph.functions[i].name)].push_back(i);
+
+    std::vector<bool> reachable(graph.functions.size(), false);
+    std::vector<std::size_t> queue;
+    const auto mark = [&](std::size_t fn) {
+        if (!reachable[fn]) {
+            reachable[fn] = true;
+            queue.push_back(fn);
+        }
+    };
+
+    for (std::size_t i = 0; i < graph.functions.size(); ++i) {
+        if (graph.functions[i].worker_entry_arg) mark(i);
+        else if (graph.root_names.count(
+                     base_name(graph.functions[i].name)) != 0)
+            mark(i);
+    }
+
+    while (!queue.empty()) {
+        const std::size_t fn = queue.back();
+        queue.pop_back();
+        for (const CallSite& call : graph.functions[fn].calls) {
+            const auto found = by_base.find(call.name);
+            if (found == by_base.end()) continue;
+            for (const std::size_t callee : found->second) mark(callee);
+        }
+        // A lambda defined inside a reachable function exists to be
+        // called there; count it in (conservative).
+        for (const std::size_t nested : graph.functions[fn].nested)
+            mark(nested);
+    }
+    return reachable;
+}
+
+}  // namespace socbuf::lint::callgraph

@@ -1,0 +1,136 @@
+#pragma once
+/// Pass 1 of the whole-tree analysis: a lightweight symbol table and call
+/// graph over the blanked code views — function/method/lambda
+/// definitions, call sites, lambda captures, body-local declarations,
+/// mutation sites and namespace-scope mutable globals — extracted by a
+/// pragmatic token-level parser, not a C++ front end. Pass 2
+/// (worker_reachable) computes the set of functions reachable from the
+/// sanctioned fan-out entry points:
+///
+///     exec::parallel_map / parallel_for_index / parallel_for_ranges
+///     Executor::map / for_each / for_ranges   (member calls)
+///     TaskGraph::submit / ThreadPool::submit  (member calls)
+///
+/// A lambda passed directly to one of these (or a function/lambda named
+/// as a plain-identifier argument of one, e.g. `executor.map(n,
+/// solve_one)`) is a *worker root*; everything its calls can reach — by
+/// base-name matching, deliberately over-approximate — is *worker
+/// context*, the scope rules_parallel.cpp enforces the cross-file
+/// determinism rules in.
+///
+/// Known approximations (all conservative — they widen worker context or
+/// keep a finding, never hide a hazard): calls resolve by base name, so
+/// every `run` definition is reachable once any `run` is called from a
+/// worker; a lambda nested inside a reachable function is itself
+/// reachable (it exists to be called there); aliases and function
+/// pointers are out of reach of a text-level scan.
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace socbuf::lint::callgraph {
+
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+/// One `name(...)` site inside a function body.
+struct CallSite {
+    std::string name;       ///< base name of the callee ("simulate")
+    std::string qualifier;  ///< "sim" for sim::simulate, "" if unqualified
+    bool member = false;    ///< obj.name(...) or obj->name(...)
+    std::size_t line = 0;
+};
+
+/// One write to a named object inside a lambda body.
+struct MutationSite {
+    enum class Kind {
+        kAssign,        ///< name = ..., name.member = ...
+        kAccumulate,    ///< name += / -= / *= / /= ...
+        kIncrement,     ///< ++name / name++ / --name / name--
+        kMutatingCall,  ///< name.push_back(...) and friends
+    };
+    std::string name;  ///< base object (the `out` of out.total += x)
+    Kind kind = Kind::kAssign;
+    bool subscripted = false;  ///< target is name[...]: an indexed slot
+    std::size_t line = 0;
+};
+
+/// One function, method or lambda definition.
+struct Function {
+    std::string name;     ///< "run", "BufferSizingEngine::run", the bound
+                          ///< variable of `auto f = [..]{..}`, or
+                          ///< "<lambda:LINE>" for an unbound lambda
+    std::size_t file = 0;  ///< index into Graph::files
+    std::size_t line = 0;  ///< line of the definition's opening brace
+    bool is_lambda = false;
+    std::size_t parent = npos;  ///< lexically enclosing function
+
+    /// Lambda passed directly to a sanctioned fan-out entry point; the
+    /// entry's base name ("submit", "map", ...) when set.
+    bool worker_entry_arg = false;
+    std::string entry_name;
+
+    // Capture list (lambdas only).
+    bool captures_default_ref = false;   ///< [&]
+    bool captures_default_copy = false;  ///< [=]
+    bool captures_this = false;          ///< [this] / [*this]
+    std::set<std::string> captures_by_ref;
+    std::set<std::string> captures_by_copy;
+
+    /// Parameter names plus names declared inside the body.
+    std::set<std::string> locals;
+
+    std::vector<CallSite> calls;
+    std::vector<MutationSite> mutations;
+    /// Non-const function-local `static` declarations: (name, line).
+    std::vector<std::pair<std::string, std::size_t>> local_statics;
+    /// Uses of known mutable namespace-scope globals: (name, line).
+    std::vector<std::pair<std::string, std::size_t>> global_uses;
+    /// Functions/lambdas defined lexically inside this one.
+    std::vector<std::size_t> nested;
+};
+
+/// A namespace-scope (or static class-scope) mutable variable.
+struct GlobalVar {
+    std::string name;
+    std::size_t file = 0;
+    std::size_t line = 0;
+    bool atomic = false;  ///< declared std::atomic — the sanctioned form
+};
+
+struct FileInfo {
+    std::string display_path;
+    std::string virtual_path;
+};
+
+/// Input to build(): one file's *code view* (comments and literals
+/// already blanked by split_views).
+struct SourceInput {
+    std::string display_path;
+    std::string virtual_path;
+    std::string code;
+};
+
+struct Graph {
+    std::vector<FileInfo> files;
+    std::vector<Function> functions;
+    std::vector<GlobalVar> globals;
+    /// Names declared std::atomic anywhere in the analyzed set (members
+    /// included); atomic mutations are the sanctioned shared-state form.
+    std::set<std::string> atomic_names;
+    /// Plain-identifier arguments of sanctioned entry calls — named
+    /// callables like `executor.map(n, solve_one)`; resolved to worker
+    /// roots by base name.
+    std::set<std::string> root_names;
+};
+
+/// Pass 1: extract the symbol table and call graph from every input.
+Graph build(const std::vector<SourceInput>& inputs);
+
+/// Pass 2: reachable[i] is true when functions[i] is reachable from a
+/// sanctioned worker entry point (worker roots, their callees by base
+/// name, and lambdas nested in reachable functions).
+std::vector<bool> worker_reachable(const Graph& graph);
+
+}  // namespace socbuf::lint::callgraph

@@ -11,19 +11,16 @@
 #include <sstream>
 #include <utility>
 
+#include "callgraph.hpp"
+#include "rules_parallel.hpp"
+#include "text_views.hpp"
+#include "util/json.hpp"
+
 namespace socbuf::lint {
 
 namespace {
 
 namespace fs = std::filesystem;
-
-bool starts_with(const std::string& text, const char* prefix) {
-    return text.rfind(prefix, 0) == 0;
-}
-
-bool ident_char(char c) {
-    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
 
 // ------------------------------------------------------------------ layers
 //
@@ -91,160 +88,19 @@ std::string module_of(const std::string& virtual_path) {
     return module_rank(module) >= 0 ? module : "";
 }
 
-// ------------------------------------------------------------- text views
-//
-// Pattern rules must not fire on comment or string-literal text (the
-// linter's own sources spell every banned token inside string literals),
-// and suppression markers must be read from comments *only* (a marker
-// inside a string literal is data, not an annotation). So each file is
-// split into two same-shape views: `code` with comments and literals
-// blanked, `comments` with everything else blanked. Newlines survive in
-// both so line numbers stay aligned.
-
-struct Views {
-    std::string code;
-    std::string comments;
-};
-
-Views split_views(const std::string& text) {
-    Views views;
-    views.code.assign(text.size(), ' ');
-    views.comments.assign(text.size(), ' ');
-    enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
-    State state = State::kCode;
-    std::string raw_delim;
-    std::size_t i = 0;
-    while (i < text.size()) {
-        const char c = text[i];
-        const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-        if (c == '\n') {
-            views.code[i] = '\n';
-            views.comments[i] = '\n';
-            if (state == State::kLine) state = State::kCode;
-            ++i;
-            continue;
-        }
-        switch (state) {
-            case State::kCode:
-                if (c == '/' && next == '/') {
-                    state = State::kLine;
-                    i += 2;
-                } else if (c == '/' && next == '*') {
-                    state = State::kBlock;
-                    i += 2;
-                } else if (c == '"') {
-                    const bool raw =
-                        i > 0 && text[i - 1] == 'R' &&
-                        (i < 2 || !ident_char(text[i - 2]));
-                    views.code[i] = '"';
-                    ++i;
-                    if (raw) {
-                        raw_delim.clear();
-                        while (i < text.size() && text[i] != '(')
-                            raw_delim.push_back(text[i++]);
-                        if (i < text.size()) ++i;  // consume '('
-                        state = State::kRaw;
-                    } else {
-                        state = State::kString;
-                    }
-                } else if (c == '\'') {
-                    ++i;
-                    state = State::kChar;
-                } else {
-                    views.code[i] = c;
-                    ++i;
-                }
-                break;
-            case State::kLine:
-                views.comments[i] = c;
-                ++i;
-                break;
-            case State::kBlock:
-                if (c == '*' && next == '/') {
-                    state = State::kCode;
-                    i += 2;
-                } else {
-                    views.comments[i] = c;
-                    ++i;
-                }
-                break;
-            case State::kString:
-                if (c == '\\') {
-                    i += 2;
-                } else if (c == '"') {
-                    views.code[i] = '"';
-                    ++i;
-                    state = State::kCode;
-                } else {
-                    ++i;
-                }
-                break;
-            case State::kChar:
-                if (c == '\\') {
-                    i += 2;
-                } else if (c == '\'') {
-                    ++i;
-                    state = State::kCode;
-                } else {
-                    ++i;
-                }
-                break;
-            case State::kRaw:
-                if (c == ')' &&
-                    text.compare(i + 1, raw_delim.size(), raw_delim) == 0 &&
-                    i + 1 + raw_delim.size() < text.size() &&
-                    text[i + 1 + raw_delim.size()] == '"') {
-                    i += 2 + raw_delim.size();
-                    state = State::kCode;
-                } else {
-                    ++i;
-                }
-                break;
-        }
-    }
-    return views;
-}
-
-std::vector<std::string> split_lines(const std::string& text) {
-    std::vector<std::string> lines;
-    std::size_t begin = 0;
-    while (begin <= text.size()) {
-        const std::size_t end = text.find('\n', begin);
-        if (end == std::string::npos) {
-            lines.push_back(text.substr(begin));
-            break;
-        }
-        lines.push_back(text.substr(begin, end - begin));
-        begin = end + 1;
-    }
-    return lines;
-}
-
-bool blank_line(const std::string& line) {
-    return std::all_of(line.begin(), line.end(), [](char c) {
-        return std::isspace(static_cast<unsigned char>(c)) != 0;
-    });
-}
-
-std::string trim(const std::string& text) {
-    std::size_t begin = 0;
-    std::size_t end = text.size();
-    while (begin < end &&
-           std::isspace(static_cast<unsigned char>(text[begin])) != 0)
-        ++begin;
-    while (end > begin &&
-           std::isspace(static_cast<unsigned char>(text[end - 1])) != 0)
-        --end;
-    return text.substr(begin, end - begin);
-}
-
 // ----------------------------------------------------------- suppressions
 
 constexpr const char* kMarker = "socbuf-lint:";
 
+/// File-level suppressions must sit in the file's first lines — an
+/// opt-out buried mid-file is invisible to a reviewer reading the top.
+constexpr std::size_t kAllowFileWindow = 10;
+
 struct SuppressionScan {
     /// Rules suppressed per 1-based target line.
     std::map<std::size_t, std::set<std::string>> by_line;
+    /// Rules suppressed for the whole file (allow-file form).
+    std::set<std::string> file_rules;
     /// Malformed-annotation diagnostics (rule "suppression").
     std::vector<Diagnostic> malformed;
 };
@@ -254,10 +110,19 @@ bool known_rule(const std::string& rule) {
     return std::find(ids.begin(), ids.end(), rule) != ids.end();
 }
 
+std::string unknown_rule_message(const std::string& rule) {
+    std::string message = "unknown rule '" + rule + "'";
+    const std::string nearest = nearest_rule(rule);
+    if (!nearest.empty()) message += "; did you mean '" + nearest + "'?";
+    return message;
+}
+
 /// Parse one comment line for a suppression annotation. Grammar (the
-/// marker word, then): allow(rule[, rule...]) <justification>. The
-/// justification must contain at least one alphanumeric character — an
-/// exception nobody argued for is itself a diagnostic. Rule lists with
+/// marker word, then): allow(rule[, rule...]) <justification> for one
+/// line, or allow-file(rule[, rule...]) <justification> — within the
+/// first kAllowFileWindow lines — for the whole file. The justification
+/// must contain at least one alphanumeric character — an exception
+/// nobody argued for is itself a diagnostic. Rule lists with
 /// angle-bracket placeholders are documentation examples and ignored.
 void scan_suppressions(const std::vector<std::string>& comment_lines,
                        const std::vector<std::string>& code_lines,
@@ -271,16 +136,23 @@ void scan_suppressions(const std::vector<std::string>& comment_lines,
         while (pos < comment.size() &&
                std::isspace(static_cast<unsigned char>(comment[pos])) != 0)
             ++pos;
-        const std::string expect = "allow(";
-        if (comment.compare(pos, expect.size(), expect) != 0) {
+        const std::string file_form = "allow-file(";
+        const std::string line_form = "allow(";
+        bool whole_file = false;
+        if (comment.compare(pos, file_form.size(), file_form) == 0) {
+            whole_file = true;
+            pos += file_form.size();
+        } else if (comment.compare(pos, line_form.size(), line_form) == 0) {
+            pos += line_form.size();
+        } else {
             scan.malformed.push_back(
                 {"", line, "suppression",
                  "malformed annotation: expected "
-                 "'allow(rule[, rule...]) <justification>' after the "
+                 "'allow(rule[, rule...]) <justification>' or "
+                 "'allow-file(rule[, rule...]) <justification>' after the "
                  "marker"});
             continue;
         }
-        pos += expect.size();
         const std::size_t close = comment.find(')', pos);
         if (close == std::string::npos) {
             scan.malformed.push_back({"", line, "suppression",
@@ -299,7 +171,7 @@ void scan_suppressions(const std::vector<std::string>& comment_lines,
             const std::string rule = trim(item);
             if (rule.empty() || !known_rule(rule) || rule == "suppression") {
                 scan.malformed.push_back({"", line, "suppression",
-                                          "unknown rule '" + rule + "'"});
+                                          unknown_rule_message(rule)});
                 ok = false;
                 continue;
             }
@@ -319,6 +191,18 @@ void scan_suppressions(const std::vector<std::string>& comment_lines,
                  "suppression needs a justification after the rule list"});
             continue;
         }
+        if (whole_file) {
+            if (line > kAllowFileWindow) {
+                scan.malformed.push_back(
+                    {"", line, "suppression",
+                     "allow-file must appear within the first " +
+                         std::to_string(kAllowFileWindow) +
+                         " lines of the file"});
+                continue;
+            }
+            scan.file_rules.insert(rules.begin(), rules.end());
+            continue;
+        }
         // A comment-only line annotates the line below it; an end-of-line
         // comment annotates its own line.
         const bool own_code = index < code_lines.size() &&
@@ -326,6 +210,13 @@ void scan_suppressions(const std::vector<std::string>& comment_lines,
         const std::size_t target = own_code ? line : line + 1;
         scan.by_line[target].insert(rules.begin(), rules.end());
     }
+}
+
+bool suppressed(const SuppressionScan& scan, const std::string& rule,
+                std::size_t line) {
+    if (scan.file_rules.count(rule) != 0) return true;
+    const auto found = scan.by_line.find(line);
+    return found != scan.by_line.end() && found->second.count(rule) != 0;
 }
 
 // ------------------------------------------------------------ rule scopes
@@ -503,37 +394,66 @@ std::string range_expression(const std::string& capture) {
 struct RuleInfo {
     const char* id;
     const char* description;
+    RuleScope scope;
 };
 
 constexpr RuleInfo kRules[] = {
     {"layering",
      "an upward or sideways #include between source layers (each layer "
-     "only reaches downward; see tools/README.md for the rank table)"},
+     "only reaches downward; see tools/README.md for the rank table)",
+     RuleScope::kPerFile},
     {"unordered-container",
      "std::unordered_map/set declared in determinism-scoped code; "
      "iteration order is unspecified, so justify order-safety with a "
-     "suppression or use an ordered container"},
+     "suppression or use an ordered container",
+     RuleScope::kPerFile},
     {"unordered-iteration",
      "iteration over an unordered container in determinism-scoped code "
      "(range-for or begin()); the visit order may differ across runs "
-     "and library versions"},
+     "and library versions",
+     RuleScope::kPerFile},
     {"random-source",
      "ambient randomness (rand, srand, std::random_device) — all "
-     "stochastic behavior must flow from the seeded rng layer"},
+     "stochastic behavior must flow from the seeded rng layer",
+     RuleScope::kPerFile},
     {"wall-clock",
      "wall-clock read (chrono ::now, time, clock_gettime, ...) outside "
-     "bench/; timing diagnostics need an explicit justification"},
+     "bench/; timing diagnostics need an explicit justification",
+     RuleScope::kPerFile},
     {"raw-thread",
      "raw threading primitive (std::thread/async/mutex/...) outside "
-     "src/exec/ and the solve cache; fan out through exec::Executor"},
+     "src/exec/ and the solve cache; fan out through exec::Executor",
+     RuleScope::kPerFile},
     {"pointer-key",
      "ordered container keyed by a pointer; address order changes from "
-     "run to run, so iteration feeds nondeterminism into folds"},
-    {"pragma-once", "header without #pragma once"},
-    {"using-namespace-header", "using namespace at header scope"},
+     "run to run, so iteration feeds nondeterminism into folds",
+     RuleScope::kPerFile},
+    {"static-mutable",
+     "function-local static non-const, or use of a mutable "
+     "namespace-scope global, in code reachable from a sanctioned "
+     "fan-out entry point; shared writes race across workers",
+     RuleScope::kCallGraph},
+    {"nonreentrant-call",
+     "call to a non-reentrant libc function (strtok, setenv, localtime, "
+     "rand, ...) from code reachable from a sanctioned fan-out entry "
+     "point; hidden process-global state races",
+     RuleScope::kCallGraph},
+    {"shared-capture",
+     "by-reference lambda capture mutated inside a worker-submitted "
+     "body without an index-addressed slot or atomic",
+     RuleScope::kCallGraph},
+    {"fold-order",
+     "accumulation into shared state inside a worker-submitted body; "
+     "the fold happens in schedule order — reduce worker results in "
+     "index order on the submitting thread",
+     RuleScope::kCallGraph},
+    {"pragma-once", "header without #pragma once", RuleScope::kPerFile},
+    {"using-namespace-header", "using namespace at header scope",
+     RuleScope::kPerFile},
     {"suppression",
      "malformed or unjustified suppression annotation (not itself "
-     "suppressible)"},
+     "suppressible)",
+     RuleScope::kPerFile},
 };
 
 // ------------------------------------------------------------ file linting
@@ -541,16 +461,13 @@ constexpr RuleInfo kRules[] = {
 struct FileLint {
     const std::string& display_path;
     const std::string& virtual_path;
-    std::vector<std::string> raw_lines;
-    std::vector<std::string> code_lines;
-    SuppressionScan suppressions;
+    const std::vector<std::string>& raw_lines;
+    const std::vector<std::string>& code_lines;
+    const SuppressionScan& suppressions;
     std::vector<Diagnostic> output;
 
     void emit(const char* rule, std::size_t line, std::string message) {
-        const auto found = suppressions.by_line.find(line);
-        if (found != suppressions.by_line.end() &&
-            found->second.count(rule) != 0)
-            return;
+        if (suppressed(suppressions, rule, line)) return;
         output.push_back({display_path, line, rule, std::move(message)});
     }
 };
@@ -660,6 +577,73 @@ void check_pragma_once(FileLint& file) {
     file.emit("pragma-once", 1, "header is missing #pragma once");
 }
 
+// ------------------------------------------------------- whole-set driver
+
+/// One file, split and scanned once, shared by the per-file checks and
+/// the call-graph pass.
+struct PreparedFile {
+    std::string display_path;
+    std::string virtual_path;
+    Views views;
+    std::vector<std::string> raw_lines;
+    std::vector<std::string> code_lines;
+    SuppressionScan suppressions;
+};
+
+PreparedFile prepare_file(const std::string& display_path,
+                          const std::string& virtual_path,
+                          const std::string& text) {
+    PreparedFile prepared;
+    prepared.display_path = display_path;
+    prepared.virtual_path = virtual_path;
+    prepared.views = split_views(text);
+    prepared.raw_lines = split_lines(text);
+    prepared.code_lines = split_lines(prepared.views.code);
+    scan_suppressions(split_lines(prepared.views.comments),
+                      prepared.code_lines, prepared.suppressions);
+    return prepared;
+}
+
+/// All per-file rules over one prepared file, malformed-suppression
+/// diagnostics included, unsorted.
+std::vector<Diagnostic> per_file_pass(const PreparedFile& prepared,
+                                      const std::string* paired_header) {
+    FileLint file{prepared.display_path, prepared.virtual_path,
+                  prepared.raw_lines,    prepared.code_lines,
+                  prepared.suppressions, {}};
+    check_layering(file);
+    check_patterns(file);
+    std::set<std::string> names = unordered_names(prepared.views.code);
+    if (paired_header != nullptr) {
+        const std::set<std::string> header_names =
+            unordered_names(split_views(*paired_header).code);
+        names.insert(header_names.begin(), header_names.end());
+    }
+    check_unordered_iteration(file, names);
+    check_pragma_once(file);
+    for (const Diagnostic& diagnostic : prepared.suppressions.malformed) {
+        Diagnostic copy = diagnostic;
+        copy.file = prepared.display_path;
+        file.output.push_back(std::move(copy));
+    }
+    return file.output;
+}
+
+void sort_diagnostics(std::vector<Diagnostic>& diagnostics) {
+    std::sort(diagnostics.begin(), diagnostics.end(),
+              [](const Diagnostic& a, const Diagnostic& b) {
+                  return std::tie(a.file, a.line, a.rule, a.message) <
+                         std::tie(b.file, b.line, b.rule, b.message);
+              });
+    diagnostics.erase(
+        std::unique(diagnostics.begin(), diagnostics.end(),
+                    [](const Diagnostic& a, const Diagnostic& b) {
+                        return std::tie(a.file, a.line, a.rule, a.message) ==
+                               std::tie(b.file, b.line, b.rule, b.message);
+                    }),
+        diagnostics.end());
+}
+
 }  // namespace
 
 const std::vector<std::string>& rule_ids() {
@@ -677,6 +661,45 @@ std::string rule_description(const std::string& rule) {
     return "";
 }
 
+RuleScope rule_scope(const std::string& rule) {
+    for (const RuleInfo& info : kRules)
+        if (rule == info.id) return info.scope;
+    return RuleScope::kPerFile;
+}
+
+std::string nearest_rule(const std::string& rule) {
+    // Plain Levenshtein distance; the rule table is tiny.
+    const auto distance = [](const std::string& a, const std::string& b) {
+        std::vector<std::size_t> row(b.size() + 1);
+        for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+        for (std::size_t i = 1; i <= a.size(); ++i) {
+            std::size_t diagonal = row[0];
+            row[0] = i;
+            for (std::size_t j = 1; j <= b.size(); ++j) {
+                const std::size_t previous = row[j];
+                const std::size_t substitute =
+                    diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+                row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitute});
+                diagonal = previous;
+            }
+        }
+        return row[b.size()];
+    };
+    std::string best;
+    std::size_t best_distance = static_cast<std::size_t>(-1);
+    for (const std::string& id : rule_ids()) {
+        if (id == "suppression") continue;  // never a valid allow target
+        const std::size_t d = distance(rule, id);
+        if (d < best_distance) {
+            best_distance = d;
+            best = id;
+        }
+    }
+    // Only suggest plausible typos, not arbitrary words.
+    const std::size_t threshold = std::max<std::size_t>(3, rule.size() / 2);
+    return best_distance <= threshold ? best : "";
+}
+
 int layer_rank(const std::string& virtual_path) {
     const std::string module = module_of(virtual_path);
     return module.empty() ? -1 : module_rank(module);
@@ -686,36 +709,177 @@ std::vector<Diagnostic> lint_text(const std::string& display_path,
                                   const std::string& virtual_path,
                                   const std::string& text,
                                   const std::string* paired_header) {
-    const Views views = split_views(text);
-    FileLint file{display_path, virtual_path, split_lines(text),
-                  split_lines(views.code), SuppressionScan{}, {}};
-    scan_suppressions(split_lines(views.comments), file.code_lines,
-                      file.suppressions);
+    const PreparedFile prepared =
+        prepare_file(display_path, virtual_path, text);
+    std::vector<Diagnostic> output = per_file_pass(prepared, paired_header);
+    sort_diagnostics(output);
+    return output;
+}
 
-    check_layering(file);
-    check_patterns(file);
-    std::set<std::string> names = unordered_names(views.code);
-    if (paired_header != nullptr) {
-        const std::set<std::string> header_names =
-            unordered_names(split_views(*paired_header).code);
-        names.insert(header_names.begin(), header_names.end());
+std::vector<Diagnostic> analyze_files(const std::vector<SourceFile>& files) {
+    std::vector<PreparedFile> prepared;
+    prepared.reserve(files.size());
+    std::vector<Diagnostic> all;
+    for (const SourceFile& file : files) {
+        prepared.push_back(prepare_file(file.display_path,
+                                        file.virtual_path, file.text));
+        const std::string* paired =
+            file.has_paired_header ? &file.paired_header : nullptr;
+        std::vector<Diagnostic> output =
+            per_file_pass(prepared.back(), paired);
+        all.insert(all.end(), std::make_move_iterator(output.begin()),
+                   std::make_move_iterator(output.end()));
     }
-    check_unordered_iteration(file, names);
-    check_pragma_once(file);
 
-    for (Diagnostic& diagnostic : file.suppressions.malformed) {
-        diagnostic.file = display_path;
-        file.output.push_back(std::move(diagnostic));
+    std::vector<callgraph::SourceInput> inputs;
+    inputs.reserve(prepared.size());
+    for (const PreparedFile& file : prepared)
+        inputs.push_back(
+            {file.display_path, file.virtual_path, file.views.code});
+    const callgraph::Graph graph = callgraph::build(inputs);
+
+    std::map<std::string, const SuppressionScan*> scans;
+    for (const PreparedFile& file : prepared)
+        scans[file.display_path] = &file.suppressions;
+    for (Diagnostic& diagnostic : check_worker_rules(graph)) {
+        const auto found = scans.find(diagnostic.file);
+        if (found != scans.end() &&
+            suppressed(*found->second, diagnostic.rule, diagnostic.line))
+            continue;
+        all.push_back(std::move(diagnostic));
     }
-    std::sort(file.output.begin(), file.output.end(),
-              [](const Diagnostic& a, const Diagnostic& b) {
-                  return std::tie(a.line, a.rule, a.message) <
-                         std::tie(b.line, b.rule, b.message);
-              });
-    return file.output;
+    sort_diagnostics(all);
+    return all;
+}
+
+std::vector<Diagnostic> analyze_text(const std::string& display_path,
+                                     const std::string& virtual_path,
+                                     const std::string& text) {
+    SourceFile file;
+    file.display_path = display_path;
+    file.virtual_path = virtual_path;
+    file.text = text;
+    return analyze_files({file});
 }
 
 namespace {
+
+// ---------------------------------------------------------------- formats
+
+util::JsonValue json_report(const std::vector<Diagnostic>& diagnostics) {
+    util::JsonValue report = util::JsonValue::object();
+    report.set("tool", "socbuf_lint");
+    report.set("count", diagnostics.size());
+    util::JsonValue list = util::JsonValue::array();
+    for (const Diagnostic& diagnostic : diagnostics) {
+        util::JsonValue entry = util::JsonValue::object();
+        entry.set("file", diagnostic.file);
+        entry.set("line", diagnostic.line);
+        entry.set("rule", diagnostic.rule);
+        entry.set("message", diagnostic.message);
+        list.push_back(std::move(entry));
+    }
+    report.set("diagnostics", std::move(list));
+    return report;
+}
+
+util::JsonValue sarif_report(const std::vector<Diagnostic>& diagnostics) {
+    util::JsonValue rules = util::JsonValue::array();
+    for (const std::string& id : rule_ids()) {
+        util::JsonValue rule = util::JsonValue::object();
+        rule.set("id", id);
+        util::JsonValue text = util::JsonValue::object();
+        text.set("text", rule_description(id));
+        rule.set("shortDescription", std::move(text));
+        rules.push_back(std::move(rule));
+    }
+    util::JsonValue driver = util::JsonValue::object();
+    driver.set("name", "socbuf_lint");
+    driver.set("rules", std::move(rules));
+    util::JsonValue tool = util::JsonValue::object();
+    tool.set("driver", std::move(driver));
+
+    util::JsonValue results = util::JsonValue::array();
+    for (const Diagnostic& diagnostic : diagnostics) {
+        util::JsonValue message = util::JsonValue::object();
+        message.set("text", diagnostic.message);
+        util::JsonValue artifact = util::JsonValue::object();
+        artifact.set("uri", diagnostic.file);
+        util::JsonValue region = util::JsonValue::object();
+        region.set("startLine", diagnostic.line);
+        util::JsonValue physical = util::JsonValue::object();
+        physical.set("artifactLocation", std::move(artifact));
+        physical.set("region", std::move(region));
+        util::JsonValue location = util::JsonValue::object();
+        location.set("physicalLocation", std::move(physical));
+        util::JsonValue locations = util::JsonValue::array();
+        locations.push_back(std::move(location));
+        util::JsonValue result = util::JsonValue::object();
+        result.set("ruleId", diagnostic.rule);
+        result.set("level", "error");
+        result.set("message", std::move(message));
+        result.set("locations", std::move(locations));
+        results.push_back(std::move(result));
+    }
+    util::JsonValue run = util::JsonValue::object();
+    run.set("tool", std::move(tool));
+    run.set("results", std::move(results));
+    util::JsonValue runs = util::JsonValue::array();
+    runs.push_back(std::move(run));
+    util::JsonValue log = util::JsonValue::object();
+    log.set("version", "2.1.0");
+    log.set("$schema", "https://json.schemastore.org/sarif-2.1.0.json");
+    log.set("runs", std::move(runs));
+    return log;
+}
+
+// --------------------------------------------------------------- baseline
+//
+// One tolerated finding per line, tab-separated: file, rule, message.
+// Line numbers are deliberately absent so unrelated edits above a
+// finding do not invalidate the whole baseline; '#' lines are comments.
+
+std::string baseline_key(const Diagnostic& diagnostic) {
+    return diagnostic.file + "\t" + diagnostic.rule + "\t" +
+           diagnostic.message;
+}
+
+bool load_baseline(const std::string& path,
+                   std::multiset<std::string>& entries, std::ostream& err) {
+    std::ifstream in(path);
+    if (!in) {
+        err << "socbuf_lint: cannot read baseline '" << path << "'\n";
+        return false;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (blank_line(line) || line[0] == '#') continue;
+        entries.insert(line);
+    }
+    return true;
+}
+
+bool write_baseline_file(const std::string& path,
+                         const std::vector<Diagnostic>& diagnostics,
+                         std::ostream& err) {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        err << "socbuf_lint: cannot write baseline '" << path << "'\n";
+        return false;
+    }
+    out << "# socbuf_lint baseline — tolerated findings, one per line:\n"
+           "#   file<TAB>rule<TAB>message\n"
+           "# Regenerate with: socbuf_lint --write-baseline <this file> "
+           "<paths>\n";
+    std::vector<std::string> keys;
+    keys.reserve(diagnostics.size());
+    for (const Diagnostic& diagnostic : diagnostics)
+        keys.push_back(baseline_key(diagnostic));
+    std::sort(keys.begin(), keys.end());
+    for (const std::string& key : keys) out << key << "\n";
+    return out.good();
+}
 
 bool lintable_extension(const fs::path& path) {
     const std::string ext = path.extension().string();
@@ -773,42 +937,83 @@ int run(const RunOptions& options, std::ostream& out, std::ostream& err) {
                   return a.generic_string() < b.generic_string();
               });
 
-    std::size_t count = 0;
+    std::vector<SourceFile> sources;
+    sources.reserve(files.size());
     for (const fs::path& path : files) {
-        std::string text;
-        if (!read_file(path, text)) {
+        SourceFile source;
+        if (!read_file(path, source.text)) {
             err << "socbuf_lint: cannot read '" << path.generic_string()
                 << "'\n";
             return 2;
         }
-        std::string virtual_path = options.as;
-        if (virtual_path.empty()) {
+        source.virtual_path = options.as;
+        if (source.virtual_path.empty()) {
             const fs::path relative =
                 fs::absolute(path).lexically_normal().lexically_relative(
                     fs::absolute(root).lexically_normal());
-            virtual_path = relative.generic_string();
-            if (virtual_path.empty() || starts_with(virtual_path, "../"))
-                virtual_path = path.generic_string();
+            source.virtual_path = relative.generic_string();
+            if (source.virtual_path.empty() ||
+                starts_with(source.virtual_path, "../"))
+                source.virtual_path = path.generic_string();
         }
-        std::string header_text;
-        const std::string* paired_header = nullptr;
         if (path.extension() == ".cpp") {
             fs::path header = path;
             header.replace_extension(".hpp");
-            if (fs::exists(header) && read_file(header, header_text))
-                paired_header = &header_text;
+            if (fs::exists(header) &&
+                read_file(header, source.paired_header))
+                source.has_paired_header = true;
         }
-        const std::string display = path.generic_string();
-        for (const Diagnostic& diagnostic :
-             lint_text(display, virtual_path, text, paired_header)) {
-            out << diagnostic.file << ":" << diagnostic.line << ": ["
-                << diagnostic.rule << "] " << diagnostic.message << "\n";
-            ++count;
-        }
+        source.display_path = path.generic_string();
+        sources.push_back(std::move(source));
     }
-    if (count != 0) {
-        err << "socbuf_lint: " << count << " diagnostic"
-            << (count == 1 ? "" : "s") << "\n";
+
+    std::vector<Diagnostic> diagnostics = analyze_files(sources);
+
+    if (!options.write_baseline.empty()) {
+        if (!write_baseline_file(options.write_baseline, diagnostics, err))
+            return 2;
+        err << "socbuf_lint: wrote " << diagnostics.size()
+            << " baseline entr" << (diagnostics.size() == 1 ? "y" : "ies")
+            << " to '" << options.write_baseline << "'\n";
+        return 0;
+    }
+
+    if (!options.baseline.empty()) {
+        std::multiset<std::string> baseline;
+        if (!load_baseline(options.baseline, baseline, err)) return 2;
+        std::size_t matched = 0;
+        std::vector<Diagnostic> fresh;
+        for (Diagnostic& diagnostic : diagnostics) {
+            const auto found = baseline.find(baseline_key(diagnostic));
+            if (found != baseline.end()) {
+                baseline.erase(found);
+                ++matched;
+                continue;
+            }
+            fresh.push_back(std::move(diagnostic));
+        }
+        diagnostics = std::move(fresh);
+        if (matched != 0)
+            err << "socbuf_lint: " << matched << " finding"
+                << (matched == 1 ? "" : "s") << " matched the baseline\n";
+    }
+
+    switch (options.format) {
+        case Format::kText:
+            for (const Diagnostic& diagnostic : diagnostics)
+                out << diagnostic.file << ":" << diagnostic.line << ": ["
+                    << diagnostic.rule << "] " << diagnostic.message << "\n";
+            break;
+        case Format::kJson:
+            out << json_report(diagnostics).dump(2) << "\n";
+            break;
+        case Format::kSarif:
+            out << sarif_report(diagnostics).dump(2) << "\n";
+            break;
+    }
+    if (!diagnostics.empty()) {
+        err << "socbuf_lint: " << diagnostics.size() << " diagnostic"
+            << (diagnostics.size() == 1 ? "" : "s") << "\n";
         return 1;
     }
     return 0;

@@ -1,0 +1,125 @@
+#include "rules_parallel.hpp"
+
+#include <set>
+#include <string>
+
+#include "text_views.hpp"
+
+namespace socbuf::lint {
+
+namespace {
+
+using callgraph::Function;
+using callgraph::Graph;
+using callgraph::MutationSite;
+
+/// Non-reentrant libc functions: hidden static state (strtok's cursor,
+/// localtime's tm, rand's LCG word) or process-global tables (environ,
+/// locale) that make any worker-context call a race and a determinism
+/// leak. Member calls named like these (`obj.rand()`) do not count.
+const std::set<std::string>& nonreentrant_functions() {
+    static const std::set<std::string> names = {
+        "strtok",    "strerror", "asctime",  "ctime",     "gmtime",
+        "localtime", "rand",     "srand",    "random",    "srandom",
+        "drand48",   "lrand48",  "mrand48",  "setenv",    "putenv",
+        "unsetenv",  "tmpnam",   "setlocale", "readdir",
+        "gethostbyname"};
+    return names;
+}
+
+std::string base_name(const std::string& qualified) {
+    const std::size_t pos = qualified.rfind("::");
+    return pos == std::string::npos ? qualified : qualified.substr(pos + 2);
+}
+
+/// Worker-submitted body: a lambda handed directly to a sanctioned entry
+/// point, or one bound to a name that is passed to an entry point.
+bool worker_body(const Graph& graph, const Function& fn) {
+    if (!fn.is_lambda) return false;
+    return fn.worker_entry_arg ||
+           graph.root_names.count(base_name(fn.name)) != 0;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> check_worker_rules(const Graph& graph) {
+    const std::vector<bool> reachable = callgraph::worker_reachable(graph);
+
+    std::set<std::string> mutable_globals;
+    for (const callgraph::GlobalVar& global : graph.globals)
+        if (!global.atomic) mutable_globals.insert(global.name);
+
+    std::vector<Diagnostic> out;
+    for (std::size_t i = 0; i < graph.functions.size(); ++i) {
+        if (!reachable[i]) continue;
+        const Function& fn = graph.functions[i];
+        const callgraph::FileInfo& file = graph.files[fn.file];
+        if (!starts_with(file.virtual_path, "src/")) continue;
+
+        for (const auto& [name, line] : fn.local_statics)
+            out.push_back(
+                {file.display_path, line, "static-mutable",
+                 "function-local static '" + name +
+                     "' in worker context ('" + fn.name +
+                     "' is reachable from a sanctioned fan-out entry); "
+                     "initialization and mutation race across workers — "
+                     "make it const, atomic, or per-task state"});
+
+        for (const auto& [name, line] : fn.global_uses)
+            out.push_back(
+                {file.display_path, line, "static-mutable",
+                 "mutable global '" + name + "' used in worker context ('" +
+                     fn.name +
+                     "' is reachable from a sanctioned fan-out entry); "
+                     "make it const, atomic, or thread it through "
+                     "per-task state"});
+
+        for (const callgraph::CallSite& call : fn.calls) {
+            if (call.member) continue;
+            if (nonreentrant_functions().count(call.name) == 0) continue;
+            out.push_back(
+                {file.display_path, call.line, "nonreentrant-call",
+                 "call to non-reentrant '" + call.name +
+                     "' from worker context ('" + fn.name +
+                     "' is reachable from a sanctioned fan-out entry); it "
+                     "reads or writes hidden process-global state"});
+        }
+
+        if (!worker_body(graph, fn)) continue;
+        for (const MutationSite& mutation : fn.mutations) {
+            if (mutation.subscripted) continue;  // index-addressed slot
+            if (fn.locals.count(mutation.name) != 0) continue;
+            if (fn.captures_by_copy.count(mutation.name) != 0) continue;
+            if (graph.atomic_names.count(mutation.name) != 0) continue;
+            // Globals race too, but static-mutable already owns them.
+            if (mutable_globals.count(mutation.name) != 0) continue;
+            const bool shared = fn.captures_default_ref ||
+                                fn.captures_by_ref.count(mutation.name) !=
+                                    0 ||
+                                fn.captures_this;
+            if (!shared) continue;
+            if (fn.captures_default_copy &&
+                fn.captures_by_ref.count(mutation.name) == 0 &&
+                !fn.captures_this)
+                continue;  // [=] copies; mutation stays task-local
+            if (mutation.kind == MutationSite::Kind::kAccumulate)
+                out.push_back(
+                    {file.display_path, mutation.line, "fold-order",
+                     "accumulation into shared '" + mutation.name +
+                         "' inside a worker body folds in schedule order; "
+                         "write each task's contribution to an "
+                         "index-addressed slot and reduce in index order "
+                         "on the submitting thread"});
+            else
+                out.push_back(
+                    {file.display_path, mutation.line, "shared-capture",
+                     "by-reference captured '" + mutation.name +
+                         "' mutated inside a worker body; give each task "
+                         "an index-addressed slot, use an atomic, or "
+                         "justify with a suppression"});
+        }
+    }
+    return out;
+}
+
+}  // namespace socbuf::lint

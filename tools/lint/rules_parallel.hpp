@@ -1,0 +1,37 @@
+#pragma once
+/// The cross-file worker-context rule families — socbuf_lint's pass 2½:
+/// given the call graph from callgraph::build, compute worker
+/// reachability and enforce
+///
+///   * static-mutable     — function-local `static` non-const, or uses of
+///                          mutable namespace-scope globals, in any
+///                          function reachable from worker context;
+///   * nonreentrant-call  — calls to a curated list of non-reentrant
+///                          libc functions (strtok, setenv, localtime,
+///                          rand, ...) from worker context;
+///   * shared-capture     — a by-reference lambda capture mutated inside
+///                          a worker-submitted body without an
+///                          index-addressed slot or atomic;
+///   * fold-order         — accumulation (`+=` family) into shared state
+///                          from a worker-submitted body: the fold order
+///                          is the schedule's, not the index order the
+///                          determinism contract requires.
+///
+/// Only files whose virtual path is under src/ are in scope — bench/,
+/// tools/ and examples/ fan work out too, but their output is not part
+/// of the bit-identical report contract. Suppressions are applied by the
+/// caller (analyze_files), which owns the per-file annotation scans.
+
+#include <vector>
+
+#include "callgraph.hpp"
+#include "lint.hpp"
+
+namespace socbuf::lint {
+
+/// Run the four worker-context rule families over the graph. Diagnostics
+/// come back unsorted and unsuppressed; `file` is the owning file's
+/// display path.
+std::vector<Diagnostic> check_worker_rules(const callgraph::Graph& graph);
+
+}  // namespace socbuf::lint

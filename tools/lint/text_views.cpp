@@ -1,0 +1,148 @@
+#include "text_views.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace socbuf::lint {
+
+bool starts_with(const std::string& text, const char* prefix) {
+    return text.rfind(prefix, 0) == 0;
+}
+
+bool ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+Views split_views(const std::string& text) {
+    Views views;
+    views.code.assign(text.size(), ' ');
+    views.comments.assign(text.size(), ' ');
+    enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+    State state = State::kCode;
+    std::string raw_delim;
+    std::size_t i = 0;
+    while (i < text.size()) {
+        const char c = text[i];
+        const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+        if (c == '\n') {
+            views.code[i] = '\n';
+            views.comments[i] = '\n';
+            if (state == State::kLine) state = State::kCode;
+            ++i;
+            continue;
+        }
+        switch (state) {
+            case State::kCode:
+                if (c == '/' && next == '/') {
+                    state = State::kLine;
+                    i += 2;
+                } else if (c == '/' && next == '*') {
+                    state = State::kBlock;
+                    i += 2;
+                } else if (c == '"') {
+                    const bool raw =
+                        i > 0 && text[i - 1] == 'R' &&
+                        (i < 2 || !ident_char(text[i - 2]));
+                    views.code[i] = '"';
+                    ++i;
+                    if (raw) {
+                        raw_delim.clear();
+                        while (i < text.size() && text[i] != '(')
+                            raw_delim.push_back(text[i++]);
+                        if (i < text.size()) ++i;  // consume '('
+                        state = State::kRaw;
+                    } else {
+                        state = State::kString;
+                    }
+                } else if (c == '\'') {
+                    ++i;
+                    state = State::kChar;
+                } else {
+                    views.code[i] = c;
+                    ++i;
+                }
+                break;
+            case State::kLine:
+                views.comments[i] = c;
+                ++i;
+                break;
+            case State::kBlock:
+                if (c == '*' && next == '/') {
+                    state = State::kCode;
+                    i += 2;
+                } else {
+                    views.comments[i] = c;
+                    ++i;
+                }
+                break;
+            case State::kString:
+                if (c == '\\') {
+                    i += 2;
+                } else if (c == '"') {
+                    views.code[i] = '"';
+                    ++i;
+                    state = State::kCode;
+                } else {
+                    ++i;
+                }
+                break;
+            case State::kChar:
+                if (c == '\\') {
+                    i += 2;
+                } else if (c == '\'') {
+                    ++i;
+                    state = State::kCode;
+                } else {
+                    ++i;
+                }
+                break;
+            case State::kRaw:
+                if (c == ')' &&
+                    text.compare(i + 1, raw_delim.size(), raw_delim) == 0 &&
+                    i + 1 + raw_delim.size() < text.size() &&
+                    text[i + 1 + raw_delim.size()] == '"') {
+                    i += 2 + raw_delim.size();
+                    state = State::kCode;
+                } else {
+                    ++i;
+                }
+                break;
+        }
+    }
+    return views;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+    std::vector<std::string> lines;
+    std::size_t begin = 0;
+    while (begin <= text.size()) {
+        const std::size_t end = text.find('\n', begin);
+        if (end == std::string::npos) {
+            lines.push_back(text.substr(begin));
+            break;
+        }
+        lines.push_back(text.substr(begin, end - begin));
+        begin = end + 1;
+    }
+    return lines;
+}
+
+bool blank_line(const std::string& line) {
+    return std::all_of(line.begin(), line.end(), [](char c) {
+        return std::isspace(static_cast<unsigned char>(c)) != 0;
+    });
+}
+
+std::string trim(const std::string& text) {
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin])) != 0)
+        ++begin;
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1])) != 0)
+        --end;
+    return text.substr(begin, end - begin);
+}
+
+}  // namespace socbuf::lint
