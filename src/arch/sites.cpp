@@ -5,6 +5,11 @@
 namespace socbuf::arch {
 
 std::vector<BufferSite> enumerate_buffer_sites(const Architecture& arch) {
+    return enumerate_buffer_sites(arch, SiteCostModel{});
+}
+
+std::vector<BufferSite> enumerate_buffer_sites(const Architecture& arch,
+                                               const SiteCostModel& costs) {
     std::vector<BufferSite> sites;
     sites.reserve(arch.processor_count() + 2 * arch.bridge_count());
     for (ProcessorId p = 0; p < arch.processor_count(); ++p) {
@@ -13,6 +18,7 @@ std::vector<BufferSite> enumerate_buffer_sites(const Architecture& arch) {
         s.owner = p;
         s.bus = arch.processor(p).bus;
         s.name = arch.processor(p).name;
+        s.unit_cost = costs.cost_of(SiteKind::kProcessor);
         sites.push_back(std::move(s));
     }
     for (BridgeId b = 0; b < arch.bridge_count(); ++b) {
@@ -26,6 +32,7 @@ std::vector<BufferSite> enumerate_buffer_sites(const Architecture& arch) {
         ab.from_bus = br.bus_a;
         ab.name = br.name + ":" + arch.bus(br.bus_a).name + ">" +
                   arch.bus(br.bus_b).name;
+        ab.unit_cost = costs.cost_of(SiteKind::kBridge);
         sites.push_back(std::move(ab));
         BufferSite ba;
         ba.kind = SiteKind::kBridge;
@@ -34,9 +41,18 @@ std::vector<BufferSite> enumerate_buffer_sites(const Architecture& arch) {
         ba.from_bus = br.bus_b;
         ba.name = br.name + ":" + arch.bus(br.bus_b).name + ">" +
                   arch.bus(br.bus_a).name;
+        ba.unit_cost = costs.cost_of(SiteKind::kBridge);
         sites.push_back(std::move(ba));
     }
     return sites;
+}
+
+std::vector<SiteId> candidate_bridge_sites(
+    const std::vector<BufferSite>& sites) {
+    std::vector<SiteId> out;
+    for (SiteId i = 0; i < sites.size(); ++i)
+        if (sites[i].kind == SiteKind::kBridge) out.push_back(i);
+    return out;
 }
 
 SiteId processor_site(const Architecture& arch, ProcessorId processor) {

@@ -2,6 +2,16 @@
 // allotted. Each processor owns one site (its outbound queue onto its bus)
 // and each bridge owns two (one per forwarding direction). The paper's
 // total buffer budget is distributed over exactly these sites.
+//
+// Bridge sites are additionally *candidates*: whether a bridge direction
+// actually receives a dedicated inserted buffer is a placement decision
+// (split::Placement; the insertion layer searches over it). Processor
+// sites are never candidates — a processor always owns its outbound
+// queue. Sites optionally carry heterogeneous per-kind unit costs
+// (SiteCostModel) so a placement search can weigh a bridge buffer
+// differently from the implicit processor queues; the default model
+// prices every site at 1.0 and leaves the enumeration byte-identical to
+// the cost-free one.
 #pragma once
 
 #include "arch/architecture.hpp"
@@ -16,6 +26,18 @@ enum class SiteKind { kProcessor, kBridge };
 
 using SiteId = std::size_t;
 
+/// Per-kind unit costs of a buffer site. Consumed by the insertion
+/// search's dominance pruning (plan cost = sum of selected candidates'
+/// unit costs); the sizing budget itself is unaffected.
+struct SiteCostModel {
+    double processor_cost = 1.0;
+    double bridge_cost = 1.0;
+
+    [[nodiscard]] double cost_of(SiteKind kind) const {
+        return kind == SiteKind::kBridge ? bridge_cost : processor_cost;
+    }
+};
+
 struct BufferSite {
     SiteKind kind = SiteKind::kProcessor;
     /// ProcessorId for processor sites, BridgeId for bridge sites.
@@ -25,6 +47,8 @@ struct BufferSite {
     /// For bridge sites: the bus traffic arrives *from*; unused otherwise.
     BusId from_bus = 0;
     std::string name;
+    /// Unit cost under the enumeration's SiteCostModel (1.0 by default).
+    double unit_cost = 1.0;
 };
 
 /// Enumerate all buffer sites of `arch` in a deterministic order:
@@ -32,6 +56,17 @@ struct BufferSite {
 /// b->a). Site ids index into this vector everywhere in socbuf.
 [[nodiscard]] std::vector<BufferSite> enumerate_buffer_sites(
     const Architecture& arch);
+
+/// As above, stamping each site's `unit_cost` from `costs`. The default
+/// model reproduces the overload above exactly.
+[[nodiscard]] std::vector<BufferSite> enumerate_buffer_sites(
+    const Architecture& arch, const SiteCostModel& costs);
+
+/// The candidate sites of a placement decision: every bridge site, in
+/// enumeration order. (Processor sites are fixed; only bridge buffers
+/// are *inserted* and therefore searchable.)
+[[nodiscard]] std::vector<SiteId> candidate_bridge_sites(
+    const std::vector<BufferSite>& sites);
 
 /// Index of a processor's site within enumerate_buffer_sites' order.
 [[nodiscard]] SiteId processor_site(const Architecture& arch,

@@ -180,7 +180,7 @@ SizingReport BufferSizingEngine::run(const arch::TestSystem& system,
     ctmdp::SolverRegistry registry;
 
     SizingReport report;
-    report.split = split::split_architecture(system);
+    report.split = split::split_architecture(system, options_.placement);
     const auto& split = report.split;
     const std::size_t n_sites = split.sites.size();
 
@@ -210,11 +210,15 @@ SizingReport BufferSizingEngine::run(const arch::TestSystem& system,
     report.site_scores.assign(n_sites, 0.0);
     report.site_service_weights.assign(n_sites, 0.0);
 
-    // Active sites, in deterministic order, for the apportionment.
-    std::vector<arch::SiteId> active;
+    // Active (apportionable) sites, in deterministic order. Pinned sites
+    // — bridge sites the placement deselected — keep one passthrough
+    // slot each off the top of the budget instead of a score share.
+    const std::vector<arch::SiteId> active = active_sites(split);
+    const long pinned_budget = pinned_site_budget(split);
+    std::vector<arch::SiteId> pinned;
     for (const auto& sub : split.subsystems)
-        for (const auto& f : sub.flows) active.push_back(f.site);
-    std::sort(active.begin(), active.end());
+        for (const auto& f : sub.flows)
+            if (f.pinned) pinned.push_back(f.site);
 
     for (int iter = 0; iter < options_.iterations; ++iter) {
         // Solve every subsystem and translate occupancies into
@@ -236,8 +240,9 @@ SizingReport BufferSizingEngine::run(const arch::TestSystem& system,
         weights.reserve(active.size());
         for (const auto s : active) weights.push_back(report.site_scores[s]);
         const auto shares = util::apportion_largest_remainder(
-            options_.total_budget, weights, /*floor=*/1);
+            options_.total_budget - pinned_budget, weights, /*floor=*/1);
         Allocation next(n_sites, 0);
+        for (const auto s : pinned) next[s] = 1;
         for (std::size_t i = 0; i < active.size(); ++i)
             next[active[i]] = shares[i];
 
@@ -271,6 +276,7 @@ SizingReport BufferSizingEngine::run(const arch::TestSystem& system,
         }
     }
 
+    report.best_weighted_loss = best_weighted;
     report.after = sim::simulate(system, report.best, options_.sim);
     return report;
 }

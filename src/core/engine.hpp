@@ -38,6 +38,13 @@ using SolverChoice = ctmdp::SolverChoice;
 
 struct SizingOptions {
     long total_budget = 160;
+    /// Which candidate bridge sites carry an inserted buffer
+    /// (split::Placement). The default selects every bridge site — the
+    /// paper's split — and keeps every report bit-identical to the
+    /// pre-placement engine. A deselected site is pinned to a single
+    /// passthrough slot and excluded from the apportionment; the *total*
+    /// budget is unchanged, so placements compete at equal budget.
+    split::Placement placement;
     int iterations = 10;       // resize/resimulate rounds (paper: 10)
     double tail_mass = 0.02;   // occupancy-quantile tail for requirements
     long model_cap = 3;        // per-flow occupancy cap inside the CTMDP
@@ -99,6 +106,9 @@ struct SizingReport {
     split::SplitResult split;
     Allocation initial;  // uniform (the "constant sizing" baseline)
     Allocation best;     // lowest weighted loss seen
+    /// Weighted loss of `best` (replication means at the evaluation
+    /// seeds) — the score the insertion search ranks placements by.
+    double best_weighted_loss = 0.0;
     sim::SimResult before;  // simulated under `initial`
     sim::SimResult after;   // simulated under `best`
     std::vector<IterationRecord> history;

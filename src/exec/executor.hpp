@@ -46,12 +46,16 @@ public:
     [[nodiscard]] ThreadPool* pool() { return pool_.get(); }
 
     /// Map fn over [0, n) on this executor's workers; results in index
-    /// order, bit-identical for any worker count.
+    /// order, bit-identical for any worker count. `priority` labels the
+    /// fan-out's helper jobs (the insertion search submits its plan
+    /// evaluations at Priority::kSizing so a saturated evaluation stream
+    /// claims ahead of them); schedule-only, never part of the results.
     template <typename Fn>
-    [[nodiscard]] auto map(std::size_t n, Fn&& fn) {
+    [[nodiscard]] auto map(std::size_t n, Fn&& fn,
+                           Priority priority = Priority::kDefault) {
         if (pool_ == nullptr)
             return parallel_map(std::size_t{1}, n, std::forward<Fn>(fn));
-        return parallel_map(*pool_, n, std::forward<Fn>(fn));
+        return parallel_map(*pool_, n, std::forward<Fn>(fn), priority);
     }
 
     /// Run body(i) for every i in [0, n); no result collection.

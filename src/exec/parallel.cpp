@@ -51,7 +51,8 @@ void drive(ForIndexState& state) {
 }  // namespace
 
 void parallel_for_index(ThreadPool& pool, std::size_t n,
-                        const std::function<void(std::size_t)>& body) {
+                        const std::function<void(std::size_t)>& body,
+                        Priority priority) {
     if (n == 0) return;
     if (pool.size() <= 1 || n == 1) {
         for (std::size_t i = 0; i < n; ++i) body(i);
@@ -70,7 +71,7 @@ void parallel_for_index(ThreadPool& pool, std::size_t n,
     // exits immediately.
     const std::size_t helpers = std::min(pool.size(), n);
     for (std::size_t w = 0; w < helpers; ++w)
-        pool.submit([state] { drive(*state); });
+        pool.submit([state] { drive(*state); }, priority);
 
     drive(*state);
 

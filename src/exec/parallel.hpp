@@ -30,8 +30,13 @@ namespace socbuf::exec {
 /// worker is busy — which makes it safe to call from *inside* a job that
 /// is itself running on the pool (a nested fan-out never deadlocks; at
 /// worst the inner indices all run on the calling worker).
+///
+/// `priority` labels the helper jobs the fan-out submits (kDefault keeps
+/// the classic claim order). Schedule-only, like every priority in the
+/// pool: results are folded by index whatever the label.
 void parallel_for_index(ThreadPool& pool, std::size_t n,
-                        const std::function<void(std::size_t)>& body);
+                        const std::function<void(std::size_t)>& body,
+                        Priority priority = Priority::kDefault);
 
 /// Split [0, n) into contiguous chunks of `min_chunk` indices (the last
 /// chunk takes the remainder) and run body(lo, hi) for each chunk on the
@@ -51,7 +56,8 @@ void parallel_for_ranges(ThreadPool& pool, std::size_t n,
 /// must be default-constructible and movable. Runs inline (no locking)
 /// when the pool has a single worker or n <= 1.
 template <typename Fn>
-[[nodiscard]] auto parallel_map(ThreadPool& pool, std::size_t n, Fn&& fn)
+[[nodiscard]] auto parallel_map(ThreadPool& pool, std::size_t n, Fn&& fn,
+                                Priority priority = Priority::kDefault)
     -> std::vector<std::decay_t<decltype(fn(std::size_t{}))>> {
     using Result = std::decay_t<decltype(fn(std::size_t{}))>;
     std::vector<Result> out(n);
@@ -60,7 +66,8 @@ template <typename Fn>
         for (std::size_t i = 0; i < n; ++i) out[i] = fn(i);
         return out;
     }
-    parallel_for_index(pool, n, [&](std::size_t i) { out[i] = fn(i); });
+    parallel_for_index(pool, n, [&](std::size_t i) { out[i] = fn(i); },
+                       priority);
     return out;
 }
 

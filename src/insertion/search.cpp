@@ -1,0 +1,179 @@
+#include "insertion/search.hpp"
+
+#include "util/contracts.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace socbuf::insertion {
+
+namespace {
+
+/// One partial plan of the staged search: the decided prefix's bits plus
+/// the canonical completion (undecided candidates all selected).
+struct Node {
+    std::uint64_t completion = 0;  ///< canonical-completion mask
+    double cost = 0.0;             ///< cost of the completion
+    double loss = 0.0;             ///< memoized completion score
+    std::size_t order = 0;         ///< creation index (final tie-break)
+};
+
+double mask_cost(std::uint64_t mask, const std::vector<double>& costs) {
+    double cost = 0.0;
+    for (std::size_t i = 0; i < costs.size(); ++i)
+        if (((mask >> i) & 1U) != 0U) cost += costs[i];
+    return cost;
+}
+
+split::Placement mask_placement(std::uint64_t mask, std::uint64_t full,
+                                const std::vector<arch::SiteId>& candidates) {
+    split::Placement placement;  // empty = all selected
+    if (mask == full || candidates.empty()) return placement;
+    placement.selected.assign(candidates.back() + 1, true);
+    for (std::size_t i = 0; i < candidates.size(); ++i)
+        if (((mask >> i) & 1U) == 0U) placement.selected[candidates[i]] = false;
+    return placement;
+}
+
+}  // namespace
+
+SearchResult search_placements(const std::vector<arch::SiteId>& candidates,
+                               const std::vector<double>& candidate_costs,
+                               const PlanEvaluator& evaluate,
+                               exec::Executor& executor,
+                               const SearchOptions& options) {
+    SOCBUF_REQUIRE_MSG(evaluate != nullptr, "need a plan evaluator");
+    SOCBUF_REQUIRE_MSG(candidate_costs.size() == candidates.size(),
+                       "candidate costs must align with candidates");
+    SOCBUF_REQUIRE_MSG(candidates.size() <= kMaxCandidates,
+                       "too many insertion candidates");
+    SOCBUF_REQUIRE_MSG(
+        std::is_sorted(candidates.begin(), candidates.end()) &&
+            std::adjacent_find(candidates.begin(), candidates.end()) ==
+                candidates.end(),
+        "candidates must be strictly increasing site ids");
+
+    const std::size_t n = candidates.size();
+    const std::uint64_t full = (std::uint64_t{1} << n) - 1U;
+
+    // Completion scores by mask; std::map keeps mask order deterministic
+    // for the final fold and the evaluated-plan listing.
+    std::map<std::uint64_t, double> memo;
+
+    // Evaluate every not-yet-memoized mask of `masks` in ONE fan-out at
+    // kSizing (the plans are bulk stage-1 work; a finished run's
+    // evaluation replications still claim ahead of them). `masks` must be
+    // deterministic in content and order, and duplicate-free — both call
+    // sites satisfy that by construction (distinct prefixes always have
+    // distinct canonical completions).
+    const auto evaluate_masks = [&](const std::vector<std::uint64_t>& masks) {
+        std::vector<std::uint64_t> fresh;
+        for (const std::uint64_t mask : masks)
+            if (memo.find(mask) == memo.end()) fresh.push_back(mask);
+        if (fresh.empty()) return;
+        const auto losses = executor.map(
+            fresh.size(),
+            [&](std::size_t i) {
+                return evaluate(mask_placement(fresh[i], full, candidates));
+            },
+            exec::Priority::kSizing);
+        for (std::size_t i = 0; i < fresh.size(); ++i)
+            memo.emplace(fresh[i], losses[i]);
+    };
+
+    SearchResult result;
+    result.exhaustive = n <= options.exhaustive_limit;
+
+    if (result.exhaustive) {
+        // Every mask, ascending, one fan-out.
+        std::vector<std::uint64_t> masks;
+        masks.reserve(std::size_t{1} << n);
+        for (std::uint64_t mask = 0; mask <= full; ++mask)
+            masks.push_back(mask);
+        evaluate_masks(masks);
+    } else {
+        // Staged DP: decide candidates in index order. The root's
+        // canonical completion is the all-selected preset, so the preset
+        // is always the first plan evaluated.
+        std::size_t next_order = 0;
+        evaluate_masks({full});
+        std::vector<Node> frontier{
+            {full, mask_cost(full, candidate_costs), memo.at(full),
+             next_order++}};
+        for (std::size_t stage = 0; stage < n; ++stage) {
+            const std::uint64_t bit = std::uint64_t{1} << stage;
+            // Children in frontier order, selected before deselected; the
+            // selected child shares its parent's completion (memo hit),
+            // the deselected child clears the stage bit.
+            std::vector<std::uint64_t> pending;
+            pending.reserve(frontier.size());
+            for (const Node& node : frontier)
+                pending.push_back(node.completion & ~bit);
+            evaluate_masks(pending);
+            std::vector<Node> children;
+            children.reserve(2 * frontier.size());
+            for (const Node& node : frontier) {
+                children.push_back(
+                    {node.completion, node.cost, node.loss, next_order++});
+                const std::uint64_t off = node.completion & ~bit;
+                children.push_back({off, mask_cost(off, candidate_costs),
+                                    memo.at(off), next_order++});
+            }
+            // Pareto prune on (cost, loss): sort by cost, then loss, then
+            // creation order; keep only children that strictly improve the
+            // best loss seen at lower-or-equal cost.
+            std::sort(children.begin(), children.end(),
+                      [](const Node& a, const Node& b) {
+                          if (a.cost != b.cost) return a.cost < b.cost;
+                          if (a.loss != b.loss) return a.loss < b.loss;
+                          return a.order < b.order;
+                      });
+            std::vector<Node> kept;
+            kept.reserve(children.size());
+            double best_loss_so_far = 0.0;
+            for (const Node& child : children) {
+                if (kept.empty() || child.loss < best_loss_so_far) {
+                    kept.push_back(child);
+                    best_loss_so_far = child.loss;
+                }
+            }
+            result.plans_pruned += children.size() - kept.size();
+            // Restore expansion determinism: the next stage walks the
+            // frontier in creation order, not cost order.
+            std::sort(kept.begin(), kept.end(),
+                      [](const Node& a, const Node& b) {
+                          return a.order < b.order;
+                      });
+            frontier = std::move(kept);
+        }
+    }
+
+    // The winner is the best *evaluated* plan — never worse than the
+    // all-selected preset, which both paths evaluate unconditionally.
+    result.plans_evaluated = memo.size();
+    result.evaluated.reserve(memo.size());
+    bool first = true;
+    for (const auto& [mask, loss] : memo) {
+        EvaluatedPlan plan;
+        plan.mask = mask;
+        plan.placement = mask_placement(mask, full, candidates);
+        plan.cost = mask_cost(mask, candidate_costs);
+        plan.loss = loss;
+        const bool better =
+            first || plan.loss < result.best_loss ||
+            (plan.loss == result.best_loss && plan.cost < result.best_cost);
+        if (better) {
+            result.best = plan.placement;
+            result.best_mask = mask;
+            result.best_loss = loss;
+            result.best_cost = plan.cost;
+            first = false;
+        }
+        result.evaluated.push_back(std::move(plan));
+    }
+    result.preset_loss = memo.at(full);
+    return result;
+}
+
+}  // namespace socbuf::insertion

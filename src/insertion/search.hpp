@@ -1,0 +1,95 @@
+// Buffer-insertion placement search: which candidate bridge sites get a
+// dedicated inserted buffer, and which are left as single-slot
+// passthroughs, at one shared total budget.
+//
+// The paper treats insertion as a given (every bridge carries a buffer);
+// this layer searches over that choice. A *plan* is a subset of the
+// candidate sites, encoded as a bit mask in candidate index order (bit i
+// set = candidate i selected). Plans are scored by a caller-supplied
+// evaluator — in socbuf that is a full BufferSizingEngine run with the
+// plan's split::Placement, so a plan's score is the best weighted loss
+// the sizing loop reaches at the equal total budget (deselected sites
+// keep one passthrough slot off the top; see core::pinned_site_budget).
+//
+// Two search modes, chosen by candidate count:
+//  - exhaustive (n <= exhaustive_limit): every one of the 2^n masks is
+//    evaluated in a single executor fan-out.
+//  - pruned (van Ginneken-style staged DP): candidates are decided one
+//    at a time in index order; each partial plan is scored by its
+//    *canonical completion* (undecided candidates all selected), and at
+//    every stage the child plans are pruned to the Pareto frontier on
+//    (plan cost, completion loss) — a child whose completion costs at
+//    least as much and loses at least as much as another's is dominated
+//    and dropped. Completions are memoized by mask, so the selected
+//    child of every plan is a free cache hit and only deselections cost
+//    an evaluation.
+//
+// Determinism contract: plans expand and fold in candidate-index/mask
+// order, unevaluated masks of a stage fan through ONE executor.map call
+// (index-addressed), and every tie breaks on (loss, cost, mask) — so the
+// chosen placement is bit-identical for any worker count. The pruning is
+// a heuristic (completion scores are estimates of subtree quality, not
+// bounds): the best plan is therefore taken over every *evaluated* plan,
+// which always includes the all-selected preset, so the search can never
+// report a plan worse than the preset it started from.
+#pragma once
+
+#include "arch/sites.hpp"
+#include "exec/executor.hpp"
+#include "split/splitter.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace socbuf::insertion {
+
+/// Score one placement; smaller is better. Must be safe to call
+/// concurrently from executor workers and deterministic in the placement
+/// alone (the sizing engine satisfies both).
+using PlanEvaluator = std::function<double(const split::Placement&)>;
+
+/// The widest candidate set a search accepts: masks are 64-bit and the
+/// all-selected sentinel needs a spare bit. Real systems have a handful
+/// of bridges; hitting this limit is a caller error.
+inline constexpr std::size_t kMaxCandidates = 63;
+
+struct SearchOptions {
+    /// Candidate counts up to this run the exhaustive 2^n sweep; larger
+    /// sets take the pruned staged search.
+    std::size_t exhaustive_limit = 4;
+};
+
+/// One fully-evaluated plan (a completion the search scored).
+struct EvaluatedPlan {
+    std::uint64_t mask = 0;  ///< bit i = candidate i selected
+    split::Placement placement;
+    double cost = 0.0;  ///< summed unit_cost of the selected candidates
+    double loss = 0.0;  ///< evaluator score
+};
+
+struct SearchResult {
+    split::Placement best;  ///< empty (all-selected) when the preset wins
+    std::uint64_t best_mask = 0;
+    double best_loss = 0.0;
+    double best_cost = 0.0;
+    /// Loss of the all-selected plan — the fixed preset placement every
+    /// pre-search scenario uses. best_loss <= preset_loss always.
+    double preset_loss = 0.0;
+    std::size_t plans_evaluated = 0;  ///< unique evaluator calls
+    std::size_t plans_pruned = 0;     ///< children dropped by dominance
+    bool exhaustive = false;
+    /// Every evaluated plan, mask-ascending (deterministic).
+    std::vector<EvaluatedPlan> evaluated;
+};
+
+/// Search placements over `candidates` (strictly increasing SiteIds;
+/// candidate_costs aligned by index). Plan evaluations fan through
+/// `executor` at Priority::kSizing. Deterministic for any worker count.
+[[nodiscard]] SearchResult search_placements(
+    const std::vector<arch::SiteId>& candidates,
+    const std::vector<double>& candidate_costs, const PlanEvaluator& evaluate,
+    exec::Executor& executor, const SearchOptions& options = {});
+
+}  // namespace socbuf::insertion

@@ -1,9 +1,12 @@
 #include "scenario/batch_runner.hpp"
 
+#include "arch/sites.hpp"
 #include "core/engine.hpp"
 #include "exec/task_graph.hpp"
+#include "insertion/search.hpp"
 #include "sim/simulator.hpp"
 #include "split/splitter.hpp"
+#include "util/contracts.hpp"
 #include "util/json.hpp"
 #include "util/numeric.hpp"
 #include "util/strings.hpp"
@@ -39,7 +42,49 @@ struct SizingOutcome {
     double timeout_threshold = 0.0;
     sim::SimConfig timeout_config;
     bool timeout_evaluated = false;
+    InsertionRunReport insertion;
 };
+
+/// Resolve the candidate sites of a spec's placement search: the spec's
+/// named subset, or (empty list) every traffic-carrying bridge site of
+/// the built system. Returns strictly increasing site ids — the order
+/// insertion::search_placements requires.
+std::vector<arch::SiteId> resolve_candidates(
+    const ScenarioSpec& spec, const arch::TestSystem& system,
+    const std::vector<arch::BufferSite>& sites) {
+    // Traffic-carrying bridge sites, via the default (all-selected) split:
+    // a bridge direction no flow crosses has nothing to place.
+    const split::SplitResult split = split::split_architecture(system);
+    std::vector<arch::SiteId> carrying;
+    for (const auto& sub : split.subsystems)
+        for (const auto& flow : sub.flows)
+            if (sites[flow.site].kind == arch::SiteKind::kBridge)
+                carrying.push_back(flow.site);
+    std::sort(carrying.begin(), carrying.end());
+    carrying.erase(std::unique(carrying.begin(), carrying.end()),
+                   carrying.end());
+    if (spec.insertion.candidates.empty()) return carrying;
+    std::vector<arch::SiteId> resolved;
+    for (const std::string& name : spec.insertion.candidates) {
+        bool found = false;
+        for (std::size_t s = 0; s < sites.size(); ++s) {
+            if (sites[s].name != name) continue;
+            SOCBUF_REQUIRE_MSG(
+                std::find(carrying.begin(), carrying.end(), s) !=
+                    carrying.end(),
+                "insertion candidate '" + name +
+                    "' is not a traffic-carrying bridge site");
+            resolved.push_back(s);
+            found = true;
+            break;
+        }
+        SOCBUF_REQUIRE_MSG(found, "unknown insertion candidate site: " + name);
+    }
+    std::sort(resolved.begin(), resolved.end());
+    resolved.erase(std::unique(resolved.begin(), resolved.end()),
+                   resolved.end());
+    return resolved;
+}
 
 /// Stage-2 result: one replication's loss counts under each policy.
 struct EvalSample {
@@ -61,6 +106,50 @@ SizingOutcome run_sizing(const ScenarioSpec& spec, const SizingJob& job,
     // The batch-level knob forces the accelerated sweep on; a spec that
     // already opted in keeps it regardless.
     if (force_gauss_seidel) options.gauss_seidel = true;
+
+    if (spec.insertion.search) {
+        // Placement search first: score every candidate plan by a full
+        // sizing run at this budget (all through the shared executor and
+        // solve cache — plans sharing subsystem structure hit the cache),
+        // then size under the winner below. The final engine run repeats
+        // the winning plan's evaluation, so its solves are all warm.
+        arch::SiteCostModel cost_model;
+        cost_model.processor_cost = spec.insertion.processor_site_cost;
+        cost_model.bridge_cost = spec.insertion.bridge_site_cost;
+        const std::vector<arch::BufferSite> sites =
+            arch::enumerate_buffer_sites(out.system.architecture, cost_model);
+        const std::vector<arch::SiteId> candidates =
+            resolve_candidates(spec, out.system, sites);
+        std::vector<double> candidate_costs;
+        candidate_costs.reserve(candidates.size());
+        for (const arch::SiteId s : candidates)
+            candidate_costs.push_back(sites[s].unit_cost);
+        const auto evaluate = [&](const split::Placement& placement) {
+            core::SizingOptions plan_options = options;
+            plan_options.placement = placement;
+            return core::BufferSizingEngine(plan_options)
+                .run(out.system, executor, cache)
+                .best_weighted_loss;
+        };
+        insertion::SearchOptions search_options;
+        search_options.exhaustive_limit = spec.insertion.exhaustive_limit;
+        const insertion::SearchResult found = insertion::search_placements(
+            candidates, candidate_costs, evaluate, executor, search_options);
+        options.placement = found.best;
+        out.insertion.searched = true;
+        for (const arch::SiteId s : candidates) {
+            if (found.best.site_selected(s))
+                out.insertion.selected_sites.push_back(sites[s].name);
+            else
+                out.insertion.deselected_sites.push_back(sites[s].name);
+        }
+        out.insertion.searched_loss = found.best_loss;
+        out.insertion.preset_loss = found.preset_loss;
+        out.insertion.plans_evaluated = found.plans_evaluated;
+        out.insertion.plans_pruned = found.plans_pruned;
+        out.insertion.exhaustive = found.exhaustive;
+    }
+
     const core::BufferSizingEngine engine(options);
     const core::SizingReport report = engine.run(out.system, executor, cache);
     out.initial = report.initial;
@@ -315,6 +404,7 @@ BatchReport BatchRunner::run(const std::vector<ScenarioSpec>& specs) {
         run.vi_solves = outcome.vi_solves;
         run.pi_solves = outcome.pi_solves;
         run.timeout_threshold = outcome.timeout_threshold;
+        run.insertion = outcome.insertion;
 
         std::vector<const std::vector<std::uint64_t>*> pre, post, timeout;
         std::vector<std::uint64_t> pre_totals, post_totals, timeout_totals;
@@ -343,19 +433,47 @@ BatchReport BatchRunner::run(const std::vector<ScenarioSpec>& specs) {
 }
 
 util::Table BatchReport::summary_table() const {
-    util::Table table({"scenario", "variant", "budget", "reps", "pre loss",
-                       "post loss", "gain", "rounds", "lp/vi/pi"});
+    // Insertion columns appear only when some run actually searched, so
+    // default batches keep the pre-search CSV bytes.
+    bool any_searched = false;
+    for (const auto& run : runs) any_searched |= run.insertion.searched;
+    std::vector<std::string> header{"scenario", "variant",  "budget",
+                                    "reps",     "pre loss", "post loss",
+                                    "gain",     "rounds",   "lp/vi/pi"};
+    if (any_searched) {
+        header.push_back("plans");
+        header.push_back("pruned");
+        header.push_back("search gain");
+    }
+    util::Table table(header);
     for (const auto& run : runs) {
-        table.add_row(
-            {run.scenario, run.variant.empty() ? "-" : run.variant,
-             std::to_string(run.budget), std::to_string(run.replications),
-             util::format_fixed(run.pre_total, 2),
-             util::format_fixed(run.post_total, 2),
-             util::format_fixed(100.0 * run.improvement(), 1) + "%",
-             std::to_string(run.engine_rounds),
-             std::to_string(run.lp_solves) + "/" +
-                 std::to_string(run.vi_solves) + "/" +
-                 std::to_string(run.pi_solves)});
+        std::vector<std::string> row{
+            run.scenario, run.variant.empty() ? "-" : run.variant,
+            std::to_string(run.budget), std::to_string(run.replications),
+            util::format_fixed(run.pre_total, 2),
+            util::format_fixed(run.post_total, 2),
+            util::format_fixed(100.0 * run.improvement(), 1) + "%",
+            std::to_string(run.engine_rounds),
+            std::to_string(run.lp_solves) + "/" +
+                std::to_string(run.vi_solves) + "/" +
+                std::to_string(run.pi_solves)};
+        if (any_searched) {
+            if (run.insertion.searched) {
+                const double gain =
+                    run.insertion.preset_loss > 0.0
+                        ? 1.0 - run.insertion.searched_loss /
+                                    run.insertion.preset_loss
+                        : 0.0;
+                row.push_back(std::to_string(run.insertion.plans_evaluated));
+                row.push_back(std::to_string(run.insertion.plans_pruned));
+                row.push_back(util::format_fixed(100.0 * gain, 1) + "%");
+            } else {
+                row.push_back("-");
+                row.push_back("-");
+                row.push_back("-");
+            }
+        }
+        table.add_row(row);
     }
     return table;
 }
@@ -417,6 +535,25 @@ std::string BatchReport::to_json(int indent) const {
             node.set("timeout_total", run.timeout_total);
             node.set("timeout_threshold", run.timeout_threshold);
             node.set("timeout_loss", to_json_array(run.timeout_loss));
+        }
+        // Only for runs that searched: default-spec reports keep their
+        // pre-search bytes, like the other optional keys.
+        if (run.insertion.searched) {
+            util::JsonValue ins = util::JsonValue::object();
+            util::JsonValue selected = util::JsonValue::array();
+            for (const auto& s : run.insertion.selected_sites)
+                selected.push_back(s);
+            util::JsonValue deselected = util::JsonValue::array();
+            for (const auto& s : run.insertion.deselected_sites)
+                deselected.push_back(s);
+            ins.set("selected_sites", std::move(selected));
+            ins.set("deselected_sites", std::move(deselected));
+            ins.set("searched_loss", run.insertion.searched_loss);
+            ins.set("preset_loss", run.insertion.preset_loss);
+            ins.set("plans_evaluated", run.insertion.plans_evaluated);
+            ins.set("plans_pruned", run.insertion.plans_pruned);
+            ins.set("exhaustive", run.insertion.exhaustive);
+            node.set("insertion", std::move(ins));
         }
         node.set("constant_alloc", to_json_array(run.constant_alloc));
         node.set("resized_alloc", to_json_array(run.resized_alloc));

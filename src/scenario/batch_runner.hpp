@@ -119,12 +119,37 @@ struct BatchOptions {
     bool gauss_seidel = false;
 };
 
+/// Outcome of one run's buffer-insertion placement search. Only present
+/// (searched = true) when the spec's $.insertion.search asked for it;
+/// default-spec runs never carry one, which keeps their serialized
+/// reports byte-identical to pre-search socbuf.
+struct InsertionRunReport {
+    bool searched = false;
+    /// Candidate bridge sites the winning placement kept / dropped, by
+    /// site name, in site-id order.
+    std::vector<std::string> selected_sites;
+    std::vector<std::string> deselected_sites;
+    /// Best weighted loss of the winning placement vs the fixed
+    /// all-selected preset, both at the same total budget (deselected
+    /// sites keep one passthrough slot off the top). searched_loss <=
+    /// preset_loss by construction — the preset is always evaluated.
+    double searched_loss = 0.0;
+    double preset_loss = 0.0;
+    std::size_t plans_evaluated = 0;
+    std::size_t plans_pruned = 0;
+    bool exhaustive = false;
+};
+
 /// One (scenario, variant, budget) outcome with its replicated evaluation.
 struct ScenarioRunResult {
     std::string scenario;
     std::string variant;  // empty for single-variant scenarios
     long budget = 0;
     std::size_t replications = 0;
+
+    /// Placement-search outcome; insertion.searched is false for
+    /// default (search-off) specs.
+    InsertionRunReport insertion;
 
     core::Allocation constant_alloc;  // uniform baseline
     core::Allocation resized_alloc;   // engine's best

@@ -113,6 +113,12 @@ public:
         spec_.sim = std::move(config);
         return *this;
     }
+    /// Replace the buffer-insertion placement-search block (v2 schema's
+    /// $.insertion).
+    ScenarioBuilder& insertion(InsertionSpec insertion) {
+        spec_.insertion = std::move(insertion);
+        return *this;
+    }
 
     /// Validate and return the spec (throws util::ContractViolation on a
     /// malformed chain).

@@ -27,6 +27,13 @@ bool operator==(const ScenarioVariant& a, const ScenarioVariant& b) {
     return a.label == b.label && a.np == b.np;
 }
 
+bool operator==(const InsertionSpec& a, const InsertionSpec& b) {
+    return a.search == b.search && a.candidates == b.candidates &&
+           a.processor_site_cost == b.processor_site_cost &&
+           a.bridge_site_cost == b.bridge_site_cost &&
+           a.exhaustive_limit == b.exhaustive_limit;
+}
+
 bool operator==(const ScenarioSpec& a, const ScenarioSpec& b) {
     return a.name == b.name && a.description == b.description &&
            a.testbench == b.testbench && a.variants == b.variants &&
@@ -38,7 +45,7 @@ bool operator==(const ScenarioSpec& a, const ScenarioSpec& b) {
            a.evaluate_timeout_policy == b.evaluate_timeout_policy &&
            a.timeout_threshold_scale == b.timeout_threshold_scale &&
            a.calibration_replications == b.calibration_replications &&
-           a.sim == b.sim;
+           a.insertion == b.insertion && a.sim == b.sim;
 }
 
 arch::TestSystem ScenarioSpec::build_system(std::size_t variant) const {
@@ -78,6 +85,12 @@ void ScenarioSpec::validate() const {
                        "timeout threshold scale must be positive");
     SOCBUF_REQUIRE_MSG(calibration_replications >= 1,
                        "need >= 1 calibration replication");
+    SOCBUF_REQUIRE_MSG(insertion.processor_site_cost > 0.0 &&
+                           insertion.bridge_site_cost > 0.0,
+                       "insertion site costs must be positive");
+    for (const auto& c : insertion.candidates)
+        SOCBUF_REQUIRE_MSG(!c.empty(),
+                           "insertion candidate names must be non-empty");
     for (const auto& v : variants) {
         SOCBUF_REQUIRE_MSG(v.np.pe_per_cluster >= 1,
                            "pe_per_cluster must be >= 1");
@@ -235,6 +248,36 @@ ScenarioSpec np_bursty_heavy_preset() {
     return spec;
 }
 
+ScenarioSpec insertion_figure1_preset() {
+    ScenarioSpec spec;
+    spec.name = "insertion-figure1";
+    spec.description =
+        "Placement search on the Figure 1 sample: all 16 plans over the "
+        "four directional bridge buffers, exhaustively, at budget 24.";
+    spec.testbench = Testbench::kFigure1;
+    spec.budgets = {24};
+    spec.replications = 3;
+    spec.insertion.search = true;  // 4 candidates <= exhaustive_limit
+    paper_sim_defaults(spec);
+    return spec;
+}
+
+ScenarioSpec insertion_np_search_preset() {
+    ScenarioSpec spec;
+    spec.name = "insertion-np-search";
+    spec.description =
+        "Pruned placement search on a compact network processor: eight "
+        "traffic-carrying bridge sites (> exhaustive_limit), dominance "
+        "pruning against the 256-plan exhaustive space at budget 160.";
+    spec.variants[0].np.pe_per_cluster = 2;
+    spec.budgets = {160};
+    spec.replications = 3;
+    spec.sizing_iterations = 5;
+    spec.insertion.search = true;  // 8 candidates > exhaustive_limit = 4
+    paper_sim_defaults(spec);
+    return spec;
+}
+
 }  // namespace
 
 ScenarioRegistry::ScenarioRegistry() {
@@ -245,6 +288,8 @@ ScenarioRegistry::ScenarioRegistry() {
     add(np_cluster_scaling_preset());
     add(np_cluster_asymmetry_preset());
     add(np_bursty_heavy_preset());
+    add(insertion_figure1_preset());
+    add(insertion_np_search_preset());
     // The mixed-testbench default batch: the Figure 1 sample and Table 1's
     // budget sweep as one pipelined batch (two different testbenches on
     // one shared executor and solve cache).
@@ -252,6 +297,11 @@ ScenarioRegistry::ScenarioRegistry() {
                "The paper's two testbenches in one batch: figure1 plus "
                "np-baseline (Table 1's budget sweep).",
                {"figure1", "np-baseline"}});
+    add_batch({"insertion-search",
+               "Both placement-search presets — the exhaustive Figure 1 "
+               "sweep and the pruned network-processor search — as one "
+               "batch.",
+               {"insertion-figure1", "insertion-np-search"}});
 }
 
 void ScenarioRegistry::add(ScenarioSpec spec) {
@@ -286,11 +336,31 @@ std::vector<std::string> ScenarioRegistry::names() const {
 }
 
 std::size_t ScenarioRegistry::load_json(const util::JsonValue& document) {
-    // Deserialize (and validate) everything before touching the registry,
-    // so a malformed document leaves it unchanged.
-    std::vector<ScenarioSpec> specs = specs_from_json(document);
-    for (auto& spec : specs) add(std::move(spec));
-    return specs.size();
+    return adopt_document(document_from_json(document));
+}
+
+std::size_t ScenarioRegistry::adopt_document(ScenarioDocument doc) {
+    // Everything is already deserialized and validated; what remains is
+    // the cross-reference check, done before the first add() so a bad
+    // batch never half-applies the document (the load stays atomic).
+    // Each batch member must resolve against the registry's scenarios or
+    // the document's own.
+    for (const auto& batch : doc.batches) {
+        for (const auto& member : batch.scenarios) {
+            bool known = contains(member);
+            for (const auto& spec : doc.scenarios)
+                known = known || spec.name == member;
+            if (!known)
+                throw ScenarioIoError(
+                    "$.batches",
+                    "batch '" + batch.name +
+                        "' references unknown scenario: " + member);
+        }
+    }
+    const std::size_t added = doc.scenarios.size();
+    for (auto& spec : doc.scenarios) add(std::move(spec));
+    for (auto& batch : doc.batches) add_batch(std::move(batch));
+    return added;
 }
 
 std::size_t ScenarioRegistry::load_text(const std::string& text) {
@@ -304,9 +374,7 @@ std::size_t ScenarioRegistry::load_text(const std::string& text) {
 }
 
 std::size_t ScenarioRegistry::load_file(const std::string& path) {
-    std::vector<ScenarioSpec> specs = load_scenario_file(path);
-    for (auto& spec : specs) add(std::move(spec));
-    return specs.size();
+    return adopt_document(load_scenario_document(path));
 }
 
 void ScenarioRegistry::merge(const ScenarioRegistry& other) {

@@ -29,6 +29,8 @@ class JsonValue;
 
 namespace socbuf::scenario {
 
+struct ScenarioDocument;  // scenario_io.hpp
+
 /// Which reconstructed system a scenario runs on.
 enum class Testbench { kFigure1, kNetworkProcessor };
 
@@ -48,6 +50,33 @@ struct ScenarioVariant {
 [[nodiscard]] bool operator==(const ScenarioVariant& a,
                               const ScenarioVariant& b);
 inline bool operator!=(const ScenarioVariant& a, const ScenarioVariant& b) {
+    return !(a == b);
+}
+
+/// Buffer-insertion knobs of a scenario — schema v2's $.insertion block.
+/// With search off (the default) every run keeps the fixed all-selected
+/// preset placement and reports are byte-identical to pre-search socbuf;
+/// with search on, each (variant, budget) run first searches placements
+/// over the candidate bridge sites (insertion::search_placements) and
+/// then sizes under the winning placement at the same total budget.
+struct InsertionSpec {
+    bool search = false;
+    /// Candidate site names (BufferSite::name) to search over; empty
+    /// means every traffic-carrying bridge site of the built system.
+    /// Names must resolve to bridge sites of the testbench.
+    std::vector<std::string> candidates;
+    /// Per-kind unit costs fed to arch::SiteCostModel — the plan-cost
+    /// axis of the search's dominance pruning. The sizing budget itself
+    /// is unaffected.
+    double processor_site_cost = 1.0;
+    double bridge_site_cost = 1.0;
+    /// Candidate counts up to this run the exhaustive 2^n sweep; larger
+    /// sets take the pruned staged search.
+    std::size_t exhaustive_limit = 4;
+};
+
+[[nodiscard]] bool operator==(const InsertionSpec& a, const InsertionSpec& b);
+inline bool operator!=(const InsertionSpec& a, const InsertionSpec& b) {
     return !(a == b);
 }
 
@@ -89,6 +118,9 @@ struct ScenarioSpec {
     /// single-sim calibration bit for bit. Ignored unless
     /// evaluate_timeout_policy is set.
     std::size_t calibration_replications = 1;
+    /// Buffer-insertion search (schema v2); default = search off, fixed
+    /// all-selected placement, byte-identical legacy reports.
+    InsertionSpec insertion;
     sim::SimConfig sim;
 
     /// Build the testbench system for `variant` (index into variants).
@@ -178,6 +210,11 @@ public:
         const std::string& name) const;
 
 private:
+    /// Adopt a deserialized document atomically: batch members are
+    /// resolved (against existing + incoming scenarios) before anything
+    /// is registered. Returns the scenario count.
+    std::size_t adopt_document(ScenarioDocument doc);
+
     std::vector<ScenarioSpec> specs_;
     std::vector<BatchPreset> batches_;
 };

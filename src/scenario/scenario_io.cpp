@@ -195,6 +195,66 @@ sim::SimConfig sim_from_json(const util::JsonValue& value,
     return sim;
 }
 
+InsertionSpec insertion_from_json(const util::JsonValue& value,
+                                  const std::string& path) {
+    InsertionSpec insertion;
+    ObjectReader reader(value, path);
+    if (const auto* search = reader.find("search"))
+        insertion.search = read_bool(*search, path + ".search");
+    if (const auto* candidates = reader.find("candidates")) {
+        const std::string candidates_path = path + ".candidates";
+        element(*candidates, candidates_path);
+        for (std::size_t i = 0; i < candidates->size(); ++i) {
+            const std::string name = read_string(
+                candidates->at(i), at_index(candidates_path, i));
+            if (name.empty())
+                fail(at_index(candidates_path, i), "must not be empty");
+            insertion.candidates.push_back(name);
+        }
+    }
+    if (const auto* cost = reader.find("processor_site_cost")) {
+        insertion.processor_site_cost =
+            read_number(*cost, path + ".processor_site_cost");
+        if (!(insertion.processor_site_cost > 0.0))
+            fail(path + ".processor_site_cost", "must be > 0");
+    }
+    if (const auto* cost = reader.find("bridge_site_cost")) {
+        insertion.bridge_site_cost =
+            read_number(*cost, path + ".bridge_site_cost");
+        if (!(insertion.bridge_site_cost > 0.0))
+            fail(path + ".bridge_site_cost", "must be > 0");
+    }
+    if (const auto* limit = reader.find("exhaustive_limit"))
+        insertion.exhaustive_limit = static_cast<std::size_t>(
+            read_integer(*limit, path + ".exhaustive_limit", 0));
+    reader.finish();
+    return insertion;
+}
+
+BatchPreset batch_from_json(const util::JsonValue& value,
+                            const std::string& path) {
+    BatchPreset batch;
+    ObjectReader reader(value, path);
+    batch.name = read_string(reader.require("name"), path + ".name");
+    if (batch.name.empty()) fail(path + ".name", "must not be empty");
+    if (const auto* description = reader.find("description"))
+        batch.description = read_string(*description, path + ".description");
+    const util::JsonValue& members = reader.require("scenarios");
+    const std::string members_path = path + ".scenarios";
+    element(members, members_path);
+    if (members.size() == 0)
+        fail(members_path, "must name at least one scenario");
+    for (std::size_t i = 0; i < members.size(); ++i) {
+        const std::string member =
+            read_string(members.at(i), at_index(members_path, i));
+        if (member.empty())
+            fail(at_index(members_path, i), "must not be empty");
+        batch.scenarios.push_back(member);
+    }
+    reader.finish();
+    return batch;
+}
+
 util::JsonValue np_to_json(const arch::NetworkProcessorParams& np) {
     util::JsonValue node = util::JsonValue::object();
     node.set("pe_per_cluster", np.pe_per_cluster);
@@ -204,6 +264,28 @@ util::JsonValue np_to_json(const arch::NetworkProcessorParams& np) {
     for (const std::size_t pe : np.cluster_pe) cluster.push_back(pe);
     node.set("cluster_pe", std::move(cluster));
     node.set("crypto_cluster", np.crypto_cluster);
+    return node;
+}
+
+util::JsonValue insertion_to_json(const InsertionSpec& insertion) {
+    util::JsonValue node = util::JsonValue::object();
+    node.set("search", insertion.search);
+    util::JsonValue candidates = util::JsonValue::array();
+    for (const auto& name : insertion.candidates) candidates.push_back(name);
+    node.set("candidates", std::move(candidates));
+    node.set("processor_site_cost", insertion.processor_site_cost);
+    node.set("bridge_site_cost", insertion.bridge_site_cost);
+    node.set("exhaustive_limit", insertion.exhaustive_limit);
+    return node;
+}
+
+util::JsonValue batch_to_json(const BatchPreset& batch) {
+    util::JsonValue node = util::JsonValue::object();
+    node.set("name", batch.name);
+    node.set("description", batch.description);
+    util::JsonValue members = util::JsonValue::array();
+    for (const auto& member : batch.scenarios) members.push_back(member);
+    node.set("scenarios", std::move(members));
     return node;
 }
 
@@ -301,6 +383,7 @@ util::JsonValue to_json(const ScenarioSpec& spec) {
     root.set("evaluate_timeout_policy", spec.evaluate_timeout_policy);
     root.set("timeout_threshold_scale", spec.timeout_threshold_scale);
     root.set("calibration_replications", spec.calibration_replications);
+    root.set("insertion", insertion_to_json(spec.insertion));
     root.set("sim", sim_to_json(spec.sim, "$.sim"));
     return root;
 }
@@ -311,17 +394,20 @@ ScenarioSpec spec_from_json(const util::JsonValue& value,
     ObjectReader reader(value, path);
 
     // Absent means version 1 (every file written before the field
-    // existed); anything else is a document this reader does not
-    // understand, rejected up front so a future-version file fails on
-    // the version line, not on whichever new key happens to come first.
+    // existed); 1 and 2 are both understood; anything else is a document
+    // this reader does not speak, rejected up front so a future-version
+    // file fails on the version line, not on whichever new key happens
+    // to come first.
+    long long schema_version = kLegacyScenarioSchemaVersion;
     if (const auto* version = reader.find("version")) {
-        const long long value_read =
-            read_integer(*version, path + ".version", 0);
-        if (value_read != kScenarioSchemaVersion)
+        schema_version = read_integer(*version, path + ".version", 0);
+        if (schema_version != kLegacyScenarioSchemaVersion &&
+            schema_version != kScenarioSchemaVersion)
             fail(path + ".version",
                  "unsupported schema version " +
-                     std::to_string(value_read) + " (this reader "
-                     "understands version " +
+                     std::to_string(schema_version) + " (this reader "
+                     "understands versions " +
+                     std::to_string(kLegacyScenarioSchemaVersion) + " and " +
                      std::to_string(kScenarioSchemaVersion) + ")");
     }
     spec.name = read_string(reader.require("name"), path + ".name");
@@ -393,6 +479,18 @@ ScenarioSpec spec_from_json(const util::JsonValue& value,
     if (const auto* calibration = reader.find("calibration_replications"))
         spec.calibration_replications = static_cast<std::size_t>(read_integer(
             *calibration, path + ".calibration_replications", 1));
+    // The v2-defining block: required at version 2 (a v2 file must say
+    // whether it searches, even if only "search": false), and unknown —
+    // rejected by finish() below at $.insertion — in a legacy document,
+    // where the reader never claims the key.
+    if (schema_version >= kScenarioSchemaVersion) {
+        const auto* insertion = reader.find("insertion");
+        if (insertion == nullptr)
+            fail(path + ".insertion",
+                 "required at schema version 2 (declare at least "
+                 "{\"search\": false})");
+        spec.insertion = insertion_from_json(*insertion, path + ".insertion");
+    }
     if (const auto* sim = reader.find("sim"))
         spec.sim = sim_from_json(*sim, path + ".sim");
     reader.finish();
@@ -408,40 +506,66 @@ ScenarioSpec spec_from_json(const util::JsonValue& value,
     return spec;
 }
 
-std::vector<ScenarioSpec> specs_from_json(const util::JsonValue& document) {
-    if (document.is_object() && document.contains("scenarios")) {
-        ObjectReader reader(document, "$");
-        const util::JsonValue& list = reader.require("scenarios");
-        reader.finish();
-        element(list, "$.scenarios");
-        if (list.size() == 0)
-            fail("$.scenarios", "must name at least one scenario");
-        std::vector<ScenarioSpec> specs;
-        specs.reserve(list.size());
-        for (std::size_t i = 0; i < list.size(); ++i)
-            specs.push_back(
-                spec_from_json(list.at(i), at_index("$.scenarios", i)));
-        return specs;
+ScenarioDocument document_from_json(const util::JsonValue& document) {
+    ScenarioDocument out;
+    const bool catalog =
+        document.is_object() &&
+        (document.contains("scenarios") || document.contains("batches"));
+    if (!catalog) {
+        out.scenarios.push_back(spec_from_json(document, "$"));
+        return out;
     }
-    return {spec_from_json(document, "$")};
+    ObjectReader reader(document, "$");
+    const util::JsonValue& list = reader.require("scenarios");
+    const util::JsonValue* batches = reader.find("batches");
+    reader.finish();
+    element(list, "$.scenarios");
+    if (list.size() == 0)
+        fail("$.scenarios", "must name at least one scenario");
+    out.scenarios.reserve(list.size());
+    for (std::size_t i = 0; i < list.size(); ++i)
+        out.scenarios.push_back(
+            spec_from_json(list.at(i), at_index("$.scenarios", i)));
+    if (batches != nullptr) {
+        element(*batches, "$.batches");
+        for (std::size_t i = 0; i < batches->size(); ++i)
+            out.batches.push_back(
+                batch_from_json(batches->at(i), at_index("$.batches", i)));
+    }
+    return out;
 }
 
-util::JsonValue catalog_to_json(const std::vector<ScenarioSpec>& specs) {
+std::vector<ScenarioSpec> specs_from_json(const util::JsonValue& document) {
+    return document_from_json(document).scenarios;
+}
+
+util::JsonValue catalog_to_json(const std::vector<ScenarioSpec>& specs,
+                                const std::vector<BatchPreset>& batches) {
     util::JsonValue list = util::JsonValue::array();
     for (const auto& spec : specs) list.push_back(to_json(spec));
     util::JsonValue root = util::JsonValue::object();
     root.set("scenarios", std::move(list));
+    if (!batches.empty()) {
+        util::JsonValue batch_list = util::JsonValue::array();
+        for (const auto& batch : batches)
+            batch_list.push_back(batch_to_json(batch));
+        root.set("batches", std::move(batch_list));
+    }
     return root;
 }
 
 util::JsonValue export_json(const ScenarioRegistry& registry,
                             const std::string& name) {
+    // A batch exports as a self-contained catalog: its member specs plus
+    // its own batch entry, so loading the file back registers the batch
+    // too (the members are all present, satisfying load_json's check).
     if (registry.contains_batch(name))
-        return catalog_to_json(registry.expand(name));
+        return catalog_to_json(registry.expand(name),
+                               {registry.get_batch(name)});
     return to_json(registry.get(name));
 }
 
-std::vector<ScenarioSpec> load_scenario_file(const std::string& path) {
+ScenarioDocument load_scenario_document(const std::string& path) {
     std::ifstream in(path, std::ios::binary);
     if (!in) fail(path, "cannot read scenario file");
     std::ostringstream text;
@@ -453,7 +577,11 @@ std::vector<ScenarioSpec> load_scenario_file(const std::string& path) {
     } catch (const util::JsonError& error) {
         fail(path, error.what());
     }
-    return specs_from_json(document);
+    return document_from_json(document);
+}
+
+std::vector<ScenarioSpec> load_scenario_file(const std::string& path) {
+    return load_scenario_document(path).scenarios;
 }
 
 }  // namespace socbuf::scenario

@@ -16,8 +16,9 @@
 // The schema (documented field by field in scenarios/README.md):
 //
 //   {
-//     "version": 1,                       optional; absent = 1; anything
-//                                         else is rejected at $.version
+//     "version": 2,                       optional; absent = 1 (legacy);
+//                                         1 or 2 accepted, anything else
+//                                         is rejected at $.version
 //     "name": "np-load-sweep",            required, non-empty
 //     "description": "...",               optional string
 //     "testbench": "network-processor",   "figure1" | "network-processor"
@@ -36,12 +37,27 @@
 //     "modulated_models": false,
 //     "evaluate_timeout_policy": false,
 //     "timeout_threshold_scale": 4.0,     > 0
+//     "insertion": {                      REQUIRED at version 2, rejected
+//                                         below it ($.insertion names the
+//                                         miss either way)
+//       "search": false,                  placement search on/off
+//       "candidates": ["bridge:..."],     site names; empty = every
+//                                         traffic-carrying bridge site
+//       "processor_site_cost": 1.0,       > 0
+//       "bridge_site_cost": 1.0,          > 0
+//       "exhaustive_limit": 4},           candidate counts <= this take
+//                                         the exhaustive 2^n sweep
 //     "sim": {"horizon": 4000.0, "warmup": 400.0, "seed": 2005,
 //             "arbiter": "round-robin"}
 //   }
 //
 // A *document* is either one spec object or a catalog
 // {"scenarios": [spec, ...]} — registry.load_file and the CLI accept both.
+// Catalogs may additionally carry user-defined batch presets:
+// "batches": [{"name": "...", "description": "...", "scenarios": [names]}]
+// (ScenarioRegistry::load_json registers them after validating every
+// member against the registry's scenarios plus the document's own — a
+// bad member leaves the registry untouched).
 #pragma once
 
 #include "scenario/scenario.hpp"
@@ -53,11 +69,15 @@
 
 namespace socbuf::scenario {
 
-/// The scenario schema version this reader and writer speak. to_json
-/// stamps it on every document; spec_from_json accepts absent-or-equal
-/// and rejects everything else with a $.version diagnostic. Bump it only
-/// with a migration story for the shipped scenarios/ catalog.
-inline constexpr int kScenarioSchemaVersion = 1;
+/// The scenario schema version this writer speaks. to_json stamps it on
+/// every document; spec_from_json additionally accepts version-1 files
+/// (absent = 1) where the v2-only keys ($.insertion) are rejected as
+/// unknown, and rejects every other version with a $.version diagnostic.
+/// Version 2 added the required $.insertion block and optional document-
+/// level $.batches. Bump only with a migration story for the shipped
+/// scenarios/ catalog.
+inline constexpr int kScenarioSchemaVersion = 2;
+inline constexpr int kLegacyScenarioSchemaVersion = 1;
 
 /// A malformed scenario document: the message always leads with the JSON
 /// path (or file name) of the offending value.
@@ -83,12 +103,30 @@ private:
                                           const std::string& path = "$");
 
 /// Deserialize a document: a single spec object or {"scenarios": [...]}.
+/// Catalog-level "batches" are structurally validated but dropped — use
+/// document_from_json when batch presets matter.
 [[nodiscard]] std::vector<ScenarioSpec> specs_from_json(
     const util::JsonValue& document);
 
-/// A catalog document {"scenarios": [...]} from `specs`.
+/// Everything a scenario document can carry: the specs plus any
+/// document-level batch presets ({"batches": [...]}, v2 catalogs only).
+struct ScenarioDocument {
+    std::vector<ScenarioSpec> scenarios;
+    std::vector<BatchPreset> batches;
+};
+
+/// Deserialize a document including its batch presets. Batch members are
+/// checked structurally (non-empty names, >= 1 member) but NOT resolved
+/// — a batch may reference registry presets the document does not carry;
+/// ScenarioRegistry::load_json does the existence check.
+[[nodiscard]] ScenarioDocument document_from_json(
+    const util::JsonValue& document);
+
+/// A catalog document {"scenarios": [...]} from `specs`, plus a
+/// "batches" array when `batches` is non-empty.
 [[nodiscard]] util::JsonValue catalog_to_json(
-    const std::vector<ScenarioSpec>& specs);
+    const std::vector<ScenarioSpec>& specs,
+    const std::vector<BatchPreset>& batches = {});
 
 /// One registered name as a loadable document: a scenario as its spec
 /// object, a batch preset as a catalog of its members. The single source
@@ -100,6 +138,10 @@ private:
 /// Read and deserialize a scenario file. Unreadable files and parse
 /// errors throw ScenarioIoError naming the file.
 [[nodiscard]] std::vector<ScenarioSpec> load_scenario_file(
+    const std::string& path);
+
+/// As load_scenario_file, keeping document-level batch presets.
+[[nodiscard]] ScenarioDocument load_scenario_document(
     const std::string& path);
 
 /// Solver-choice names used by the schema ("auto", "lp",

@@ -19,7 +19,16 @@ double Subsystem::utilization() const {
     return service_rate > 0.0 ? offered_rate() / service_rate : 0.0;
 }
 
+bool operator==(const Placement& a, const Placement& b) {
+    return a.selected == b.selected;
+}
+
 SplitResult split_architecture(const arch::TestSystem& system) {
+    return split_architecture(system, Placement{});
+}
+
+SplitResult split_architecture(const arch::TestSystem& system,
+                               const Placement& placement) {
     system.architecture.validate();
     SOCBUF_REQUIRE_MSG(!system.flows.empty(), "system has no flows");
 
@@ -57,7 +66,10 @@ SplitResult split_architecture(const arch::TestSystem& system) {
         flow.site = s;
         flow.arrival_rate = rates[s];
         flow.weight = std::max(weights[s], 1e-12);
-        flow.inserted = out.sites[s].kind == arch::SiteKind::kBridge;
+        const bool bridge = out.sites[s].kind == arch::SiteKind::kBridge;
+        const bool chosen = placement.site_selected(s);
+        flow.inserted = bridge && chosen;
+        flow.pinned = bridge && !chosen;
         flow.flow_ids = site_flows[s];
         // Burst structure: keep the largest bursty contributor; everything
         // else is treated as Poisson background by the modulated models.

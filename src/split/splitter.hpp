@@ -16,12 +16,43 @@
 
 namespace socbuf::split {
 
+/// A placement decision over the candidate bridge sites: which of them
+/// actually receive a dedicated inserted buffer. The default (empty
+/// mask) selects *every* bridge site — the paper's split, and the
+/// placement behind every pre-insertion report. A deselected bridge
+/// site still exists in the split (traffic still crosses the bridge)
+/// but is *pinned*: it keeps a minimal single-slot passthrough and is
+/// excluded from the score-based apportionment, so its budget share
+/// flows to the selected sites instead.
+struct Placement {
+    /// Per-site selection mask (enumerate_buffer_sites order). Empty =
+    /// every site selected. Only bridge sites consult it; processor
+    /// sites are always selected.
+    std::vector<bool> selected;
+
+    /// True when this is the default all-selected placement.
+    [[nodiscard]] bool all_selected() const { return selected.empty(); }
+
+    [[nodiscard]] bool site_selected(arch::SiteId site) const {
+        return selected.empty() || site >= selected.size() ||
+               selected[site];
+    }
+};
+
+[[nodiscard]] bool operator==(const Placement& a, const Placement& b);
+inline bool operator!=(const Placement& a, const Placement& b) {
+    return !(a == b);
+}
+
 /// One traffic source contending on a subsystem's bus.
 struct SubsystemFlow {
     arch::SiteId site = 0;   // the buffer site feeding the bus
     double arrival_rate = 0.0;  // first-order offered rate at this site
     double weight = 1.0;        // loss weight (max over contributing flows)
     bool inserted = false;      // true for bridge buffers created by the split
+    /// Deselected bridge site: carries traffic through a single-slot
+    /// passthrough, excluded from budget apportionment.
+    bool pinned = false;
     std::vector<std::size_t> flow_ids;  // contributing FlowSpec indices
 
     /// Burst structure of the dominant bursty contributor (zeros when all
@@ -53,16 +84,26 @@ struct Subsystem {
 struct SplitResult {
     std::vector<Subsystem> subsystems;      // one per bus carrying traffic
     std::vector<arch::BufferSite> sites;    // full site enumeration
-    std::size_t inserted_buffer_count = 0;  // bridge sites carrying traffic
+    /// Traffic-carrying bridge sites the placement actually selected —
+    /// the number of buffers the split *inserted*.
+    std::size_t inserted_buffer_count = 0;
 
     /// Site -> subsystem index, or npos for sites with no traffic.
     std::vector<std::size_t> subsystem_of_site;
     static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 };
 
-/// Split `system` into independent linear subsystems. Throws ModelError on
-/// invalid architectures or unroutable flows.
+/// Split `system` into independent linear subsystems under the default
+/// placement (every bridge site selected — the paper's split). Throws
+/// ModelError on invalid architectures or unroutable flows.
 [[nodiscard]] SplitResult split_architecture(const arch::TestSystem& system);
+
+/// As above under an explicit `placement`: deselected bridge sites come
+/// back pinned (single-slot passthrough, excluded from apportionment)
+/// and do not count toward inserted_buffer_count. The default placement
+/// reproduces the overload above bit for bit.
+[[nodiscard]] SplitResult split_architecture(const arch::TestSystem& system,
+                                             const Placement& placement);
 
 /// Verify the defining property of the split: every subsystem touches
 /// exactly one bus, no site appears in two subsystems, and every flow of

@@ -130,6 +130,49 @@ TEST(Sites, SitesOnBusPartitionTheSites) {
     EXPECT_EQ(total, sites.size());
 }
 
+TEST(Sites, CostModelStampsPerKindUnitCosts) {
+    const auto a = line_arch();
+    // The default model leaves the enumeration identical to the
+    // cost-free overload: every site priced at 1.0.
+    const auto plain = sa::enumerate_buffer_sites(a);
+    const auto defaulted = sa::enumerate_buffer_sites(a, sa::SiteCostModel{});
+    ASSERT_EQ(plain.size(), defaulted.size());
+    for (std::size_t s = 0; s < plain.size(); ++s) {
+        EXPECT_EQ(plain[s].unit_cost, 1.0);
+        EXPECT_EQ(defaulted[s].unit_cost, 1.0);
+        EXPECT_EQ(plain[s].name, defaulted[s].name);
+    }
+    // A heterogeneous model prices by kind.
+    sa::SiteCostModel model;
+    model.processor_cost = 0.5;
+    model.bridge_cost = 3.0;
+    EXPECT_EQ(model.cost_of(sa::SiteKind::kProcessor), 0.5);
+    EXPECT_EQ(model.cost_of(sa::SiteKind::kBridge), 3.0);
+    const auto priced = sa::enumerate_buffer_sites(a, model);
+    for (const auto& site : priced)
+        EXPECT_EQ(site.unit_cost,
+                  site.kind == sa::SiteKind::kBridge ? 3.0 : 0.5)
+            << site.name;
+}
+
+TEST(Sites, CandidateBridgeSitesAreTheBridgeSitesInOrder) {
+    const auto a = line_arch();
+    const auto sites = sa::enumerate_buffer_sites(a);
+    const auto candidates = sa::candidate_bridge_sites(sites);
+    // Exactly the bridge sites (2 bridges x 2 directions), strictly
+    // ascending — the order the insertion search's masks index.
+    ASSERT_EQ(candidates.size(), 4u);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        EXPECT_EQ(sites[candidates[i]].kind, sa::SiteKind::kBridge);
+        if (i > 0) EXPECT_LT(candidates[i - 1], candidates[i]);
+    }
+    // No processor site is ever a candidate.
+    std::size_t bridge_sites = 0;
+    for (const auto& site : sites)
+        if (site.kind == sa::SiteKind::kBridge) ++bridge_sites;
+    EXPECT_EQ(candidates.size(), bridge_sites);
+}
+
 TEST(Figure1, MatchesPaperStructure) {
     const auto sys = sa::figure1_system();
     const auto& a = sys.architecture;

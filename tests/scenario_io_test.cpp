@@ -71,6 +71,7 @@ TEST(ScenarioIo, RoundTripCoversEveryKnob) {
             .modulated_models()
             .timeout_policy(2.5)
             .calibration_replications(4)
+            .insertion({true, {"bf:b>f", "bg:b>g"}, 2.0, 3.0, 6})
             .horizon(900.0, 90.0)
             .seed(123456789)
             .arbiter(socbuf::sim::ArbiterKind::kLongestQueue)
@@ -128,19 +129,57 @@ TEST(ScenarioIo, SchemaVersionIsStampedAndEnforced) {
     const JsonValue doc = ss::to_json(spec);
     ASSERT_TRUE(doc.contains("version"));
     EXPECT_EQ(doc.at("version").as_number(), ss::kScenarioSchemaVersion);
-    // ...an explicit current version parses, absent means current
-    // (AbsentKeysKeepDefaults), and anything else is rejected at
-    // $.version before any other key is validated.
+    // ...an explicit legacy version parses, absent means legacy
+    // (AbsentKeysKeepDefaults), and versions this reader does not speak
+    // are rejected at $.version before any other key is validated.
     EXPECT_TRUE(ss::spec_from_json(JsonValue::parse(
                     "{\"version\": 1, \"name\": \"v\"}")) ==
                 ss::spec_from_json(JsonValue::parse("{\"name\": \"v\"}")));
-    expect_io_error("{\"version\": 2, \"name\": \"v\"}", "$.version");
     expect_io_error("{\"version\": 0, \"name\": \"v\"}", "$.version");
+    expect_io_error("{\"version\": 3, \"name\": \"v\"}", "$.version");
     expect_io_error("{\"version\": \"1\", \"name\": \"v\"}", "$.version");
     // Rejection happens up front: a future-version document fails on the
     // version line even when later keys would also be unknown.
-    expect_io_error("{\"version\": 2, \"name\": \"v\", \"zzz\": 1}",
+    expect_io_error("{\"version\": 3, \"name\": \"v\", \"zzz\": 1}",
                     "$.version");
+}
+
+TEST(ScenarioIo, VersionTwoRequiresTheInsertionBlock) {
+    // The v2-defining key: a version-2 document must declare $.insertion
+    // (even just {"search": false}), and a legacy document must not —
+    // there the key is unknown and strict validation rejects it.
+    expect_io_error("{\"version\": 2, \"name\": \"v\"}", "$.insertion");
+    expect_io_error(
+        "{\"version\": 1, \"name\": \"v\", "
+        "\"insertion\": {\"search\": false}}",
+        "$.insertion");
+    const auto v2 = ss::spec_from_json(JsonValue::parse(
+        "{\"version\": 2, \"name\": \"v\", "
+        "\"insertion\": {\"search\": false}}"));
+    const auto legacy =
+        ss::spec_from_json(JsonValue::parse("{\"name\": \"v\"}"));
+    EXPECT_TRUE(v2 == legacy);  // search off is the legacy behavior
+    // The insertion block itself is strictly validated, path and all.
+    expect_io_error(
+        "{\"version\": 2, \"name\": \"v\", "
+        "\"insertion\": {\"search\": 1}}",
+        "$.insertion.search");
+    expect_io_error(
+        "{\"version\": 2, \"name\": \"v\", "
+        "\"insertion\": {\"search\": true, \"candidates\": [\"\"]}}",
+        "$.insertion.candidates[0]");
+    expect_io_error(
+        "{\"version\": 2, \"name\": \"v\", "
+        "\"insertion\": {\"search\": true, \"bridge_site_cost\": 0}}",
+        "$.insertion.bridge_site_cost");
+    expect_io_error(
+        "{\"version\": 2, \"name\": \"v\", "
+        "\"insertion\": {\"search\": true, \"exhaustive_limit\": -1}}",
+        "$.insertion.exhaustive_limit");
+    expect_io_error(
+        "{\"version\": 2, \"name\": \"v\", "
+        "\"insertion\": {\"search\": true, \"zzz\": 1}}",
+        "$.insertion.zzz");
 }
 
 TEST(ScenarioIo, DiagnosticsNameTheJsonPath) {
@@ -196,7 +235,7 @@ TEST(ScenarioIo, CatalogDocumentsParseAndReportPerScenarioPaths) {
     } catch (const ss::ScenarioIoError& error) {
         EXPECT_EQ(error.path(), "$.scenarios[1].budgets");
     }
-    // A catalog document rejects keys beside "scenarios".
+    // A catalog document rejects keys beside "scenarios"/"batches".
     try {
         (void)ss::specs_from_json(JsonValue::parse(
             "{\"scenarios\": [{\"name\": \"a\"}], \"extra\": 1}"));
@@ -204,6 +243,69 @@ TEST(ScenarioIo, CatalogDocumentsParseAndReportPerScenarioPaths) {
     } catch (const ss::ScenarioIoError& error) {
         EXPECT_EQ(error.path(), "$.extra");
     }
+}
+
+TEST(ScenarioIo, CatalogBatchesRoundTripAndResolve) {
+    // User-defined $.batches[]: parse, register, expand, and re-emit.
+    const auto document = ss::document_from_json(JsonValue::parse(
+        "{\"scenarios\": [{\"name\": \"a\"}, {\"name\": \"b\"}],"
+        " \"batches\": [{\"name\": \"both\","
+        " \"description\": \"a then b\","
+        " \"scenarios\": [\"a\", \"b\"]}]}"));
+    ASSERT_EQ(document.scenarios.size(), 2u);
+    ASSERT_EQ(document.batches.size(), 1u);
+    EXPECT_EQ(document.batches[0].name, "both");
+    EXPECT_EQ(document.batches[0].description, "a then b");
+
+    ss::ScenarioRegistry registry;
+    registry.load_text(
+        "{\"scenarios\": [{\"name\": \"a\"}, {\"name\": \"b\"}],"
+        " \"batches\": [{\"name\": \"both\", \"scenarios\": [\"a\", \"b\"]},"
+        // A loaded batch may also reference scenarios already registered.
+        " {\"name\": \"mixed\", \"scenarios\": [\"a\", \"figure1\"]}]}");
+    ASSERT_TRUE(registry.contains_batch("both"));
+    ASSERT_TRUE(registry.contains_batch("mixed"));
+    const auto expanded = registry.expand("mixed");
+    ASSERT_EQ(expanded.size(), 2u);
+    EXPECT_EQ(expanded[0].name, "a");
+    EXPECT_EQ(expanded[1].name, "figure1");
+
+    // catalog_to_json re-emits batches alongside scenarios; the document
+    // round-trips through parse -> document_from_json.
+    const JsonValue catalog = ss::catalog_to_json(
+        document.scenarios, {registry.get_batch("both")});
+    const auto again =
+        ss::document_from_json(JsonValue::parse(catalog.dump(2)));
+    ASSERT_EQ(again.batches.size(), 1u);
+    EXPECT_EQ(again.batches[0].scenarios, document.batches[0].scenarios);
+
+    // Malformed batch entries name their path.
+    try {
+        (void)ss::document_from_json(JsonValue::parse(
+            "{\"scenarios\": [{\"name\": \"a\"}],"
+            " \"batches\": [{\"name\": \"x\", \"scenarios\": []}]}"));
+        FAIL() << "expected ScenarioIoError";
+    } catch (const ss::ScenarioIoError& error) {
+        EXPECT_EQ(error.path(), "$.batches[0].scenarios");
+    }
+}
+
+TEST(ScenarioIo, BatchWithUnknownMemberLeavesRegistryUntouched) {
+    // Atomicity: a batch referencing a scenario that is neither in the
+    // document nor already registered must reject the whole load —
+    // scenarios listed before it are NOT half-adopted.
+    ss::ScenarioRegistry registry;
+    const auto names_before = registry.names();
+    const auto batches_before = registry.batches().size();
+    EXPECT_THROW(
+        (void)registry.load_text(
+            "{\"scenarios\": [{\"name\": \"fresh\"}],"
+            " \"batches\": [{\"name\": \"broken\","
+            " \"scenarios\": [\"fresh\", \"no-such-scenario\"]}]}"),
+        ss::ScenarioIoError);
+    EXPECT_EQ(registry.names(), names_before);
+    EXPECT_FALSE(registry.contains("fresh"));
+    EXPECT_EQ(registry.batches().size(), batches_before);
 }
 
 TEST(ScenarioIo, EngineOwnedSimFieldsAreRejectedOnBothSides) {

@@ -57,14 +57,19 @@ TEST(ScenarioRegistry, OffersTheNamedPresets) {
     const ss::ScenarioRegistry registry;
     for (const char* name :
          {"figure1", "np-baseline", "np-load-sweep", "np-bus-speed-sweep",
-          "np-cluster-scaling", "np-cluster-asymmetry", "np-bursty-heavy"}) {
+          "np-cluster-scaling", "np-cluster-asymmetry", "np-bursty-heavy",
+          "insertion-figure1", "insertion-np-search"}) {
         EXPECT_TRUE(registry.contains(name)) << name;
         const auto& spec = registry.get(name);
         EXPECT_EQ(spec.name, name);
         EXPECT_FALSE(spec.description.empty()) << name;
         EXPECT_NO_THROW(spec.validate()) << name;
     }
-    EXPECT_EQ(registry.size(), 7u);
+    EXPECT_EQ(registry.size(), 9u);
+    // The insertion presets are the only ones with the search enabled.
+    EXPECT_TRUE(registry.get("insertion-figure1").insertion.search);
+    EXPECT_TRUE(registry.get("insertion-np-search").insertion.search);
+    EXPECT_FALSE(registry.get("figure1").insertion.search);
     EXPECT_FALSE(registry.contains("no-such-scenario"));
     EXPECT_THROW((void)registry.get("no-such-scenario"),
                  socbuf::util::ContractViolation);
@@ -180,6 +185,78 @@ TEST(ScenarioSpec, ValidateRejectsBrokenSpecs) {
     spec = small_figure1();
     spec.variants[0].np.load_scale = 0.0;
     EXPECT_THROW(spec.validate(), socbuf::util::ContractViolation);
+    spec = small_figure1();
+    spec.insertion.bridge_site_cost = 0.0;
+    EXPECT_THROW(spec.validate(), socbuf::util::ContractViolation);
+    spec = small_figure1();
+    spec.insertion.candidates = {""};
+    EXPECT_THROW(spec.validate(), socbuf::util::ContractViolation);
+}
+
+TEST(BatchRunner, InsertionSearchBeatsOrMatchesPresetAtAnyWorkerCount) {
+    // The tentpole contract end to end: a searched placement is never
+    // worse than the all-selected preset at the same budget, the report
+    // carries the search evidence, and the chosen placement (with the
+    // whole report) is bit-identical at threads 1, 2 and 4.
+    ss::ScenarioSpec spec = small_figure1();
+    spec.name = "figure1-insertion";
+    spec.budgets = {14};
+    spec.replications = 1;
+    spec.sizing_iterations = 2;
+    spec.sim.horizon = 300.0;
+    spec.sim.warmup = 30.0;
+    spec.insertion.search = true;  // all four directional bridge sites
+
+    socbuf::exec::Executor serial(1);
+    ss::BatchRunner runner(serial);
+    const ss::BatchReport reference = runner.run(spec);
+    ASSERT_EQ(reference.runs.size(), 1u);
+    const auto& run = reference.runs[0];
+    EXPECT_TRUE(run.insertion.searched);
+    EXPECT_TRUE(run.insertion.exhaustive);  // 4 candidates, 16 plans
+    EXPECT_EQ(run.insertion.plans_evaluated, 16u);
+    EXPECT_LE(run.insertion.searched_loss, run.insertion.preset_loss);
+    EXPECT_EQ(run.insertion.selected_sites.size() +
+                  run.insertion.deselected_sites.size(),
+              4u);
+
+    for (const std::size_t threads : {2UL, 4UL}) {
+        socbuf::exec::Executor exec(threads);
+        ss::BatchRunner parallel(exec);
+        ss::BatchReport got = parallel.run(spec);
+        got.workers = reference.workers;
+        EXPECT_EQ(got.to_json(), reference.to_json())
+            << "threads=" << threads;
+    }
+}
+
+TEST(BatchRunner, InsertionCandidatesResolveByNameAndRejectUnknowns) {
+    ss::ScenarioSpec spec = small_figure1();
+    spec.name = "figure1-insertion-subset";
+    spec.budgets = {14};
+    spec.replications = 1;
+    spec.sizing_iterations = 2;
+    spec.sim.horizon = 300.0;
+    spec.sim.warmup = 30.0;
+    spec.insertion.search = true;
+    spec.insertion.candidates = {"bf:b>f", "fg:f>g"};
+
+    socbuf::exec::Executor serial(1);
+    ss::BatchRunner runner(serial);
+    const ss::BatchReport report = runner.run(spec);
+    ASSERT_EQ(report.runs.size(), 1u);
+    // Only the named pair is searched: 2 candidates = 4 plans; the other
+    // two directional sites stay selected in every plan.
+    EXPECT_EQ(report.runs[0].insertion.plans_evaluated, 4u);
+    EXPECT_EQ(report.runs[0].insertion.selected_sites.size() +
+                  report.runs[0].insertion.deselected_sites.size(),
+              2u);
+
+    ss::ScenarioSpec unknown = spec;
+    unknown.insertion.candidates = {"no-such-site"};
+    ss::BatchRunner reject(serial);
+    EXPECT_THROW((void)reject.run(unknown),
+                 socbuf::util::ContractViolation);
 }
 
 TEST(BatchRunner, MixedSpecBatchBitIdenticalForAnyWorkerCount) {

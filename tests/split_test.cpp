@@ -120,6 +120,77 @@ TEST(Split, InsertedBuffersOnlyWhereTrafficCrosses) {
 
 
 
+TEST(Split, DefaultPlacementReproducesTheClassicSplit) {
+    // The all-selected Placement is the paper's split bit for bit: same
+    // subsystems, same flows, same inserted count as the overload
+    // without a placement.
+    const auto sys = sa::figure1_system();
+    const auto classic = sp::split_architecture(sys);
+    const auto placed = sp::split_architecture(sys, sp::Placement{});
+    ASSERT_EQ(placed.subsystems.size(), classic.subsystems.size());
+    EXPECT_EQ(placed.inserted_buffer_count, classic.inserted_buffer_count);
+    for (std::size_t k = 0; k < classic.subsystems.size(); ++k) {
+        const auto& a = classic.subsystems[k];
+        const auto& b = placed.subsystems[k];
+        ASSERT_EQ(a.flows.size(), b.flows.size()) << a.bus_name;
+        for (std::size_t i = 0; i < a.flows.size(); ++i) {
+            EXPECT_EQ(a.flows[i].site, b.flows[i].site);
+            EXPECT_EQ(a.flows[i].arrival_rate, b.flows[i].arrival_rate);
+            EXPECT_EQ(a.flows[i].pinned, b.flows[i].pinned);
+            EXPECT_FALSE(b.flows[i].pinned);
+        }
+    }
+}
+
+TEST(Split, DeselectedBridgeSitesComeBackPinned) {
+    // Deselect one traffic-carrying bridge site: the split still covers
+    // every flow (linearity holds), but that site's subsystem flow is
+    // pinned and no longer counts as an inserted buffer.
+    const auto sys = sa::figure1_system();
+    const auto classic = sp::split_architecture(sys);
+    const auto candidates = sa::candidate_bridge_sites(classic.sites);
+    // Pick the first candidate that actually carries traffic.
+    sa::SiteId victim = sp::SplitResult::npos;
+    for (const sa::SiteId c : candidates)
+        if (classic.subsystem_of_site[c] != sp::SplitResult::npos) {
+            victim = c;
+            break;
+        }
+    ASSERT_NE(victim, sp::SplitResult::npos);
+
+    sp::Placement placement;
+    placement.selected.assign(classic.sites.size(), true);
+    placement.selected[victim] = false;
+    EXPECT_FALSE(placement.all_selected());
+    EXPECT_FALSE(placement.site_selected(victim));
+
+    const auto placed = sp::split_architecture(sys, placement);
+    EXPECT_NO_THROW(sp::verify_linearity(sys, placed));
+    EXPECT_EQ(placed.inserted_buffer_count,
+              classic.inserted_buffer_count - 1);
+    std::size_t pinned = 0;
+    for (const auto& sub : placed.subsystems)
+        for (const auto& f : sub.flows)
+            if (f.pinned) {
+                ++pinned;
+                EXPECT_EQ(f.site, victim);
+                EXPECT_FALSE(f.inserted);  // pinned, not inserted
+            }
+    EXPECT_EQ(pinned, 1u);
+}
+
+TEST(Split, PlacementEqualityIsStructural) {
+    sp::Placement a;
+    sp::Placement b;
+    EXPECT_TRUE(a == b);
+    b.selected = {true, false};
+    EXPECT_TRUE(a != b);
+    a.selected = {true, false};
+    EXPECT_TRUE(a == b);
+    // Out-of-range sites read as selected (the mask only narrows).
+    EXPECT_TRUE(a.site_selected(99));
+}
+
 class SplitPropertyTest : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(SplitPropertyTest, RandomBridgedTopologiesSplitLinearly) {

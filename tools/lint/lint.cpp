@@ -51,6 +51,7 @@ constexpr LayerEntry kLayerTable[] = {
     {"queueing", 3},
     {"sim", 3},
     {"split", 3},
+    {"insertion", 4},
     {"nonlinear", 4},
     {"core", 5},
     {"scenario", 6},

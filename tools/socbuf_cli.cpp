@@ -225,6 +225,16 @@ int show_scenario(const std::string& name) {
     std::printf("  iterations:   %d\n", spec.sizing_iterations);
     std::printf("  models:       %s\n",
                 spec.use_modulated_models ? "modulated (MMPP)" : "poisson");
+    if (spec.insertion.search) {
+        const std::string candidates =
+            spec.insertion.candidates.empty()
+                ? "all traffic-carrying bridge sites"
+                : std::to_string(spec.insertion.candidates.size()) +
+                      " named candidates";
+        std::printf("  insertion:    placement search over %s "
+                    "(exhaustive up to %zu)\n",
+                    candidates.c_str(), spec.insertion.exhaustive_limit);
+    }
     std::printf("  sim:          horizon %.0f, warmup %.0f, seed %llu\n",
                 spec.sim.horizon, spec.sim.warmup,
                 static_cast<unsigned long long>(spec.sim.seed));
